@@ -1,0 +1,59 @@
+"""Ext-E — KNN quality and convergence vs the baselines.
+
+The out-of-core engine runs the same neighbours-of-neighbours refinement as
+the in-memory algorithms, so its quality trajectory should match theirs:
+recall against the brute-force ground truth rises monotonically over
+iterations and ends in the same range as NN-Descent, at a small fraction of
+the brute-force similarity evaluations.
+
+Run with:  pytest benchmarks/bench_ext_convergence.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_knn
+from repro.bench.experiments import run_quality_comparison
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.similarity.workloads import generate_profile_churn, generate_sparse_profiles
+
+
+def test_engine_vs_nn_descent_vs_brute_force(benchmark, pedantic_kwargs):
+    summary = benchmark.pedantic(
+        run_quality_comparison,
+        kwargs=dict(num_users=800, k=10, num_iterations=5, num_partitions=6, seed=37),
+        **pedantic_kwargs,
+    )
+    benchmark.extra_info["engine_recalls"] = [round(r, 3) for r in summary["engine_recalls"]]
+    benchmark.extra_info["nn_descent_recall"] = round(summary["nn_descent_recall"], 3)
+    benchmark.extra_info["engine_scan_rate"] = round(summary["engine_scan_rate"], 3)
+
+    recalls = summary["engine_recalls"]
+    assert recalls == sorted(recalls)                  # monotone convergence
+    assert recalls[-1] > 0.75                          # good final quality
+    assert abs(recalls[-1] - summary["nn_descent_recall"]) < 0.25
+    assert summary["engine_similarity_evaluations"] < summary["brute_force_evaluations"]
+
+
+def test_convergence_under_profile_churn(benchmark, pedantic_kwargs):
+    """With profiles changing every iteration (phase 5), the engine still improves."""
+    profiles = generate_sparse_profiles(600, 2000, items_per_user=25,
+                                        num_communities=6, seed=41)
+    exact = brute_force_knn(profiles, 10, measure="jaccard")
+
+    def run():
+        config = EngineConfig(k=10, num_partitions=5, heuristic="degree-low-high", seed=41)
+        feed = lambda iteration: generate_profile_churn(
+            profiles, change_fraction=0.02, seed=iteration)
+        with KNNEngine(profiles, config) as engine:
+            return engine.run(num_iterations=4, exact_graph=exact, profile_change_feed=feed)
+
+    run_result = benchmark.pedantic(run, **pedantic_kwargs)
+    recalls = run_result.convergence.recalls
+    benchmark.extra_info["recalls_under_churn"] = [round(r, 3) for r in recalls]
+    benchmark.extra_info["profile_updates_applied"] = sum(
+        r.profile_updates_applied for r in run_result.iterations)
+    assert recalls[-1] > recalls[0]
+    assert sum(r.profile_updates_applied for r in run_result.iterations) > 0

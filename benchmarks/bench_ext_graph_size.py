@@ -1,0 +1,47 @@
+"""Ext-A (future work) — execution time and work vs the number of users.
+
+The paper's future work plans to "evaluate our approach using different
+graph sizes ... by measuring execution times".  This benchmark runs one
+full out-of-core iteration for increasing user counts and records wall-clock
+time, similarity evaluations and I/O volume; the expected shape is roughly
+linear growth in the candidate-tuple count for a fixed K.
+
+Run with:  pytest benchmarks/bench_ext_graph_size.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.similarity.workloads import generate_dense_profiles
+
+SIZES = (500, 1000, 2000, 4000)
+_RESULTS = {}
+
+
+def _run_one_iteration(num_users: int):
+    profiles = generate_dense_profiles(num_users, dim=16, num_communities=8, seed=19)
+    config = EngineConfig(k=10, num_partitions=8, heuristic="degree-low-high", seed=19)
+    with KNNEngine(profiles, config) as engine:
+        return engine.run_iteration()
+
+
+@pytest.mark.parametrize("num_users", SIZES)
+def test_iteration_scales_with_graph_size(benchmark, pedantic_kwargs, num_users):
+    result = benchmark.pedantic(_run_one_iteration, args=(num_users,), **pedantic_kwargs)
+    _RESULTS[num_users] = result
+    benchmark.extra_info["num_users"] = num_users
+    benchmark.extra_info["similarity_evaluations"] = result.similarity_evaluations
+    benchmark.extra_info["candidate_tuples"] = result.num_candidate_tuples
+    benchmark.extra_info["bytes_read"] = result.io_stats.bytes_read
+    assert result.similarity_evaluations > 0
+
+    # once at least two sizes have run, check that work grows with the graph
+    measured_sizes = sorted(_RESULTS)
+    if len(measured_sizes) >= 2:
+        evaluations = [_RESULTS[n].similarity_evaluations for n in measured_sizes]
+        assert evaluations == sorted(evaluations)
+        bytes_read = [_RESULTS[n].io_stats.bytes_read for n in measured_sizes]
+        assert bytes_read == sorted(bytes_read)

@@ -1,0 +1,55 @@
+"""Ext-F (future work) — additional PI-graph traversal heuristics.
+
+The paper's future work calls for "more heuristics for the PI graph
+traversal".  This benchmark compares the paper's three heuristics with the
+``greedy-resident`` extension (chain the next pivot through a partition
+that is already resident) on two of the Table 1 datasets and on the
+PI graph of a real engine iteration.
+
+Run with:  pytest benchmarks/bench_ext_heuristics.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.graph.datasets import DATASETS
+from repro.pigraph.pi_graph import PIGraph
+from repro.pigraph.scheduler import compare_heuristics
+from repro.similarity.workloads import generate_dense_profiles
+
+ALL_HEURISTICS = ("sequential", "degree-high-low", "degree-low-high", "greedy-resident")
+
+
+@pytest.mark.parametrize("dataset", ("gen-rel", "gnutella"))
+def test_extension_heuristic_on_datasets(benchmark, pedantic_kwargs, dataset):
+    pi_graph = PIGraph.from_digraph(DATASETS[dataset].generate())
+
+    results = benchmark.pedantic(
+        compare_heuristics, args=(pi_graph, list(ALL_HEURISTICS)), **pedantic_kwargs)
+
+    operations = {name: result.load_unload_operations for name, result in results.items()}
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["operations"] = operations
+    # the extension must at least match the best paper heuristic
+    best_paper = min(operations["degree-high-low"], operations["degree-low-high"])
+    assert operations["greedy-resident"] <= best_paper
+    assert operations["sequential"] >= best_paper
+
+
+@pytest.mark.parametrize("heuristic", ALL_HEURISTICS)
+def test_heuristics_inside_full_engine(benchmark, pedantic_kwargs, heuristic):
+    """Operation counts of each heuristic when driving a real engine iteration."""
+    profiles = generate_dense_profiles(1200, dim=16, num_communities=8, seed=43)
+
+    def run():
+        config = EngineConfig(k=8, num_partitions=12, heuristic=heuristic, seed=43)
+        with KNNEngine(profiles, config) as engine:
+            return engine.run_iteration()
+
+    result = benchmark.pedantic(run, **pedantic_kwargs)
+    benchmark.extra_info["heuristic"] = heuristic
+    benchmark.extra_info["load_unload_operations"] = result.load_unload_operations
+    assert result.load_unload_operations == result.schedule.load_unload_operations

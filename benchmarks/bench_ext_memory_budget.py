@@ -1,0 +1,50 @@
+"""Ext-B (future work) — effect of the memory constraint (number of partitions).
+
+The paper's future work plans to evaluate "different ... amounts of memory".
+With a fixed two-slot residency policy, memory pressure is controlled by the
+number of partitions ``m``: a smaller memory budget forces more, smaller
+partitions and therefore more load/unload operations.  This benchmark sweeps
+``m`` for a fixed workload and verifies the expected monotone trade-off.
+
+Run with:  pytest benchmarks/bench_ext_memory_budget.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_memory_budget_sweep
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.similarity.workloads import generate_dense_profiles
+
+
+def test_partition_count_sweep(benchmark, pedantic_kwargs):
+    rows = benchmark.pedantic(
+        run_memory_budget_sweep,
+        kwargs=dict(num_users=1500, k=8, partition_counts=(2, 4, 8, 16, 32), seed=23),
+        **pedantic_kwargs,
+    )
+    benchmark.extra_info["rows"] = [
+        {"m": row["num_partitions"], "ops": row["load_unload_operations"]} for row in rows]
+    operations = [row["load_unload_operations"] for row in rows]
+    # more partitions (less memory per partition) => more load/unload operations
+    assert operations == sorted(operations)
+    # candidate-tuple count does not depend on the partitioning
+    tuples = {row["candidate_tuples"] for row in rows}
+    assert len(tuples) == 1
+
+
+def test_explicit_memory_budget_enforced(benchmark, pedantic_kwargs):
+    """A byte budget large enough for two partitions succeeds; the run reports peak use."""
+    profiles = generate_dense_profiles(1000, dim=16, seed=23)
+
+    def run_with_budget():
+        config = EngineConfig(k=8, num_partitions=10, seed=23,
+                              memory_budget_bytes=512 * 1024 * 1024)
+        with KNNEngine(profiles, config) as engine:
+            return engine.run_iteration()
+
+    result = benchmark.pedantic(run_with_budget, **pedantic_kwargs)
+    benchmark.extra_info["load_unload_operations"] = result.load_unload_operations
+    assert result.load_unload_operations > 0

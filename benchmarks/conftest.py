@@ -1,0 +1,19 @@
+"""Shared fixtures and knobs for the benchmark suite.
+
+Every benchmark runs a deterministic workload exactly once per measurement
+(``pedantic`` with one round): the quantities of interest are operation
+counts and qualitative orderings, not micro-second timings, and the heavy
+end-to-end runs would otherwise dominate wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Default arguments used by every benchmark's ``benchmark.pedantic`` call.
+PEDANTIC_KWARGS = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def pedantic_kwargs():
+    return dict(PEDANTIC_KWARGS)

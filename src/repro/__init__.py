@@ -1,0 +1,42 @@
+"""repro — out-of-core K-Nearest-Neighbours computation on a single PC.
+
+A faithful, from-scratch reproduction of
+
+    Nitin Chiluka, Anne-Marie Kermarrec, Javier Olivares.
+    "Scaling KNN Computation over Large Graphs on a PC."
+    Middleware 2014 (Demos & Posters).
+
+The package provides the paper's five-phase out-of-core KNN engine
+(:class:`~repro.core.engine.KNNEngine`) together with every substrate it
+relies on: graph structures and generators, partitioners, the on-disk
+partition/profile stores, the candidate-tuple hash table, the
+partition-interaction graph with its traversal heuristics, similarity
+measures, and the in-memory baselines (brute force, NN-Descent).
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import EngineRunResult, KNNEngine
+from repro.core.iteration import IterationResult
+from repro.graph.knn_graph import KNNGraph
+from repro.similarity.profiles import DenseProfileStore, SparseProfileStore
+from repro.similarity.workloads import (
+    generate_dense_profiles,
+    generate_profile_churn,
+    generate_sparse_profiles,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineConfig",
+    "KNNEngine",
+    "EngineRunResult",
+    "IterationResult",
+    "KNNGraph",
+    "SparseProfileStore",
+    "DenseProfileStore",
+    "generate_sparse_profiles",
+    "generate_dense_profiles",
+    "generate_profile_churn",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Baselines: exact brute-force KNN, NN-Descent, and the in-memory KNN iteration."""
+
+from repro.baselines.brute_force import brute_force_knn
+from repro.baselines.in_memory import InMemoryKNNIterator
+from repro.baselines.nn_descent import NNDescent, NNDescentResult
+
+__all__ = [
+    "brute_force_knn",
+    "NNDescent",
+    "NNDescentResult",
+    "InMemoryKNNIterator",
+]

@@ -1,0 +1,16 @@
+"""The paper's core contribution: the out-of-core five-phase KNN engine."""
+
+from repro.core.config import EngineConfig
+from repro.core.convergence import ConvergenceTracker
+from repro.core.engine import KNNEngine, EngineRunResult
+from repro.core.iteration import IterationResult
+from repro.core.update_queue import ProfileUpdateQueue
+
+__all__ = [
+    "EngineConfig",
+    "KNNEngine",
+    "EngineRunResult",
+    "IterationResult",
+    "ConvergenceTracker",
+    "ProfileUpdateQueue",
+]

@@ -1,0 +1,120 @@
+"""Checkpointing: persist and restore the state of a KNN computation.
+
+An out-of-core computation over millions of users can run for hours, and the
+paper's setting (profiles keep changing, iterations are independent) makes it
+natural to stop after any iteration and resume later.  A checkpoint captures
+exactly the state the next iteration needs:
+
+* the scored KNN graph ``G(t)`` (binary, NumPy-packed), and
+* the iteration counter plus the engine configuration fingerprint,
+
+while the profiles ``P(t)`` already live on disk in the engine's working
+directory.  ``save_checkpoint``/``load_checkpoint`` work on any
+:class:`~repro.graph.knn_graph.KNNGraph`, so they are also handy for caching
+expensive brute-force ground truths in benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graph.knn_graph import KNNGraph
+
+PathLike = Union[str, os.PathLike]
+
+_MAGIC = b"RPCK0001"
+
+
+def save_knn_graph(path: PathLike, graph: KNNGraph) -> None:
+    """Serialise a scored KNN graph to a compact binary file."""
+    path = Path(path)
+    rows = []
+    for src, dst, score in graph.edges():
+        rows.append((src, dst, score))
+    sources = np.asarray([r[0] for r in rows], dtype=np.int64)
+    destinations = np.asarray([r[1] for r in rows], dtype=np.int64)
+    scores = np.asarray([r[2] for r in rows], dtype=np.float64)
+    header = np.asarray([graph.num_vertices, graph.k, len(rows)], dtype=np.int64)
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(header.tobytes())
+        handle.write(sources.tobytes())
+        handle.write(destinations.tobytes())
+        handle.write(scores.tobytes())
+
+
+def load_knn_graph(path: PathLike) -> KNNGraph:
+    """Restore a KNN graph written by :func:`save_knn_graph`."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if raw[:len(_MAGIC)] != _MAGIC:
+        raise ValueError(f"{path} is not a repro KNN-graph checkpoint (bad magic)")
+    offset = len(_MAGIC)
+    header = np.frombuffer(raw, dtype=np.int64, count=3, offset=offset)
+    offset += 3 * 8
+    num_vertices, k, num_edges = (int(x) for x in header)
+    expected_size = offset + num_edges * (8 + 8 + 8)
+    if len(raw) < expected_size:
+        raise ValueError(
+            f"{path} is truncated: expected {expected_size} bytes, found {len(raw)}")
+    sources = np.frombuffer(raw, dtype=np.int64, count=num_edges, offset=offset)
+    offset += num_edges * 8
+    destinations = np.frombuffer(raw, dtype=np.int64, count=num_edges, offset=offset)
+    offset += num_edges * 8
+    scores = np.frombuffer(raw, dtype=np.float64, count=num_edges, offset=offset)
+    if len(scores) != num_edges:
+        raise ValueError(f"{path} is truncated: expected {num_edges} edges")
+    graph = KNNGraph(num_vertices, k)
+    for src, dst, score in zip(sources, destinations, scores):
+        graph.add_candidate(int(src), int(dst), float(score))
+    return graph
+
+
+def save_checkpoint(directory: PathLike, graph: KNNGraph, iteration: int,
+                    metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Write a resumable checkpoint (graph + manifest) into ``directory``.
+
+    Returns the manifest path.  ``metadata`` may carry anything JSON-
+    serialisable (the engine stores its configuration fingerprint there).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    graph_path = directory / f"knn_graph_{iteration:05d}.bin"
+    save_knn_graph(graph_path, graph)
+    manifest = {
+        "iteration": int(iteration),
+        "graph_file": graph_path.name,
+        "num_vertices": graph.num_vertices,
+        "k": graph.k,
+        "metadata": metadata or {},
+    }
+    manifest_path = directory / "checkpoint.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def load_checkpoint(directory: PathLike) -> Tuple[KNNGraph, int, Dict[str, object]]:
+    """Load the latest checkpoint from ``directory``.
+
+    Returns ``(graph, iteration, metadata)``.  Raises ``FileNotFoundError``
+    when no checkpoint exists.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "checkpoint.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no checkpoint manifest under {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    graph = load_knn_graph(directory / manifest["graph_file"])
+    if graph.num_vertices != manifest["num_vertices"] or graph.k != manifest["k"]:
+        raise ValueError("checkpoint manifest does not match the stored graph")
+    return graph, int(manifest["iteration"]), dict(manifest.get("metadata", {}))
+
+
+def has_checkpoint(directory: PathLike) -> bool:
+    """True when ``directory`` holds a loadable checkpoint manifest."""
+    return (Path(directory) / "checkpoint.json").exists()

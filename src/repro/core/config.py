@@ -1,0 +1,109 @@
+"""Engine configuration.
+
+All knobs of the out-of-core KNN engine live in one frozen dataclass so that
+experiments are fully described by (dataset, profiles, EngineConfig, seed).
+Defaults reproduce the paper's setup: two resident partitions, the
+sequential traversal heuristic as the baseline, and direct edges included in
+the candidate set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.pigraph.traversal import HEURISTICS
+from repro.partition.partitioners import available_partitioners
+from repro.similarity.measures import MEASURES
+from repro.storage.disk_model import DISK_PRESETS, DiskModel
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of one :class:`~repro.core.engine.KNNEngine` instance.
+
+    Parameters
+    ----------
+    k:
+        Number of nearest neighbours maintained per user.
+    num_partitions:
+        ``m`` — the number of phase-1 partitions.
+    partitioner:
+        Phase-1 strategy: ``contiguous`` (the paper's n/m split), ``hash``,
+        ``ldg`` or ``greedy-locality``.
+    heuristic:
+        PI-graph traversal heuristic: ``sequential``, ``degree-high-low``,
+        ``degree-low-high`` or ``greedy-resident``.
+    measure:
+        Similarity measure name; ``None`` uses the profile store's default
+        (Jaccard for sparse profiles, cosine for dense ones).
+    disk_model:
+        ``"hdd"``, ``"ssd"``, ``"instant"`` or a custom
+        :class:`~repro.storage.disk_model.DiskModel`.
+    max_resident_partitions:
+        Cache slots for phase 4; the paper uses 2.
+    memory_budget_bytes:
+        Optional hard byte budget for resident partitions (``None`` = only
+        the slot limit applies).
+    include_direct_edges:
+        Whether the direct edges of ``G(t)`` are added to the hash table
+        alongside the neighbours-of-neighbours tuples (the paper does).
+    max_pairs_per_bridge:
+        Optional cap on the per-bridge-vertex cross product when generating
+        candidate tuples (``None`` reproduces the paper exactly).
+    num_threads:
+        Worker threads for the phase-4 similarity scoring (1 = sequential).
+    seed:
+        Seed for the random initial KNN graph.
+    """
+
+    k: int = 10
+    num_partitions: int = 8
+    partitioner: str = "contiguous"
+    heuristic: str = "sequential"
+    measure: Optional[str] = None
+    disk_model: Union[str, DiskModel] = "ssd"
+    max_resident_partitions: int = 2
+    memory_budget_bytes: Optional[float] = None
+    include_direct_edges: bool = True
+    max_pairs_per_bridge: Optional[int] = None
+    num_threads: int = 1
+    seed: Optional[int] = 0
+
+    def __post_init__(self):
+        check_positive_int(self.k, "k")
+        check_positive_int(self.num_partitions, "num_partitions")
+        check_positive_int(self.max_resident_partitions, "max_resident_partitions")
+        check_positive_int(self.num_threads, "num_threads")
+        if self.max_resident_partitions < 2:
+            raise ValueError(
+                "max_resident_partitions must be at least 2: phase 4 needs the two "
+                "partitions of a PI edge resident simultaneously"
+            )
+        if self.partitioner not in available_partitioners():
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"known: {', '.join(available_partitioners())}"
+            )
+        if self.heuristic not in HEURISTICS:
+            raise ValueError(
+                f"unknown heuristic {self.heuristic!r}; known: {', '.join(sorted(HEURISTICS))}"
+            )
+        if self.measure is not None and self.measure not in MEASURES:
+            raise ValueError(
+                f"unknown measure {self.measure!r}; known: {', '.join(sorted(MEASURES))}"
+            )
+        if isinstance(self.disk_model, str) and self.disk_model not in DISK_PRESETS:
+            raise ValueError(
+                f"unknown disk model {self.disk_model!r}; "
+                f"known presets: {', '.join(sorted(DISK_PRESETS))}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive when given")
+        if self.max_pairs_per_bridge is not None and self.max_pairs_per_bridge <= 0:
+            raise ValueError("max_pairs_per_bridge must be positive when given")
+
+    def with_overrides(self, **kwargs) -> "EngineConfig":
+        """Return a copy of this configuration with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,239 @@
+"""The public out-of-core KNN engine.
+
+:class:`KNNEngine` wires the whole system together: it persists the user
+profiles to disk, initialises (or accepts) a KNN graph ``G(0)``, and runs
+the five-phase iteration of :mod:`repro.core.iteration` until an iteration
+budget or a convergence threshold is reached.  Profile changes can be fed
+to the engine at any time; they are buffered in the phase-5 update queue
+and applied between iterations, exactly as the paper prescribes.
+
+Typical usage::
+
+    from repro import EngineConfig, KNNEngine
+    from repro.similarity import generate_dense_profiles
+
+    profiles = generate_dense_profiles(num_users=2000, dim=16, seed=1)
+    config = EngineConfig(k=10, num_partitions=8, heuristic="degree-low-high")
+    with KNNEngine(profiles, config) as engine:
+        result = engine.run(num_iterations=5)
+    print(result.final_graph.neighbors(0))
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.core.config import EngineConfig
+from repro.core.convergence import ConvergenceTracker
+from repro.core.iteration import IterationResult, OutOfCoreIteration
+from repro.core.update_queue import ProfileUpdateQueue
+from repro.graph.knn_graph import KNNGraph
+from repro.similarity.profiles import ProfileStoreBase
+from repro.similarity.workloads import ProfileChange
+from repro.storage.io_stats import IOStats
+from repro.storage.partition_store import PartitionStore
+from repro.storage.profile_store import OnDiskProfileStore
+from repro.utils.logging import get_logger
+from repro.utils.timer import PhaseTimer
+from repro.utils.validation import check_positive_int
+
+_logger = get_logger("core.engine")
+
+
+@dataclass
+class EngineRunResult:
+    """Aggregate outcome of a :meth:`KNNEngine.run` call."""
+
+    iterations: List[IterationResult]
+    final_graph: KNNGraph
+    convergence: ConvergenceTracker
+    total_io: IOStats
+    total_phases: PhaseTimer
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_similarity_evaluations(self) -> int:
+        return sum(result.similarity_evaluations for result in self.iterations)
+
+    @property
+    def total_load_unload_operations(self) -> int:
+        return sum(result.load_unload_operations for result in self.iterations)
+
+    def summary(self) -> dict:
+        return {
+            "num_iterations": self.num_iterations,
+            "converged": self.convergence.converged,
+            "total_similarity_evaluations": self.total_similarity_evaluations,
+            "total_load_unload_operations": self.total_load_unload_operations,
+            "simulated_io_seconds": self.total_io.simulated_io_seconds,
+            "phase_seconds": self.total_phases.as_dict(),
+            "change_rates": list(self.convergence.change_rates),
+            "recalls": list(self.convergence.recalls),
+        }
+
+
+class KNNEngine:
+    """Out-of-core KNN computation on a single (memory-constrained) machine."""
+
+    def __init__(self, profiles: ProfileStoreBase, config: Optional[EngineConfig] = None,
+                 workdir: Optional[Union[str, Path]] = None,
+                 initial_graph: Optional[KNNGraph] = None):
+        self._config = config if config is not None else EngineConfig()
+        if profiles.num_users <= self._config.k:
+            raise ValueError(
+                f"the profile store has {profiles.num_users} users but k={self._config.k}; "
+                "KNN needs more users than neighbours"
+            )
+        if self._config.num_partitions > profiles.num_users:
+            raise ValueError(
+                f"num_partitions ({self._config.num_partitions}) exceeds the number of "
+                f"users ({profiles.num_users})"
+            )
+        self._owns_workdir = workdir is None
+        self._workdir = Path(workdir) if workdir is not None else Path(
+            tempfile.mkdtemp(prefix="repro-knn-"))
+        self._workdir.mkdir(parents=True, exist_ok=True)
+        self._closed = False
+
+        self._profile_store = OnDiskProfileStore.create(
+            self._workdir / "profiles", profiles, disk_model=self._config.disk_model)
+        self._partition_store = PartitionStore(
+            self._workdir / "partitions", disk_model=self._config.disk_model)
+        self._iteration_runner = OutOfCoreIteration(
+            self._config, self._partition_store, self._profile_store)
+        self._update_queue = ProfileUpdateQueue()
+
+        if initial_graph is not None:
+            if initial_graph.num_vertices != profiles.num_users:
+                raise ValueError("initial_graph vertex count does not match the profiles")
+            self._graph = initial_graph.copy()
+        else:
+            self._graph = KNNGraph.random(
+                profiles.num_users, self._config.k, seed=self._config.seed)
+        self._iterations_run = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "KNNEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release on-disk scratch space (removes the working directory if owned)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_workdir:
+            shutil.rmtree(self._workdir, ignore_errors=True)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def workdir(self) -> Path:
+        return self._workdir
+
+    @property
+    def graph(self) -> KNNGraph:
+        """The current KNN graph ``G(t)``."""
+        return self._graph
+
+    @property
+    def iterations_run(self) -> int:
+        return self._iterations_run
+
+    @property
+    def update_queue(self) -> ProfileUpdateQueue:
+        return self._update_queue
+
+    @property
+    def profile_store(self) -> OnDiskProfileStore:
+        return self._profile_store
+
+    # -- profile changes -----------------------------------------------------------
+
+    def enqueue_profile_change(self, change: ProfileChange) -> None:
+        """Buffer a profile change; it is applied at the end of the current iteration."""
+        self._update_queue.enqueue(change)
+
+    def enqueue_profile_changes(self, changes: Iterable[ProfileChange]) -> int:
+        return self._update_queue.enqueue_many(changes)
+
+    # -- execution -------------------------------------------------------------------
+
+    def run_iteration(self) -> IterationResult:
+        """Run exactly one five-phase iteration and advance ``G(t)`` to ``G(t+1)``."""
+        self._ensure_open()
+        result = self._iteration_runner.run(
+            self._iterations_run, self._graph, self._update_queue)
+        self._graph = result.graph
+        self._iterations_run += 1
+        return result
+
+    def run(self, num_iterations: int,
+            convergence_threshold: Optional[float] = None,
+            exact_graph: Optional[KNNGraph] = None,
+            profile_change_feed=None) -> EngineRunResult:
+        """Run up to ``num_iterations`` iterations (stopping early on convergence).
+
+        Parameters
+        ----------
+        num_iterations:
+            Maximum number of iterations to run.
+        convergence_threshold:
+            When given, stop as soon as the KNN edge-change rate drops below
+            this value.
+        exact_graph:
+            Optional brute-force ground truth; when given, recall is recorded
+            after every iteration.
+        profile_change_feed:
+            Optional callable ``feed(iteration) -> Iterable[ProfileChange]``
+            invoked before each iteration to model profiles changing while
+            the computation runs.
+        """
+        self._ensure_open()
+        check_positive_int(num_iterations, "num_iterations")
+        tracker = ConvergenceTracker(
+            threshold=convergence_threshold if convergence_threshold is not None else 0.0,
+            exact_graph=exact_graph,
+        )
+        results: List[IterationResult] = []
+        total_io = IOStats()
+        total_phases = PhaseTimer()
+        for _ in range(num_iterations):
+            if profile_change_feed is not None:
+                changes = profile_change_feed(self._iterations_run)
+                if changes:
+                    self.enqueue_profile_changes(changes)
+            previous = self._graph
+            result = self.run_iteration()
+            results.append(result)
+            total_io.merge(result.io_stats)
+            total_phases.merge(result.phase_timer)
+            tracker.record(previous, result.graph)
+            if convergence_threshold is not None and tracker.converged:
+                _logger.info("converged after %d iterations", len(results))
+                break
+        return EngineRunResult(
+            iterations=results,
+            final_graph=self._graph,
+            convergence=tracker,
+            total_io=total_io,
+            total_phases=total_phases,
+        )
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this KNNEngine has been closed")

@@ -1,0 +1,258 @@
+"""One out-of-core KNN iteration: the paper's five phases, end to end.
+
+The orchestration follows Figure 1 of the paper exactly:
+
+1. partition ``G(t)`` and spill the partitions to disk,
+2. populate the dedup hash table ``H`` with candidate tuples,
+3. build the partition-interaction graph and plan its traversal,
+4. walk the plan with at most two partitions resident, score every tuple,
+   and emit ``G(t+1)``,
+5. apply the queued profile changes to produce ``P(t+1)``.
+
+:class:`OutOfCoreIteration` is stateless across iterations — the engine
+(:mod:`repro.core.engine`) owns the loop, the profile store and the update
+queue, and calls :meth:`OutOfCoreIteration.run` once per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.core.parallel import score_tuples
+from repro.core.update_queue import ProfileUpdateQueue
+from repro.graph.knn_graph import KNNGraph
+from repro.partition.model import Partition, build_partitions
+from repro.partition.partitioners import get_partitioner
+from repro.pigraph.pi_graph import PIGraph
+from repro.pigraph.scheduler import ScheduleResult, simulate_schedule
+from repro.pigraph.traversal import ResidencyStep, get_heuristic
+from repro.storage.io_stats import IOStats
+from repro.storage.memory_manager import MemoryBudget, PartitionCache
+from repro.storage.partition_store import PartitionStore
+from repro.storage.profile_store import OnDiskProfileStore, ProfileSlice
+from repro.tuples.generator import generate_candidate_tuples
+from repro.tuples.hash_table import TupleHashTable
+from repro.utils.logging import get_logger
+from repro.utils.timer import PhaseTimer
+
+_logger = get_logger("core.iteration")
+
+#: Names of the five phases, used consistently in timers, logs and benches.
+PHASE_NAMES = (
+    "1-partitioning",
+    "2-hash-table",
+    "3-pi-graph",
+    "4-knn-computation",
+    "5-profile-update",
+)
+
+
+@dataclass
+class IterationResult:
+    """Everything produced and measured by one out-of-core KNN iteration."""
+
+    iteration: int
+    graph: KNNGraph
+    assignment: np.ndarray
+    schedule: ScheduleResult
+    num_candidate_tuples: int
+    similarity_evaluations: int
+    profile_updates_applied: int
+    phase_timer: PhaseTimer
+    io_stats: IOStats
+
+    @property
+    def load_unload_operations(self) -> int:
+        """Actual partition load/unload operations performed in phase 4."""
+        return self.io_stats.load_unload_operations
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "iteration": self.iteration,
+            "num_candidate_tuples": self.num_candidate_tuples,
+            "similarity_evaluations": self.similarity_evaluations,
+            "load_unload_operations": self.load_unload_operations,
+            "scheduled_load_unload_operations": self.schedule.load_unload_operations,
+            "profile_updates_applied": self.profile_updates_applied,
+            "simulated_io_seconds": self.io_stats.simulated_io_seconds,
+            "phase_seconds": self.phase_timer.as_dict(),
+        }
+
+
+class OutOfCoreIteration:
+    """Executes a single KNN iteration against on-disk partitions and profiles."""
+
+    def __init__(self, config: EngineConfig, partition_store: PartitionStore,
+                 profile_store: OnDiskProfileStore):
+        self._config = config
+        self._partition_store = partition_store
+        self._profile_store = profile_store
+
+    # -- public entry point -------------------------------------------------
+
+    def run(self, iteration: int, graph: KNNGraph,
+            update_queue: Optional[ProfileUpdateQueue] = None) -> IterationResult:
+        """Run phases 1–5 once, turning ``G(t)`` into ``G(t+1)``."""
+        config = self._config
+        timer = PhaseTimer()
+        io_stats = IOStats()
+        measure = config.measure or self._profile_store_default_measure()
+
+        with timer.phase(PHASE_NAMES[0]):
+            assignment, partitions = self._phase1_partition(graph)
+
+        with timer.phase(PHASE_NAMES[1]):
+            table = self._phase2_hash_table(graph, partitions, assignment)
+            # the partitions now live on disk; drop the in-memory copies
+            del partitions
+
+        with timer.phase(PHASE_NAMES[2]):
+            pi_graph, steps, schedule = self._phase3_pi_graph(table)
+
+        with timer.phase(PHASE_NAMES[3]):
+            new_graph, evaluations = self._phase4_knn(graph, table, steps, measure, io_stats)
+
+        with timer.phase(PHASE_NAMES[4]):
+            updates_applied = self._phase5_profile_update(update_queue)
+
+        io_stats.merge(self._drain_store_stats())
+        result = IterationResult(
+            iteration=iteration,
+            graph=new_graph,
+            assignment=assignment,
+            schedule=schedule,
+            num_candidate_tuples=table.num_tuples,
+            similarity_evaluations=evaluations,
+            profile_updates_applied=updates_applied,
+            phase_timer=timer,
+            io_stats=io_stats,
+        )
+        _logger.info(
+            "iteration %d: %d tuples, %d similarity evaluations, %d load/unload ops",
+            iteration, result.num_candidate_tuples, evaluations,
+            result.load_unload_operations,
+        )
+        return result
+
+    # -- phase 1 --------------------------------------------------------------
+
+    def _phase1_partition(self, graph: KNNGraph) -> Tuple[np.ndarray, List[Partition]]:
+        config = self._config
+        csr = graph.to_csr()
+        partitioner = get_partitioner(config.partitioner)
+        assignment = partitioner.assign(csr, config.num_partitions)
+        partitions = build_partitions(csr, assignment, config.num_partitions)
+        self._partition_store.clear()
+        self._partition_store.write_partitions(partitions)
+        return assignment, partitions
+
+    # -- phase 2 --------------------------------------------------------------
+
+    def _phase2_hash_table(self, graph: KNNGraph, partitions: Sequence[Partition],
+                           assignment: np.ndarray) -> TupleHashTable:
+        config = self._config
+        csr = graph.to_csr()
+        return generate_candidate_tuples(
+            csr,
+            partitions,
+            assignment,
+            include_direct_edges=config.include_direct_edges,
+            max_pairs_per_bridge=config.max_pairs_per_bridge,
+        )
+
+    # -- phase 3 --------------------------------------------------------------
+
+    def _phase3_pi_graph(self, table: TupleHashTable):
+        config = self._config
+        pi_graph = PIGraph.from_tuple_table(table, config.num_partitions)
+        heuristic = get_heuristic(config.heuristic)
+        steps = heuristic.plan(pi_graph)
+        schedule = simulate_schedule(
+            steps,
+            heuristic_name=heuristic.name,
+            num_partitions=config.num_partitions,
+            cache_slots=config.max_resident_partitions,
+        )
+        return pi_graph, steps, schedule
+
+    # -- phase 4 --------------------------------------------------------------
+
+    def _phase4_knn(self, graph: KNNGraph, table: TupleHashTable,
+                    steps: Sequence[ResidencyStep], measure: str,
+                    io_stats: IOStats) -> Tuple[KNNGraph, int]:
+        config = self._config
+        budget = (MemoryBudget(config.memory_budget_bytes)
+                  if config.memory_budget_bytes is not None else None)
+        cache = PartitionCache(
+            self._partition_store,
+            max_resident=config.max_resident_partitions,
+            memory_budget=budget,
+            profile_bytes_per_user=self._profile_store.estimated_bytes_per_user(),
+            io_stats=io_stats,
+        )
+        resident_profiles: Dict[int, ProfileSlice] = {}
+        new_graph = KNNGraph(graph.num_vertices, config.k)
+        evaluations = 0
+
+        for first, second, edges in steps:
+            partition_a, partition_b = cache.acquire_pair(first, second)
+            self._sync_profile_slices(cache, resident_profiles,
+                                      {first: partition_a, second: partition_b})
+            merged = self._merged_slice(resident_profiles, first, second)
+            for edge in edges:
+                tuples = table.tuples_for(edge.src, edge.dst)
+                if len(tuples) == 0:
+                    continue
+                scores = score_tuples(merged, tuples, measure,
+                                      num_threads=config.num_threads)
+                evaluations += len(tuples)
+                for (source, destination), score in zip(tuples, scores):
+                    new_graph.add_candidate(int(source), int(destination), float(score))
+        cache.flush()
+        resident_profiles.clear()
+        return new_graph, evaluations
+
+    def _sync_profile_slices(self, cache: PartitionCache,
+                             resident_profiles: Dict[int, ProfileSlice],
+                             needed: Dict[int, Partition]) -> None:
+        """Keep the loaded profile slices aligned with the resident partitions."""
+        resident_ids = set(cache.resident_ids)
+        for pid in list(resident_profiles):
+            if pid not in resident_ids:
+                del resident_profiles[pid]
+        for pid, partition in needed.items():
+            if pid not in resident_profiles:
+                resident_profiles[pid] = self._profile_store.load_users(partition.vertices)
+
+    @staticmethod
+    def _merged_slice(resident_profiles: Dict[int, ProfileSlice],
+                      first: int, second: int) -> ProfileSlice:
+        if first == second:
+            return resident_profiles[first]
+        return resident_profiles[first].merge(resident_profiles[second])
+
+    # -- phase 5 --------------------------------------------------------------
+
+    def _phase5_profile_update(self, update_queue: Optional[ProfileUpdateQueue]) -> int:
+        if update_queue is None or len(update_queue) == 0:
+            return 0
+        changes = update_queue.drain()
+        return self._profile_store.apply_changes(changes)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _profile_store_default_measure(self) -> str:
+        return "cosine" if self._profile_store.kind == "dense" else "jaccard"
+
+    def _drain_store_stats(self) -> IOStats:
+        """Collect and reset the stores' own I/O counters into one snapshot."""
+        snapshot = IOStats()
+        snapshot.merge(self._partition_store.io_stats)
+        snapshot.merge(self._profile_store.io_stats)
+        self._partition_store.io_stats.reset()
+        self._profile_store.io_stats.reset()
+        return snapshot

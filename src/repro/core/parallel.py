@@ -1,0 +1,47 @@
+"""Multi-threaded similarity scoring (the paper's future-work "multiple threads").
+
+Phase 4 scores a (possibly large) batch of candidate tuples against the
+profiles of the two resident partitions.  The batch is embarrassingly
+parallel, and the dense-profile kernels are NumPy calls that release the
+GIL, so a plain thread pool gives real speedups without any multiprocessing
+serialisation of the profile slices.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.profile_store import ProfileSlice
+from repro.utils.validation import check_positive_int
+
+
+def score_tuples(profile_slice: ProfileSlice, tuples: np.ndarray, measure: str,
+                 num_threads: int = 1, chunk_size: int = 4096) -> np.ndarray:
+    """Similarity scores for an ``(n, 2)`` tuple array, optionally threaded.
+
+    The result is aligned with ``tuples`` row for row regardless of the
+    thread count, so callers never need to re-associate scores with pairs.
+    """
+    check_positive_int(num_threads, "num_threads")
+    check_positive_int(chunk_size, "chunk_size")
+    tuples = np.asarray(tuples, dtype=np.int64)
+    if tuples.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if tuples.ndim != 2 or tuples.shape[1] != 2:
+        raise ValueError("tuples must be an (n, 2) array")
+    if num_threads == 1 or len(tuples) <= chunk_size:
+        return profile_slice.similarity_pairs(tuples, measure)
+
+    chunks = [tuples[start:start + chunk_size] for start in range(0, len(tuples), chunk_size)]
+    results: list = [None] * len(chunks)
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        futures = {
+            pool.submit(profile_slice.similarity_pairs, chunk, measure): index
+            for index, chunk in enumerate(chunks)
+        }
+        for future, index in futures.items():
+            results[index] = future.result()
+    return np.concatenate(results)

@@ -1,0 +1,66 @@
+"""The lazy profile-update queue (phase 5).
+
+Profile changes that arrive while an iteration is running are *not* applied
+to ``P(t)``; they are buffered here and applied in one batch at the end of
+the iteration to produce ``P(t+1)``.  This is the paper's answer to
+profiles changing concurrently with the computation: the iteration always
+sees a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Sequence
+
+from repro.similarity.workloads import ProfileChange
+
+
+class ProfileUpdateQueue:
+    """Thread-safe FIFO buffer of :class:`ProfileChange` items."""
+
+    def __init__(self):
+        self._changes: List[ProfileChange] = []
+        self._lock = threading.Lock()
+        self._total_enqueued = 0
+        self._total_applied = 0
+
+    def enqueue(self, change: ProfileChange) -> None:
+        """Buffer one profile change for the end of the current iteration."""
+        if not isinstance(change, ProfileChange):
+            raise TypeError(f"expected ProfileChange, got {type(change).__name__}")
+        with self._lock:
+            self._changes.append(change)
+            self._total_enqueued += 1
+
+    def enqueue_many(self, changes: Iterable[ProfileChange]) -> int:
+        """Buffer many changes; returns how many were enqueued."""
+        count = 0
+        for change in changes:
+            self.enqueue(change)
+            count += 1
+        return count
+
+    def drain(self) -> List[ProfileChange]:
+        """Remove and return all buffered changes (applied by phase 5)."""
+        with self._lock:
+            drained = self._changes
+            self._changes = []
+            self._total_applied += len(drained)
+        return drained
+
+    def peek(self) -> Sequence[ProfileChange]:
+        """A snapshot of the currently buffered changes (not removed)."""
+        with self._lock:
+            return tuple(self._changes)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._changes)
+
+    @property
+    def total_enqueued(self) -> int:
+        return self._total_enqueued
+
+    @property
+    def total_applied(self) -> int:
+        return self._total_applied

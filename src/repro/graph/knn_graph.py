@@ -1,0 +1,242 @@
+"""The KNN graph ``G(t)``: a directed graph with bounded out-degree K.
+
+Each (user) vertex keeps at most K out-edges, each annotated with the
+similarity score that placed that neighbour in the user's top-K.  The KNN
+iteration replaces a vertex's neighbour list wholesale when better
+candidates are found, which is exactly the operation GraphChi-style
+frameworks do not support and the motivation for the paper's system.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import CSRDiGraph, DiGraph
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_non_negative, check_positive_int
+
+ScoredEdge = Tuple[int, int, float]
+
+
+class KNNGraph:
+    """Directed K-out-degree graph with per-edge similarity scores.
+
+    The neighbour list of every vertex is maintained as a min-heap keyed on
+    similarity so that the weakest current neighbour can be evicted in
+    O(log K) when a better candidate arrives.
+    """
+
+    def __init__(self, num_vertices: int, k: int):
+        check_non_negative(num_vertices, "num_vertices")
+        check_positive_int(k, "k")
+        self._k = k
+        # heap entries are (score, neighbor); the dict mirrors the heap for O(1) lookup
+        self._heaps: List[List[Tuple[float, int]]] = [[] for _ in range(num_vertices)]
+        self._scores: List[Dict[int, float]] = [{} for _ in range(num_vertices)]
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def random(cls, num_vertices: int, k: int, seed: SeedLike = None) -> "KNNGraph":
+        """Random initial KNN graph: each vertex points to K distinct random others.
+
+        This mirrors the standard NN-Descent initialisation and the "initial"
+        stage of the paper's input graph ``G(0)``.
+        """
+        check_positive_int(k, "k")
+        if num_vertices <= k:
+            raise ValueError(
+                f"num_vertices ({num_vertices}) must exceed k ({k}) for a random KNN graph"
+            )
+        rng = make_rng(seed)
+        graph = cls(num_vertices, k)
+        for v in range(num_vertices):
+            choices = rng.choice(num_vertices - 1, size=k, replace=False)
+            # shift values >= v by one to exclude the self loop
+            neighbors = np.where(choices >= v, choices + 1, choices)
+            for u in neighbors:
+                graph.add_candidate(v, int(u), 0.0)
+        return graph
+
+    @classmethod
+    def from_neighbor_lists(cls, neighbor_lists: Sequence[Sequence[Tuple[int, float]]],
+                            k: int) -> "KNNGraph":
+        """Build from per-vertex ``[(neighbor, score), ...]`` lists."""
+        graph = cls(len(neighbor_lists), k)
+        for v, entries in enumerate(neighbor_lists):
+            for neighbor, score in entries:
+                graph.add_candidate(v, neighbor, score)
+        return graph
+
+    def copy(self) -> "KNNGraph":
+        clone = KNNGraph(self.num_vertices, self._k)
+        for v in range(self.num_vertices):
+            clone._heaps[v] = list(self._heaps[v])
+            clone._scores[v] = dict(self._scores[v])
+        return clone
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_candidate(self, vertex: int, neighbor: int, score: float) -> bool:
+        """Offer ``neighbor`` with ``score`` as a KNN candidate of ``vertex``.
+
+        Returns ``True`` if the neighbour list changed (the candidate was
+        inserted or its score improved), ``False`` otherwise.  This is the
+        single update primitive phase 4 uses when emitting ``G(t+1)``.
+        """
+        self._check_vertex(vertex)
+        self._check_vertex(neighbor)
+        if vertex == neighbor:
+            return False
+        scores = self._scores[vertex]
+        heap = self._heaps[vertex]
+        if neighbor in scores:
+            if score <= scores[neighbor]:
+                return False
+            scores[neighbor] = score
+            self._rebuild_heap(vertex)
+            return True
+        if len(scores) < self._k:
+            scores[neighbor] = score
+            heapq.heappush(heap, (score, neighbor))
+            return True
+        worst_score, worst_neighbor = heap[0]
+        if score <= worst_score:
+            return False
+        heapq.heappop(heap)
+        del scores[worst_neighbor]
+        scores[neighbor] = score
+        heapq.heappush(heap, (score, neighbor))
+        return True
+
+    def set_neighbors(self, vertex: int, entries: Iterable[Tuple[int, float]]) -> None:
+        """Replace the neighbour list of ``vertex`` with the top-K of ``entries``."""
+        self._check_vertex(vertex)
+        best: Dict[int, float] = {}
+        for neighbor, score in entries:
+            self._check_vertex(neighbor)
+            if neighbor == vertex:
+                continue
+            if neighbor not in best or score > best[neighbor]:
+                best[neighbor] = score
+        top = heapq.nlargest(self._k, best.items(), key=lambda item: item[1])
+        self._scores[vertex] = dict(top)
+        self._heaps[vertex] = [(score, neighbor) for neighbor, score in top]
+        heapq.heapify(self._heaps[vertex])
+
+    def _rebuild_heap(self, vertex: int) -> None:
+        self._heaps[vertex] = [(score, neighbor)
+                               for neighbor, score in self._scores[vertex].items()]
+        heapq.heapify(self._heaps[vertex])
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._heaps)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._scores)
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Current KNN of ``vertex`` sorted by descending similarity."""
+        self._check_vertex(vertex)
+        items = sorted(self._scores[vertex].items(), key=lambda kv: (-kv[1], kv[0]))
+        return [neighbor for neighbor, _ in items]
+
+    def neighbor_scores(self, vertex: int) -> Dict[int, float]:
+        """Mapping ``neighbor -> score`` for ``vertex`` (a copy)."""
+        self._check_vertex(vertex)
+        return dict(self._scores[vertex])
+
+    def score(self, vertex: int, neighbor: int) -> Optional[float]:
+        self._check_vertex(vertex)
+        return self._scores[vertex].get(neighbor)
+
+    def worst_score(self, vertex: int) -> float:
+        """Score of the weakest current neighbour (``-inf`` when under-full)."""
+        self._check_vertex(vertex)
+        if len(self._scores[vertex]) < self._k:
+            return float("-inf")
+        return self._heaps[vertex][0][0]
+
+    def edges(self) -> Iterator[ScoredEdge]:
+        for v in range(self.num_vertices):
+            for neighbor, score in sorted(self._scores[v].items()):
+                yield (v, neighbor, score)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(E, 2)`` int64 array (scores dropped)."""
+        rows = [(v, neighbor) for v in range(self.num_vertices)
+                for neighbor in sorted(self._scores[v])]
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    def to_digraph(self) -> DiGraph:
+        graph = DiGraph(self.num_vertices)
+        for src, dst, _ in self.edges():
+            graph.add_edge(src, dst)
+        return graph
+
+    def to_csr(self) -> CSRDiGraph:
+        return CSRDiGraph.from_edges(self.num_vertices, self.edge_array())
+
+    def average_score(self) -> float:
+        """Mean similarity over all current KNN edges (0.0 for an empty graph)."""
+        total, count = 0.0, 0
+        for scores in self._scores:
+            total += sum(scores.values())
+            count += len(scores)
+        return total / count if count else 0.0
+
+    def edge_difference(self, other: "KNNGraph") -> int:
+        """Number of directed edges present in exactly one of the two graphs.
+
+        Used as the convergence signal: when successive iterations change few
+        edges, the KNN graph has stabilised.
+        """
+        if other.num_vertices != self.num_vertices:
+            raise ValueError("graphs must have the same vertex count")
+        diff = 0
+        for v in range(self.num_vertices):
+            mine = set(self._scores[v])
+            theirs = set(other._scores[v])
+            diff += len(mine ^ theirs)
+        return diff
+
+    def recall_against(self, exact: "KNNGraph") -> float:
+        """Fraction of the exact KNN edges that this graph also contains.
+
+        The standard quality metric for approximate KNN-graph construction
+        (recall@K against a brute-force ground truth).
+        """
+        if exact.num_vertices != self.num_vertices:
+            raise ValueError("graphs must have the same vertex count")
+        hits, total = 0, 0
+        for v in range(self.num_vertices):
+            truth = set(exact._scores[v])
+            if not truth:
+                continue
+            mine = set(self._scores[v])
+            hits += len(truth & mine)
+            total += len(truth)
+        return hits / total if total else 1.0
+
+    def __repr__(self) -> str:
+        return (f"KNNGraph(num_vertices={self.num_vertices}, k={self._k}, "
+                f"num_edges={self.num_edges})")
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise IndexError(
+                f"vertex {vertex} out of range for graph with {self.num_vertices} vertices"
+            )

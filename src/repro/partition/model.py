@@ -1,0 +1,130 @@
+"""The partition data model (phase 1 output).
+
+A partition ``R_i`` holds, exactly as the paper defines it:
+
+* a subset ``V_i`` of roughly ``n/m`` users,
+* all in-edges ``(s, v)`` and out-edges ``(v, d)`` with ``v ∈ V_i``,
+  each list **sorted by the bridge vertex v** so that phase 2 can generate
+  neighbours-of-neighbours tuples with a sequential merge scan,
+* (on disk) the profiles of the users in ``V_i``.
+
+The objective the partitioners optimise is the per-partition count of
+*unique external* vertices: ``N_in`` (distinct sources of in-edges) plus
+``N_out`` (distinct destinations of out-edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import CSRDiGraph
+
+
+@dataclass
+class Partition:
+    """One partition ``R_i`` of the KNN graph."""
+
+    pid: int
+    vertices: np.ndarray                 # sorted user ids in V_i
+    in_edges: np.ndarray                 # (E_in, 2) rows (s, v), sorted by v then s
+    out_edges: np.ndarray                # (E_out, 2) rows (v, d), sorted by v then d
+    num_unique_in_sources: int = 0       # N_in_i
+    num_unique_out_destinations: int = 0  # N_out_i
+
+    def __post_init__(self):
+        self.vertices = np.asarray(self.vertices, dtype=np.int64)
+        self.in_edges = np.asarray(self.in_edges, dtype=np.int64).reshape(-1, 2)
+        self.out_edges = np.asarray(self.out_edges, dtype=np.int64).reshape(-1, 2)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_in_edges(self) -> int:
+        return len(self.in_edges)
+
+    @property
+    def num_out_edges(self) -> int:
+        return len(self.out_edges)
+
+    @property
+    def locality_cost(self) -> int:
+        """``N_in_i + N_out_i`` — the quantity the paper's objective sums."""
+        return self.num_unique_in_sources + self.num_unique_out_destinations
+
+    def vertex_set(self) -> set:
+        return set(int(v) for v in self.vertices)
+
+    def contains(self, vertex: int) -> bool:
+        pos = np.searchsorted(self.vertices, vertex)
+        return pos < len(self.vertices) and self.vertices[pos] == vertex
+
+    def estimated_bytes(self, profile_bytes_per_user: int = 0) -> int:
+        """Approximate in-memory footprint, used by the memory manager."""
+        edges_bytes = (self.in_edges.size + self.out_edges.size) * 8
+        vertex_bytes = self.vertices.size * 8
+        return edges_bytes + vertex_bytes + self.num_vertices * profile_bytes_per_user
+
+    def __repr__(self) -> str:
+        return (f"Partition(pid={self.pid}, vertices={self.num_vertices}, "
+                f"in_edges={self.num_in_edges}, out_edges={self.num_out_edges}, "
+                f"N_in={self.num_unique_in_sources}, N_out={self.num_unique_out_destinations})")
+
+
+def build_partitions(graph: CSRDiGraph, assignment: np.ndarray,
+                     num_partitions: int) -> List[Partition]:
+    """Materialise :class:`Partition` objects from a vertex→partition assignment.
+
+    ``assignment[v]`` is the partition id of vertex ``v``.  Edge lists are
+    sorted by the bridge vertex as required by the paper's phase 1.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if len(assignment) != graph.num_vertices:
+        raise ValueError("assignment length must equal the graph's vertex count")
+    if len(assignment) and (assignment.min() < 0 or assignment.max() >= num_partitions):
+        raise ValueError("assignment contains partition ids out of range")
+
+    edges = graph.edges_array()          # rows (src, dst) == (v, d) for out-edges
+    partitions: List[Partition] = []
+    for pid in range(num_partitions):
+        vertices = np.flatnonzero(assignment == pid).astype(np.int64)
+        if len(edges):
+            out_mask = assignment[edges[:, 0]] == pid
+            in_mask = assignment[edges[:, 1]] == pid
+            out_edges = edges[out_mask]                       # (v, d)
+            in_edges = edges[in_mask][:, [0, 1]]              # (s, v)
+        else:
+            out_edges = np.empty((0, 2), dtype=np.int64)
+            in_edges = np.empty((0, 2), dtype=np.int64)
+        # sort out-edges by bridge v (column 0), in-edges by bridge v (column 1)
+        if len(out_edges):
+            out_edges = out_edges[np.lexsort((out_edges[:, 1], out_edges[:, 0]))]
+        if len(in_edges):
+            in_edges = in_edges[np.lexsort((in_edges[:, 0], in_edges[:, 1]))]
+        n_in = len(np.unique(in_edges[:, 0])) if len(in_edges) else 0
+        n_out = len(np.unique(out_edges[:, 1])) if len(out_edges) else 0
+        partitions.append(Partition(
+            pid=pid,
+            vertices=vertices,
+            in_edges=in_edges,
+            out_edges=out_edges,
+            num_unique_in_sources=n_in,
+            num_unique_out_destinations=n_out,
+        ))
+    return partitions
+
+
+def assignment_from_partitions(partitions: Sequence[Partition],
+                               num_vertices: int) -> np.ndarray:
+    """Reconstruct the vertex→partition assignment array from partitions."""
+    assignment = np.full(num_vertices, -1, dtype=np.int64)
+    for partition in partitions:
+        assignment[partition.vertices] = partition.pid
+    if (assignment < 0).any():
+        missing = int((assignment < 0).sum())
+        raise ValueError(f"{missing} vertices are not covered by any partition")
+    return assignment

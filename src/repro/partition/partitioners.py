@@ -1,0 +1,192 @@
+"""Vertex partitioners (phase 1).
+
+The paper requires each partition to hold ``n/m`` users and states the
+partitioning objective ``min Σ_i (N_in_i + N_out_i)`` — minimise the number
+of unique external sources/destinations per partition, which maximises data
+locality during the similarity phase.  Finding the optimum is NP-hard
+(balanced graph partitioning), so the library ships several practical
+strategies:
+
+* :class:`ContiguousPartitioner` — vertices ``0..n-1`` split into ``m``
+  equal contiguous ranges.  This is the baseline the sequential PI-graph
+  heuristic implies, and it is what a simple out-of-core system would do.
+* :class:`HashPartitioner` — round-robin / modulo assignment (a common
+  baseline with deliberately poor locality).
+* :class:`LinearDeterministicGreedyPartitioner` — the classic LDG streaming
+  heuristic: each vertex goes to the partition containing most of its
+  neighbours, weighted by remaining capacity.
+* :class:`GreedyLocalityPartitioner` — a direct greedy minimiser of the
+  paper's objective: vertices are streamed in descending-degree order and
+  placed in the partition whose ``N_in + N_out`` increases least.
+
+All partitioners return an assignment array; ``build_partitions`` turns it
+into :class:`~repro.partition.model.Partition` objects.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.graph.digraph import CSRDiGraph
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_positive_int
+
+
+class Partitioner(abc.ABC):
+    """Strategy interface: map every vertex of a graph to one of ``m`` partitions."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def assign(self, graph: CSRDiGraph, num_partitions: int) -> np.ndarray:
+        """Return an int64 array ``assignment[v] = partition id``."""
+
+    def _validate(self, graph: CSRDiGraph, num_partitions: int) -> None:
+        check_positive_int(num_partitions, "num_partitions")
+        if num_partitions > max(1, graph.num_vertices):
+            raise ValueError(
+                f"num_partitions ({num_partitions}) exceeds the number of vertices "
+                f"({graph.num_vertices})"
+            )
+
+    @staticmethod
+    def capacity(num_vertices: int, num_partitions: int) -> int:
+        """Maximum vertices per partition for a balanced split (ceil(n/m))."""
+        return -(-num_vertices // num_partitions)
+
+
+class ContiguousPartitioner(Partitioner):
+    """Split vertex ids into ``m`` equal contiguous ranges (the paper's n/m split)."""
+
+    name = "contiguous"
+
+    def assign(self, graph: CSRDiGraph, num_partitions: int) -> np.ndarray:
+        self._validate(graph, num_partitions)
+        n = graph.num_vertices
+        vertices = np.arange(n, dtype=np.int64)
+        return (vertices * num_partitions) // max(n, 1)
+
+
+class HashPartitioner(Partitioner):
+    """Modulo assignment — a locality-oblivious baseline."""
+
+    name = "hash"
+
+    def assign(self, graph: CSRDiGraph, num_partitions: int) -> np.ndarray:
+        self._validate(graph, num_partitions)
+        return np.arange(graph.num_vertices, dtype=np.int64) % num_partitions
+
+
+class LinearDeterministicGreedyPartitioner(Partitioner):
+    """LDG streaming partitioner (Stanton & Kliot, KDD'12).
+
+    Vertices arrive in a stream (optionally shuffled); each is placed in the
+    partition with the most already-placed neighbours, discounted by the
+    partition's fullness, subject to a hard capacity of ``ceil(n/m)``.
+    """
+
+    name = "ldg"
+
+    def __init__(self, shuffle: bool = False, seed: SeedLike = None):
+        self._shuffle = shuffle
+        self._seed = seed
+
+    def assign(self, graph: CSRDiGraph, num_partitions: int) -> np.ndarray:
+        self._validate(graph, num_partitions)
+        n = graph.num_vertices
+        capacity = self.capacity(n, num_partitions)
+        assignment = np.full(n, -1, dtype=np.int64)
+        sizes = np.zeros(num_partitions, dtype=np.int64)
+        order = np.arange(n)
+        if self._shuffle:
+            make_rng(self._seed).shuffle(order)
+        for vertex in order:
+            neighbors = np.concatenate([graph.out_neighbors(vertex),
+                                        graph.in_neighbors(vertex)])
+            placed = assignment[neighbors]
+            placed = placed[placed >= 0]
+            scores = np.zeros(num_partitions, dtype=np.float64)
+            if len(placed):
+                counts = np.bincount(placed, minlength=num_partitions)
+                scores += counts
+            scores *= 1.0 - sizes / capacity
+            scores[sizes >= capacity] = -np.inf
+            # tie-break towards the least-loaded partition for balance
+            best = int(np.lexsort((sizes, -scores))[0])
+            assignment[vertex] = best
+            sizes[best] += 1
+        return assignment
+
+
+class GreedyLocalityPartitioner(Partitioner):
+    """Greedy minimiser of the paper's objective ``Σ (N_in + N_out)``.
+
+    Vertices are processed in descending total-degree order (placing hubs
+    first fixes the most constrained decisions early).  For each vertex the
+    partitioner computes, for every partition with remaining capacity, the
+    *increase* in that partition's count of unique external in-sources and
+    out-destinations if the vertex were placed there, and picks the partition
+    with the smallest increase (ties: the emptier partition).
+    """
+
+    name = "greedy-locality"
+
+    def assign(self, graph: CSRDiGraph, num_partitions: int) -> np.ndarray:
+        self._validate(graph, num_partitions)
+        n = graph.num_vertices
+        capacity = self.capacity(n, num_partitions)
+        assignment = np.full(n, -1, dtype=np.int64)
+        sizes = np.zeros(num_partitions, dtype=np.int64)
+        # external vertex sets per partition: sources of in-edges, dests of out-edges
+        in_sources: List[Set[int]] = [set() for _ in range(num_partitions)]
+        out_destinations: List[Set[int]] = [set() for _ in range(num_partitions)]
+
+        order = np.argsort(-(graph.degree_array()), kind="stable")
+        for vertex in order:
+            vertex = int(vertex)
+            preds = graph.in_neighbors(vertex)
+            succs = graph.out_neighbors(vertex)
+            best_pid, best_cost = -1, None
+            for pid in range(num_partitions):
+                if sizes[pid] >= capacity:
+                    continue
+                added_in = sum(1 for s in preds if int(s) not in in_sources[pid])
+                added_out = sum(1 for d in succs if int(d) not in out_destinations[pid])
+                cost = added_in + added_out
+                if best_cost is None or cost < best_cost or (
+                        cost == best_cost and sizes[pid] < sizes[best_pid]):
+                    best_pid, best_cost = pid, cost
+            if best_pid < 0:
+                raise RuntimeError("no partition has remaining capacity (bug)")
+            assignment[vertex] = best_pid
+            sizes[best_pid] += 1
+            in_sources[best_pid].update(int(s) for s in preds)
+            out_destinations[best_pid].update(int(d) for d in succs)
+        return assignment
+
+
+_PARTITIONERS = {
+    ContiguousPartitioner.name: ContiguousPartitioner,
+    HashPartitioner.name: HashPartitioner,
+    LinearDeterministicGreedyPartitioner.name: LinearDeterministicGreedyPartitioner,
+    GreedyLocalityPartitioner.name: GreedyLocalityPartitioner,
+}
+
+
+def get_partitioner(name: str, **kwargs) -> Partitioner:
+    """Instantiate a partitioner by name (``contiguous``, ``hash``, ``ldg``,
+    ``greedy-locality``)."""
+    try:
+        cls = _PARTITIONERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PARTITIONERS))
+        raise KeyError(f"unknown partitioner {name!r}; known partitioners: {known}") from None
+    return cls(**kwargs)
+
+
+def available_partitioners() -> Sequence[str]:
+    """Names accepted by :func:`get_partitioner`."""
+    return sorted(_PARTITIONERS)

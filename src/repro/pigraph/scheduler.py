@@ -1,0 +1,151 @@
+"""Load/unload scheduling and operation counting for PI-graph traversals.
+
+Given the ordered residency steps produced by a traversal heuristic, the
+scheduler simulates a bounded partition cache (two slots by default, as the
+paper requires) and counts the partition **load** and **unload** operations
+the traversal would incur — the quantity reported in the paper's Table 1.
+The same plan can then be executed against the real
+:class:`~repro.storage.memory_manager.PartitionCache` during phase 4; the
+simulated and executed counts agree because both use LRU eviction over the
+same step sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.pigraph.pi_graph import PIGraph
+from repro.pigraph.traversal import ResidencyStep, TraversalHeuristic, get_heuristic
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of simulating one traversal plan."""
+
+    heuristic: str
+    num_partitions: int
+    num_steps: int
+    loads: int
+    unloads: int
+    cache_hits: int
+    tuples_scheduled: int
+    final_resident: Tuple[int, ...] = ()
+
+    @property
+    def load_unload_operations(self) -> int:
+        """Loads + unloads: the number the paper's Table 1 reports."""
+        return self.loads + self.unloads
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "heuristic": self.heuristic,
+            "num_partitions": self.num_partitions,
+            "num_steps": self.num_steps,
+            "loads": self.loads,
+            "unloads": self.unloads,
+            "load_unload_operations": self.load_unload_operations,
+            "cache_hits": self.cache_hits,
+            "tuples_scheduled": self.tuples_scheduled,
+        }
+
+
+def plan_schedule(pi_graph: PIGraph,
+                  heuristic: Union[str, TraversalHeuristic]) -> List[ResidencyStep]:
+    """Linearise ``pi_graph`` with ``heuristic`` (name or instance)."""
+    if isinstance(heuristic, str):
+        heuristic = get_heuristic(heuristic)
+    return heuristic.plan(pi_graph)
+
+
+def simulate_schedule(steps: Sequence[ResidencyStep],
+                      heuristic_name: str = "",
+                      num_partitions: int = 0,
+                      cache_slots: int = 2,
+                      unload_at_end: bool = True) -> ScheduleResult:
+    """Simulate a ``cache_slots``-slot LRU partition cache over ``steps``.
+
+    Every partition brought into the cache counts one *load*; every eviction
+    (including the final flush when ``unload_at_end``) counts one *unload*.
+    A step whose partitions are already resident costs nothing and is
+    recorded as a cache hit.
+    """
+    check_positive_int(cache_slots, "cache_slots")
+    resident: "OrderedDict[int, None]" = OrderedDict()
+    loads = unloads = hits = 0
+    tuples_scheduled = 0
+
+    def touch(partition: int) -> bool:
+        """Ensure ``partition`` is resident; return True on a cache hit."""
+        nonlocal loads, unloads
+        if partition in resident:
+            resident.move_to_end(partition)
+            return True
+        while len(resident) >= cache_slots:
+            resident.popitem(last=False)
+            unloads += 1
+        resident[partition] = None
+        loads += 1
+        return False
+
+    for first, second, edges in steps:
+        needed = (first,) if first == second else (first, second)
+        if len(needed) > cache_slots:
+            raise ValueError(
+                f"step needs {len(needed)} resident partitions but the cache has "
+                f"{cache_slots} slots"
+            )
+        step_hit = True
+        # Touch the pivot before the partner: the partner then becomes the
+        # eviction candidate on the next step while the pivot stays resident,
+        # and a pivot switch to the previous partner is a cache hit.
+        step_hit &= touch(first)
+        if first != second:
+            step_hit &= touch(second)
+        if step_hit:
+            hits += 1
+        tuples_scheduled += sum(edge.weight for edge in edges)
+
+    final_resident = tuple(resident)
+    if unload_at_end:
+        unloads += len(resident)
+        resident.clear()
+    return ScheduleResult(
+        heuristic=heuristic_name,
+        num_partitions=num_partitions,
+        num_steps=len(steps),
+        loads=loads,
+        unloads=unloads,
+        cache_hits=hits,
+        tuples_scheduled=tuples_scheduled,
+        final_resident=final_resident,
+    )
+
+
+def count_load_unload_operations(pi_graph: PIGraph,
+                                 heuristic: Union[str, TraversalHeuristic],
+                                 cache_slots: int = 2,
+                                 unload_at_end: bool = True) -> ScheduleResult:
+    """Plan + simulate in one call; the Table 1 measurement for one cell."""
+    heuristic_obj = get_heuristic(heuristic) if isinstance(heuristic, str) else heuristic
+    steps = heuristic_obj.plan(pi_graph)
+    return simulate_schedule(
+        steps,
+        heuristic_name=heuristic_obj.name,
+        num_partitions=pi_graph.num_partitions,
+        cache_slots=cache_slots,
+        unload_at_end=unload_at_end,
+    )
+
+
+def compare_heuristics(pi_graph: PIGraph,
+                       heuristics: Sequence[Union[str, TraversalHeuristic]],
+                       cache_slots: int = 2) -> Dict[str, ScheduleResult]:
+    """Run several heuristics over the same PI graph (one Table 1 row)."""
+    results: Dict[str, ScheduleResult] = {}
+    for heuristic in heuristics:
+        result = count_load_unload_operations(pi_graph, heuristic, cache_slots=cache_slots)
+        results[result.heuristic] = result
+    return results

@@ -1,0 +1,41 @@
+"""User profiles, similarity measures, and profile-workload generators."""
+
+from repro.similarity.measures import (
+    MEASURES,
+    adjusted_cosine_similarity,
+    cosine_similarity,
+    euclidean_similarity,
+    get_measure,
+    jaccard_similarity,
+    overlap_coefficient,
+    pearson_similarity,
+)
+from repro.similarity.profiles import (
+    DenseProfileStore,
+    ProfileStoreBase,
+    SparseProfileStore,
+)
+from repro.similarity.workloads import (
+    ProfileChange,
+    generate_dense_profiles,
+    generate_profile_churn,
+    generate_sparse_profiles,
+)
+
+__all__ = [
+    "MEASURES",
+    "get_measure",
+    "cosine_similarity",
+    "adjusted_cosine_similarity",
+    "jaccard_similarity",
+    "overlap_coefficient",
+    "pearson_similarity",
+    "euclidean_similarity",
+    "ProfileStoreBase",
+    "SparseProfileStore",
+    "DenseProfileStore",
+    "ProfileChange",
+    "generate_sparse_profiles",
+    "generate_dense_profiles",
+    "generate_profile_churn",
+]

@@ -1,0 +1,241 @@
+"""In-memory user-profile stores.
+
+A *profile store* maps dense user ids ``0..n-1`` to profiles and knows how
+to score pairs of users.  Two concrete stores are provided:
+
+* :class:`SparseProfileStore` — each profile is a set of item ids
+  (pages voted on, papers co-authored, songs listened to, ...);
+* :class:`DenseProfileStore` — each profile is a fixed-dimension float
+  vector (ratings, embeddings).
+
+The out-of-core layer (`repro.storage.profile_store`) persists these stores
+per partition; the engine only ever sees the interface defined by
+:class:`ProfileStoreBase`, so the two encodings are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.similarity import measures as _measures
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+class ProfileStoreBase(abc.ABC):
+    """Common interface over sparse and dense profile stores."""
+
+    @property
+    @abc.abstractmethod
+    def num_users(self) -> int:
+        """Number of users the store holds profiles for."""
+
+    @abc.abstractmethod
+    def get(self, user: int):
+        """Return the profile of ``user`` (set or vector depending on store)."""
+
+    @abc.abstractmethod
+    def set(self, user: int, profile) -> None:
+        """Replace the profile of ``user``."""
+
+    @abc.abstractmethod
+    def similarity(self, user_a: int, user_b: int, measure: str) -> float:
+        """Similarity between two users under the named measure."""
+
+    @abc.abstractmethod
+    def similarity_pairs(self, pairs: np.ndarray, measure: str) -> np.ndarray:
+        """Vectorised similarity for an ``(n, 2)`` array of user-id pairs."""
+
+    @abc.abstractmethod
+    def subset(self, users: Sequence[int]) -> "ProfileStoreBase":
+        """A new store containing only ``users`` (ids are preserved as keys)."""
+
+    @abc.abstractmethod
+    def copy(self) -> "ProfileStoreBase":
+        """Deep copy of the store."""
+
+    def default_measure(self) -> str:
+        """The measure used when the engine configuration does not name one."""
+        return "jaccard"
+
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < self.num_users:
+            raise IndexError(f"user {user} out of range (store has {self.num_users} users)")
+
+
+class SparseProfileStore(ProfileStoreBase):
+    """Profiles as sets of integer item ids."""
+
+    def __init__(self, profiles: Sequence[Iterable[int]]):
+        self._profiles: List[Set[int]] = [set(p) for p in profiles]
+
+    @classmethod
+    def empty(cls, num_users: int) -> "SparseProfileStore":
+        check_non_negative(num_users, "num_users")
+        return cls([set() for _ in range(num_users)])
+
+    @property
+    def num_users(self) -> int:
+        return len(self._profiles)
+
+    def get(self, user: int) -> Set[int]:
+        self._check_user(user)
+        return self._profiles[user]
+
+    def set(self, user: int, profile: Iterable[int]) -> None:
+        self._check_user(user)
+        self._profiles[user] = set(profile)
+
+    def add_item(self, user: int, item: int) -> None:
+        """Add a single item to a user's profile (profile-churn primitive)."""
+        self._check_user(user)
+        self._profiles[user].add(item)
+
+    def remove_item(self, user: int, item: int) -> None:
+        """Remove a single item if present (no error when absent)."""
+        self._check_user(user)
+        self._profiles[user].discard(item)
+
+    def similarity(self, user_a: int, user_b: int, measure: str = "jaccard") -> float:
+        self._check_user(user_a)
+        self._check_user(user_b)
+        fn = _measures.get_measure(measure)
+        if measure not in _measures.SET_MEASURES:
+            raise ValueError(
+                f"measure {measure!r} operates on vectors; use a DenseProfileStore"
+            )
+        return float(fn(self._profiles[user_a], self._profiles[user_b]))
+
+    def similarity_pairs(self, pairs: np.ndarray, measure: str = "jaccard") -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must be an (n, 2) array")
+        fn = _measures.get_measure(measure)
+        if measure not in _measures.SET_MEASURES:
+            raise ValueError(
+                f"measure {measure!r} operates on vectors; use a DenseProfileStore"
+            )
+        out = np.empty(len(pairs), dtype=np.float64)
+        profiles = self._profiles
+        for i, (a, b) in enumerate(pairs):
+            out[i] = fn(profiles[a], profiles[b])
+        return out
+
+    def subset(self, users: Sequence[int]) -> "SparseProfileStore":
+        store = SparseProfileStore.empty(self.num_users)
+        for user in users:
+            self._check_user(user)
+            store._profiles[user] = set(self._profiles[user])
+        return store
+
+    def copy(self) -> "SparseProfileStore":
+        return SparseProfileStore(self._profiles)
+
+    def item_universe(self) -> Set[int]:
+        """Union of all item ids appearing in any profile."""
+        universe: Set[int] = set()
+        for profile in self._profiles:
+            universe |= profile
+        return universe
+
+    def average_profile_size(self) -> float:
+        if not self._profiles:
+            return 0.0
+        return sum(len(p) for p in self._profiles) / len(self._profiles)
+
+    def default_measure(self) -> str:
+        return "jaccard"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseProfileStore):
+            return NotImplemented
+        return self._profiles == other._profiles
+
+    def __repr__(self) -> str:
+        return (f"SparseProfileStore(num_users={self.num_users}, "
+                f"avg_items={self.average_profile_size():.1f})")
+
+
+class DenseProfileStore(ProfileStoreBase):
+    """Profiles as rows of a dense ``(num_users, dim)`` float64 matrix."""
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("profile matrix must be two-dimensional")
+        self._matrix = matrix.copy()
+
+    @classmethod
+    def empty(cls, num_users: int, dim: int) -> "DenseProfileStore":
+        check_non_negative(num_users, "num_users")
+        check_positive_int(dim, "dim")
+        return cls(np.zeros((num_users, dim), dtype=np.float64))
+
+    @property
+    def num_users(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._matrix.shape[1]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (a view; mutate via :meth:`set`)."""
+        return self._matrix
+
+    def get(self, user: int) -> np.ndarray:
+        self._check_user(user)
+        return self._matrix[user]
+
+    def set(self, user: int, profile: np.ndarray) -> None:
+        self._check_user(user)
+        profile = np.asarray(profile, dtype=np.float64)
+        if profile.shape != (self.dim,):
+            raise ValueError(f"profile must have shape ({self.dim},), got {profile.shape}")
+        self._matrix[user] = profile
+
+    def similarity(self, user_a: int, user_b: int, measure: str = "cosine") -> float:
+        self._check_user(user_a)
+        self._check_user(user_b)
+        fn = _measures.get_measure(measure)
+        if measure in _measures.SET_MEASURES:
+            raise ValueError(
+                f"measure {measure!r} operates on item sets; use a SparseProfileStore"
+            )
+        return float(fn(self._matrix[user_a], self._matrix[user_b]))
+
+    def similarity_pairs(self, pairs: np.ndarray, measure: str = "cosine") -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must be an (n, 2) array")
+        if measure in _measures.SET_MEASURES:
+            raise ValueError(
+                f"measure {measure!r} operates on item sets; use a SparseProfileStore"
+            )
+        left = self._matrix[pairs[:, 0]]
+        right = self._matrix[pairs[:, 1]]
+        if measure == "cosine":
+            return _measures.cosine_similarity_batch(left, right)
+        if measure == "euclidean":
+            return _measures.euclidean_similarity_batch(left, right)
+        fn = _measures.get_measure(measure)
+        return np.asarray([fn(l, r) for l, r in zip(left, right)], dtype=np.float64)
+
+    def subset(self, users: Sequence[int]) -> "DenseProfileStore":
+        store = DenseProfileStore.empty(self.num_users, self.dim)
+        for user in users:
+            self._check_user(user)
+            store._matrix[user] = self._matrix[user]
+        return store
+
+    def copy(self) -> "DenseProfileStore":
+        return DenseProfileStore(self._matrix)
+
+    def default_measure(self) -> str:
+        return "cosine"
+
+    def __repr__(self) -> str:
+        return f"DenseProfileStore(num_users={self.num_users}, dim={self.dim})"

@@ -1,0 +1,173 @@
+"""Memory budget accounting and the two-slot partition cache.
+
+The paper's phase 4 keeps *at most two partitions resident* at any time and
+the experiments count partition load/unload operations under that policy.
+:class:`PartitionCache` enforces the policy (the slot count is configurable
+so the memory-budget extension experiment can vary it), performs LRU
+eviction, and attributes every load/unload to the shared
+:class:`~repro.storage.io_stats.IOStats`.
+
+:class:`MemoryBudget` is the byte-level account the cache draws from: the
+engine sizes partitions (edges plus profile rows) and refuses to exceed the
+configured budget, which is how "a memory-constrained commodity PC" is made
+explicit and reproducible in software.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.partition.model import Partition
+from repro.storage.io_stats import IOStats
+from repro.storage.partition_store import PartitionStore
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class MemoryBudget:
+    """A simple byte-denominated memory account."""
+
+    def __init__(self, capacity_bytes: float):
+        check_positive(capacity_bytes, "capacity_bytes")
+        self._capacity = float(capacity_bytes)
+        self._used = 0.0
+        self._peak = 0.0
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    @property
+    def peak_bytes(self) -> float:
+        return self._peak
+
+    @property
+    def available_bytes(self) -> float:
+        return self._capacity - self._used
+
+    def can_allocate(self, num_bytes: float) -> bool:
+        return self._used + num_bytes <= self._capacity
+
+    def allocate(self, num_bytes: float) -> None:
+        """Reserve ``num_bytes``; raises ``MemoryError`` when over budget."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if not self.can_allocate(num_bytes):
+            raise MemoryError(
+                f"allocation of {num_bytes:.0f} bytes exceeds the memory budget "
+                f"({self._used:.0f}/{self._capacity:.0f} bytes in use)"
+            )
+        self._used += num_bytes
+        self._peak = max(self._peak, self._used)
+
+    def release(self, num_bytes: float) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        self._used = max(0.0, self._used - num_bytes)
+
+    def reset(self) -> None:
+        self._used = 0.0
+        self._peak = 0.0
+
+
+class PartitionCache:
+    """LRU cache of resident partitions with a bounded number of slots.
+
+    ``max_resident=2`` reproduces the paper's policy of holding at most two
+    partitions in memory while a PI-graph edge is processed.
+    """
+
+    def __init__(self, store: PartitionStore, max_resident: int = 2,
+                 memory_budget: Optional[MemoryBudget] = None,
+                 profile_bytes_per_user: int = 0,
+                 io_stats: Optional[IOStats] = None):
+        check_positive_int(max_resident, "max_resident")
+        self._store = store
+        self._max_resident = max_resident
+        self._budget = memory_budget
+        self._profile_bytes_per_user = profile_bytes_per_user
+        self.io_stats = io_stats if io_stats is not None else store.io_stats
+        self._resident: "OrderedDict[int, Partition]" = OrderedDict()
+        self._sizes: Dict[int, int] = {}
+
+    # -- cache behaviour -----------------------------------------------------
+
+    @property
+    def max_resident(self) -> int:
+        return self._max_resident
+
+    @property
+    def resident_ids(self) -> List[int]:
+        """Partition ids currently resident, least-recently-used first."""
+        return list(self._resident)
+
+    def is_resident(self, pid: int) -> bool:
+        return pid in self._resident
+
+    def acquire(self, pid: int) -> Partition:
+        """Return partition ``pid``, loading it (and evicting) if necessary."""
+        if pid in self._resident:
+            self._resident.move_to_end(pid)
+            return self._resident[pid]
+        while len(self._resident) >= self._max_resident:
+            self._evict_one()
+        partition = self._store.read_partition(pid)
+        size = partition.estimated_bytes(self._profile_bytes_per_user)
+        if self._budget is not None:
+            self._budget.allocate(size)
+        self._resident[pid] = partition
+        self._sizes[pid] = size
+        self.io_stats.record_partition_load()
+        return partition
+
+    def acquire_pair(self, pid_a: int, pid_b: int) -> Tuple[Partition, Partition]:
+        """Make partitions ``pid_a`` and ``pid_b`` simultaneously resident.
+
+        This is exactly the access pattern of one PI-graph edge.  When the
+        two ids are equal a single partition is loaded.
+        """
+        if pid_a == pid_b:
+            partition = self.acquire(pid_a)
+            return partition, partition
+        if self._max_resident < 2:
+            raise RuntimeError("acquire_pair requires at least two cache slots")
+        # Keep the other requested partition from being evicted by touching it first.
+        if pid_a in self._resident:
+            self._resident.move_to_end(pid_a)
+        if pid_b in self._resident:
+            self._resident.move_to_end(pid_b)
+        first = self.acquire(pid_a)
+        self._resident.move_to_end(pid_a)
+        second = self.acquire(pid_b)
+        return first, second
+
+    def release(self, pid: int) -> None:
+        """Explicitly unload a resident partition (no-op when absent)."""
+        if pid in self._resident:
+            self._unload(pid)
+
+    def flush(self) -> None:
+        """Unload every resident partition."""
+        for pid in list(self._resident):
+            self._unload(pid)
+
+    def _evict_one(self) -> None:
+        pid, _ = next(iter(self._resident.items()))
+        self._unload(pid)
+
+    def _unload(self, pid: int) -> None:
+        self._resident.pop(pid)
+        size = self._sizes.pop(pid, 0)
+        if self._budget is not None:
+            self._budget.release(size)
+        self.io_stats.record_partition_unload()
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def load_unload_operations(self) -> int:
+        return self.io_stats.load_unload_operations

@@ -1,0 +1,328 @@
+"""On-disk user-profile storage.
+
+Profiles are kept on disk between phases and only the rows needed for the
+currently-loaded pair of partitions are brought into memory (phase 4 loads
+"the profiles of at most two partitions").  Two encodings mirror the
+in-memory stores:
+
+* dense — a single ``float64`` matrix file accessed through ``numpy.memmap``
+  so that loading a partition's rows is a strided read and profile updates
+  (phase 5) are in-place row writes;
+* sparse — an ``indptr``/``items`` pair of int64 arrays (CSR-style), loaded
+  per user-range; updates rewrite the file (sizes change), which matches the
+  paper's lazy batch-update semantics.
+
+Every operation is charged to the configured disk model and recorded in
+:class:`~repro.storage.io_stats.IOStats`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.similarity import measures as _measures
+from repro.similarity.profiles import DenseProfileStore, ProfileStoreBase, SparseProfileStore
+from repro.similarity.workloads import ProfileChange
+from repro.storage.disk_model import DiskModel, get_disk_model
+from repro.storage.io_stats import IOStats
+
+PathLike = Union[str, os.PathLike]
+
+
+class ProfileSlice:
+    """Profiles of a subset of users, loaded into memory for similarity scoring."""
+
+    def __init__(self, kind: str, profiles: Dict[int, object], dim: int = 0):
+        if kind not in ("sparse", "dense"):
+            raise ValueError(f"kind must be 'sparse' or 'dense', got {kind!r}")
+        self.kind = kind
+        self._profiles = profiles
+        self._dim = dim
+        if kind == "dense":
+            self._index = {user: i for i, user in enumerate(sorted(profiles))}
+            if profiles:
+                self._matrix = np.vstack([profiles[user] for user in sorted(profiles)])
+            else:
+                self._matrix = np.zeros((0, dim), dtype=np.float64)
+
+    @property
+    def users(self) -> Set[int]:
+        return set(self._profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._profiles
+
+    def get(self, user: int):
+        try:
+            return self._profiles[user]
+        except KeyError:
+            raise KeyError(f"user {user} is not loaded in this profile slice") from None
+
+    def merge(self, other: "ProfileSlice") -> "ProfileSlice":
+        """Union of two slices (used when both partitions' profiles are resident)."""
+        if other.kind != self.kind:
+            raise ValueError("cannot merge slices of different profile kinds")
+        combined = dict(self._profiles)
+        combined.update(other._profiles)
+        return ProfileSlice(self.kind, combined, dim=self._dim or other._dim)
+
+    def similarity_pairs(self, pairs: np.ndarray, measure: str) -> np.ndarray:
+        """Vectorised similarity for an ``(n, 2)`` array of loaded user ids."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must be an (n, 2) array")
+        if len(pairs) == 0:
+            return np.zeros(0, dtype=np.float64)
+        if self.kind == "dense":
+            if measure in _measures.SET_MEASURES:
+                raise ValueError(f"measure {measure!r} needs sparse profiles")
+            left_rows = np.asarray([self._index[int(u)] for u in pairs[:, 0]])
+            right_rows = np.asarray([self._index[int(u)] for u in pairs[:, 1]])
+            left = self._matrix[left_rows]
+            right = self._matrix[right_rows]
+            if measure == "cosine":
+                return _measures.cosine_similarity_batch(left, right)
+            if measure == "euclidean":
+                return _measures.euclidean_similarity_batch(left, right)
+            fn = _measures.get_measure(measure)
+            return np.asarray([fn(l, r) for l, r in zip(left, right)], dtype=np.float64)
+        fn = _measures.get_measure(measure)
+        if measure not in _measures.SET_MEASURES:
+            raise ValueError(f"measure {measure!r} needs dense profiles")
+        out = np.empty(len(pairs), dtype=np.float64)
+        for i, (a, b) in enumerate(pairs):
+            out[i] = fn(self._profiles[int(a)], self._profiles[int(b)])
+        return out
+
+
+class OnDiskProfileStore:
+    """Persistent profile storage with partial (per-partition) loading."""
+
+    _META_NAME = "profiles_meta.json"
+    _DENSE_NAME = "profiles_dense.bin"
+    _SPARSE_INDPTR = "profiles_indptr.bin"
+    _SPARSE_ITEMS = "profiles_items.bin"
+
+    def __init__(self, base_dir: PathLike, disk_model: Union[str, DiskModel] = "ssd",
+                 io_stats: Optional[IOStats] = None):
+        self._base_dir = Path(base_dir)
+        self._base_dir.mkdir(parents=True, exist_ok=True)
+        self._disk = get_disk_model(disk_model)
+        self.io_stats = io_stats if io_stats is not None else IOStats()
+        self._meta: Optional[dict] = None
+        meta_path = self._base_dir / self._META_NAME
+        if meta_path.exists():
+            self._meta = json.loads(meta_path.read_text())
+
+    # -- creation ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, base_dir: PathLike, store: ProfileStoreBase,
+               disk_model: Union[str, DiskModel] = "ssd",
+               io_stats: Optional[IOStats] = None) -> "OnDiskProfileStore":
+        """Persist an in-memory profile store and return the on-disk handle."""
+        on_disk = cls(base_dir, disk_model=disk_model, io_stats=io_stats)
+        on_disk._write_full(store)
+        return on_disk
+
+    def _write_full(self, store: ProfileStoreBase) -> None:
+        if isinstance(store, DenseProfileStore):
+            matrix = store.matrix.astype(np.float64)
+            path = self._base_dir / self._DENSE_NAME
+            matrix.tofile(path)
+            self._meta = {"kind": "dense", "num_users": store.num_users, "dim": store.dim}
+            self.io_stats.record_write(matrix.nbytes,
+                                       self._disk.write_cost(matrix.nbytes, sequential=True))
+        elif isinstance(store, SparseProfileStore):
+            indptr = np.zeros(store.num_users + 1, dtype=np.int64)
+            items_list: List[np.ndarray] = []
+            for user in range(store.num_users):
+                items = np.asarray(sorted(store.get(user)), dtype=np.int64)
+                items_list.append(items)
+                indptr[user + 1] = indptr[user] + len(items)
+            items = (np.concatenate(items_list) if items_list
+                     else np.empty(0, dtype=np.int64))
+            indptr.tofile(self._base_dir / self._SPARSE_INDPTR)
+            items.tofile(self._base_dir / self._SPARSE_ITEMS)
+            self._meta = {"kind": "sparse", "num_users": store.num_users}
+            total = indptr.nbytes + items.nbytes
+            self.io_stats.record_write(total, self._disk.write_cost(total, sequential=True))
+        else:
+            raise TypeError(f"unsupported profile store type: {type(store).__name__}")
+        (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        self._require_meta()
+        return self._meta["kind"]
+
+    @property
+    def num_users(self) -> int:
+        self._require_meta()
+        return int(self._meta["num_users"])
+
+    @property
+    def dim(self) -> int:
+        self._require_meta()
+        return int(self._meta.get("dim", 0))
+
+    def _require_meta(self) -> None:
+        if self._meta is None:
+            raise RuntimeError(
+                f"no profile store has been created under {self._base_dir}; "
+                "call OnDiskProfileStore.create() first"
+            )
+
+    def estimated_bytes_per_user(self) -> int:
+        """Average on-disk profile size per user (memory-budget sizing)."""
+        self._require_meta()
+        if self._meta["kind"] == "dense":
+            return self.dim * 8
+        indptr_path = self._base_dir / self._SPARSE_INDPTR
+        if not indptr_path.exists() or self.num_users == 0:
+            return 0
+        indptr = np.fromfile(indptr_path, dtype=np.int64)
+        total_items = int(indptr[-1]) if len(indptr) else 0
+        return max(8, (total_items * 8) // max(1, self.num_users))
+
+    def load_users(self, user_ids: Iterable[int]) -> ProfileSlice:
+        """Load the profiles of ``user_ids`` into a :class:`ProfileSlice`.
+
+        The read is charged as a random access per contiguous user range
+        (dense) or per user-range slice (sparse), which is how the real
+        system would touch the profile file for one partition.
+        """
+        self._require_meta()
+        ids = sorted({int(u) for u in user_ids})
+        for user in ids:
+            if not 0 <= user < self.num_users:
+                raise IndexError(f"user {user} out of range (store has {self.num_users})")
+        if self._meta["kind"] == "dense":
+            return self._load_dense(ids)
+        return self._load_sparse(ids)
+
+    def _load_dense(self, ids: List[int]) -> ProfileSlice:
+        dim = self.dim
+        path = self._base_dir / self._DENSE_NAME
+        mm = np.memmap(path, dtype=np.float64, mode="r", shape=(self.num_users, dim))
+        profiles: Dict[int, np.ndarray] = {}
+        total_bytes = 0
+        for start, stop in _contiguous_ranges(ids):
+            block = np.array(mm[start:stop])
+            for offset, user in enumerate(range(start, stop)):
+                profiles[user] = block[offset]
+            num_bytes = block.nbytes
+            total_bytes += num_bytes
+            self.io_stats.record_read(num_bytes,
+                                      self._disk.read_cost(num_bytes, sequential=False))
+        del mm
+        return ProfileSlice("dense", profiles, dim=dim)
+
+    def _load_sparse(self, ids: List[int]) -> ProfileSlice:
+        indptr = np.fromfile(self._base_dir / self._SPARSE_INDPTR, dtype=np.int64)
+        self.io_stats.record_read(indptr.nbytes,
+                                  self._disk.read_cost(indptr.nbytes, sequential=True))
+        items_path = self._base_dir / self._SPARSE_ITEMS
+        mm = np.memmap(items_path, dtype=np.int64, mode="r") if items_path.stat().st_size else None
+        profiles: Dict[int, Set[int]] = {}
+        for start, stop in _contiguous_ranges(ids):
+            lo, hi = int(indptr[start]), int(indptr[stop])
+            block = np.array(mm[lo:hi]) if (mm is not None and hi > lo) else np.empty(0, np.int64)
+            self.io_stats.record_read(block.nbytes,
+                                      self._disk.read_cost(block.nbytes, sequential=False))
+            for user in range(start, stop):
+                ulo, uhi = int(indptr[user]) - lo, int(indptr[user + 1]) - lo
+                profiles[user] = set(int(x) for x in block[ulo:uhi])
+        if mm is not None:
+            del mm
+        return ProfileSlice("sparse", profiles)
+
+    def load_all(self) -> ProfileStoreBase:
+        """Load the entire store back into memory (tests and small runs)."""
+        self._require_meta()
+        if self._meta["kind"] == "dense":
+            path = self._base_dir / self._DENSE_NAME
+            matrix = np.fromfile(path, dtype=np.float64).reshape(self.num_users, self.dim)
+            self.io_stats.record_read(matrix.nbytes,
+                                      self._disk.read_cost(matrix.nbytes, sequential=True))
+            return DenseProfileStore(matrix)
+        indptr = np.fromfile(self._base_dir / self._SPARSE_INDPTR, dtype=np.int64)
+        items = np.fromfile(self._base_dir / self._SPARSE_ITEMS, dtype=np.int64)
+        total = indptr.nbytes + items.nbytes
+        self.io_stats.record_read(total, self._disk.read_cost(total, sequential=True))
+        profiles = [set(int(x) for x in items[indptr[u]:indptr[u + 1]])
+                    for u in range(self.num_users)]
+        return SparseProfileStore(profiles)
+
+    # -- updates (phase 5) -----------------------------------------------------
+
+    def apply_changes(self, changes: Sequence[ProfileChange]) -> int:
+        """Apply a batch of queued profile changes (the paper's lazy update).
+
+        Returns the number of users whose profile actually changed.  Dense
+        changes are in-place row writes through a writable memmap; sparse
+        changes rewrite the item file because profile sizes shift.
+        """
+        self._require_meta()
+        if not changes:
+            return 0
+        if self._meta["kind"] == "dense":
+            return self._apply_dense(changes)
+        return self._apply_sparse(changes)
+
+    def _apply_dense(self, changes: Sequence[ProfileChange]) -> int:
+        dim = self.dim
+        path = self._base_dir / self._DENSE_NAME
+        mm = np.memmap(path, dtype=np.float64, mode="r+", shape=(self.num_users, dim))
+        touched = set()
+        for change in changes:
+            if change.kind != "set":
+                raise ValueError("dense profile stores only accept 'set' changes")
+            vector = np.asarray(change.vector, dtype=np.float64)
+            if vector.shape != (dim,):
+                raise ValueError(f"change vector must have shape ({dim},), got {vector.shape}")
+            mm[change.user] = vector
+            touched.add(change.user)
+            self.io_stats.record_write(vector.nbytes,
+                                       self._disk.write_cost(vector.nbytes, sequential=False))
+        mm.flush()
+        del mm
+        return len(touched)
+
+    def _apply_sparse(self, changes: Sequence[ProfileChange]) -> int:
+        store = self.load_all()
+        touched = set()
+        for change in changes:
+            if change.kind == "add":
+                store.add_item(change.user, change.item)
+            elif change.kind == "remove":
+                store.remove_item(change.user, change.item)
+            else:
+                raise ValueError("sparse profile stores only accept 'add'/'remove' changes")
+            touched.add(change.user)
+        self._write_full(store)
+        return len(touched)
+
+
+def _contiguous_ranges(sorted_ids: Sequence[int]):
+    """Yield (start, stop) half-open ranges covering runs of consecutive ids."""
+    if not sorted_ids:
+        return
+    start = prev = sorted_ids[0]
+    for value in sorted_ids[1:]:
+        if value == prev + 1:
+            prev = value
+            continue
+        yield (start, prev + 1)
+        start = prev = value
+    yield (start, prev + 1)

@@ -1,0 +1,13 @@
+"""Phase 2 — candidate-tuple generation and the dedup hash table ``H``."""
+
+from repro.tuples.hash_table import TupleHashTable
+from repro.tuples.generator import (
+    generate_candidate_tuples,
+    partition_bridge_tuples,
+)
+
+__all__ = [
+    "TupleHashTable",
+    "generate_candidate_tuples",
+    "partition_bridge_tuples",
+]

@@ -1,0 +1,23 @@
+"""Shared utilities: logging, timing, validation and deterministic RNG helpers."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timer import PhaseTimer, Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "get_logger",
+    "make_rng",
+    "spawn_rngs",
+    "PhaseTimer",
+    "Stopwatch",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,48 @@
+"""Library-wide logging helpers.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so that applications embedding the
+library stay in control of log output (standard practice for libraries).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger scoped under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Either a fully-qualified module name (``repro.storage.cache``) or a
+        short suffix (``storage.cache``); both resolve to the same logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler to the library logger.
+
+    Intended for examples and benchmarks, not for library code.  Calling it
+    twice is harmless: the handler is only added once.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    already = any(isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+                  for h in logger.handlers)
+    if not already:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

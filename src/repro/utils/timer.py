@@ -1,0 +1,102 @@
+"""Timing utilities used by the engine and by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Stopwatch:
+    """A manual start/stop stopwatch accumulating elapsed seconds."""
+
+    elapsed: float = 0.0
+    _started_at: Optional[float] = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed time so far."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @contextmanager
+    def measure(self) -> Iterator["Stopwatch"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    The engine uses one ``PhaseTimer`` per iteration so that benchmarks can
+    report where time is spent across the paper's five phases.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self.totals:
+                self.order.append(name)
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Total time across all recorded phases."""
+        return sum(self.totals.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase totals in first-seen order."""
+        return {name: self.totals[name] for name in self.order}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Accumulate another timer's totals into this one (in place)."""
+        for name in other.order:
+            if name not in self.totals:
+                self.order.append(name)
+                self.totals[name] = 0.0
+                self.counts[name] = 0
+            self.totals[name] += other.totals[name]
+            self.counts[name] += other.counts[name]
+
+    def format_table(self) -> str:
+        """Human-readable per-phase breakdown used by examples and benches."""
+        if not self.order:
+            return "(no phases recorded)"
+        width = max(len(name) for name in self.order)
+        total = self.total()
+        lines = []
+        for name in self.order:
+            t = self.totals[name]
+            share = (t / total * 100.0) if total > 0 else 0.0
+            lines.append(f"{name:<{width}}  {t:9.4f}s  {share:5.1f}%  (x{self.counts[name]})")
+        lines.append(f"{'TOTAL':<{width}}  {total:9.4f}s")
+        return "\n".join(lines)

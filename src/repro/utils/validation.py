@@ -1,0 +1,52 @@
+"""Small argument-validation helpers shared across the library.
+
+Raising precise errors at API boundaries keeps the internal code free of
+defensive checks and makes misuse obvious to downstream users.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any, Tuple, Type, Union
+
+
+def check_positive(value: Union[int, float], name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number > 0."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(value: Union[int, float], name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number >= 0."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_positive_int(value: Any, name: str) -> None:
+    """Raise unless ``value`` is an integer > 0."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_fraction(value: Union[int, float], name: str) -> None:
+    """Raise unless ``value`` lies in the closed interval [0, 1]."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

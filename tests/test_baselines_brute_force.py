@@ -1,0 +1,72 @@
+"""Tests for repro.baselines.brute_force."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_knn
+from repro.similarity.profiles import DenseProfileStore, SparseProfileStore
+
+
+class TestBruteForceDense:
+    def test_exact_against_naive(self, dense_profiles):
+        k = 5
+        graph = brute_force_knn(dense_profiles, k, measure="cosine")
+        # verify a handful of users against a naive recomputation
+        matrix = dense_profiles.matrix
+        for user in (0, 17, 63, 119):
+            scores = [
+                (dense_profiles.similarity(user, other, "cosine"), other)
+                for other in range(dense_profiles.num_users) if other != user
+            ]
+            expected = {other for _, other in sorted(scores, reverse=True)[:k]}
+            got = set(graph.neighbors(user))
+            # allow ties at the boundary: every selected neighbour must have a
+            # score >= the k-th best score
+            kth = sorted((s for s, _ in scores), reverse=True)[k - 1]
+            assert all(dense_profiles.similarity(user, v, "cosine") >= kth - 1e-12 for v in got)
+            assert len(got) == k
+            assert len(expected & got) >= k - 1
+
+    def test_blocked_path_matches_fallback(self, dense_profiles):
+        fast = brute_force_knn(dense_profiles, 4, measure="cosine", block_size=16)
+        slow = brute_force_knn(dense_profiles, 4, measure="euclidean")
+        assert fast.num_vertices == slow.num_vertices
+        assert all(len(fast.neighbors(v)) == 4 for v in range(fast.num_vertices))
+
+    def test_every_vertex_has_k_neighbors(self, dense_profiles):
+        graph = brute_force_knn(dense_profiles, 7)
+        assert all(len(graph.neighbors(v)) == 7 for v in range(graph.num_vertices))
+
+    def test_no_self_neighbor(self, dense_profiles):
+        graph = brute_force_knn(dense_profiles, 3)
+        assert all(v not in graph.neighbors(v) for v in range(graph.num_vertices))
+
+
+class TestBruteForceSparse:
+    def test_jaccard_ground_truth(self):
+        profiles = SparseProfileStore([
+            {1, 2, 3}, {1, 2, 3, 4}, {7, 8}, {1, 2}, {8, 9},
+        ])
+        graph = brute_force_knn(profiles, 2, measure="jaccard")
+        assert 1 in graph.neighbors(0)
+        assert 3 in graph.neighbors(0)
+        assert 4 in graph.neighbors(2)
+
+    def test_default_measure_used(self, sparse_profiles):
+        graph = brute_force_knn(sparse_profiles, 3)
+        assert graph.num_edges == sparse_profiles.num_users * 3
+
+
+class TestEdgeCases:
+    def test_empty_store(self):
+        graph = brute_force_knn(DenseProfileStore.empty(0, 4), 3)
+        assert graph.num_vertices == 0
+
+    def test_k_larger_than_population(self):
+        profiles = DenseProfileStore(np.eye(3))
+        graph = brute_force_knn(profiles, 5, measure="cosine")
+        assert all(len(graph.neighbors(v)) == 2 for v in range(3))
+
+    def test_invalid_k(self, dense_profiles):
+        with pytest.raises(ValueError):
+            brute_force_knn(dense_profiles, 0)

@@ -1,0 +1,64 @@
+"""Tests for repro.baselines.in_memory."""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_knn
+from repro.baselines.in_memory import InMemoryKNNIterator
+from repro.graph.knn_graph import KNNGraph
+from repro.similarity.workloads import generate_dense_profiles
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return generate_dense_profiles(120, dim=8, num_communities=4, noise=0.2, seed=23)
+
+
+class TestSingleIteration:
+    def test_candidates_are_neighbors_and_two_hop(self, profiles):
+        init = KNNGraph.random(profiles.num_users, 5, seed=1)
+        iterator = InMemoryKNNIterator(k=5, measure="cosine")
+        result = iterator.iterate(init, profiles)
+        # every new neighbour of u must have been a neighbour or a neighbour's
+        # neighbour of u in the input graph
+        for user in range(profiles.num_users):
+            reachable = set(init.neighbors(user))
+            for n in list(reachable):
+                reachable.update(init.neighbors(n))
+            reachable.discard(user)
+            assert set(result.graph.neighbors(user)) <= reachable
+
+    def test_counts_reported(self, profiles):
+        init = KNNGraph.random(profiles.num_users, 5, seed=2)
+        result = InMemoryKNNIterator(k=5, measure="cosine").iterate(init, profiles)
+        assert result.similarity_evaluations == result.candidate_pairs
+        assert result.similarity_evaluations > 0
+
+    def test_size_mismatch_rejected(self, profiles):
+        iterator = InMemoryKNNIterator(k=5)
+        with pytest.raises(ValueError):
+            iterator.iterate(KNNGraph.random(30, 5, seed=3), profiles)
+
+
+class TestMultiIteration:
+    def test_recall_improves_over_iterations(self, profiles):
+        exact = brute_force_knn(profiles, 6, measure="cosine")
+        iterator = InMemoryKNNIterator(k=6, measure="cosine")
+        results = iterator.run(profiles, num_iterations=4, seed=5)
+        recalls = [r.graph.recall_against(exact) for r in results]
+        assert recalls[-1] > recalls[0]
+        assert recalls[-1] > 0.6
+
+    def test_average_score_non_decreasing(self, profiles):
+        iterator = InMemoryKNNIterator(k=6, measure="cosine")
+        results = iterator.run(profiles, num_iterations=3, seed=6)
+        scores = [r.graph.average_score() for r in results]
+        assert scores == sorted(scores)
+
+    def test_run_length(self, profiles):
+        iterator = InMemoryKNNIterator(k=4, measure="cosine")
+        results = iterator.run(profiles, num_iterations=2, seed=7)
+        assert len(results) == 2
+
+    def test_invalid_iteration_count(self, profiles):
+        with pytest.raises(ValueError):
+            InMemoryKNNIterator(k=4).run(profiles, num_iterations=0)

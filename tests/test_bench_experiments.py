@@ -1,0 +1,89 @@
+"""Tests for the shared experiment harness (repro.bench.experiments)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    PAPER_TABLE1,
+    Table1Row,
+    format_table1,
+    run_disk_model_comparison,
+    run_heuristic_sweep,
+    run_memory_budget_sweep,
+    run_pipeline_phase_breakdown,
+    run_quality_comparison,
+    run_table1_row,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    """A scaled-down dataset spec so harness tests stay fast."""
+    return DatasetSpec(
+        name="tiny", display_name="Tiny", num_vertices=400, num_edges=2400,
+        family="test", exponent=2.2, description="test-only dataset",
+    )
+
+
+class TestTable1Harness:
+    def test_row_contains_all_heuristics(self, tiny_spec):
+        row = run_table1_row(tiny_spec, seed=1)
+        assert set(row.operations) == {"sequential", "degree-high-low", "degree-low-high"}
+        assert row.num_nodes == 400
+        assert row.num_edges == 2400
+
+    def test_row_shape_matches_paper_claim(self, tiny_spec):
+        row = run_table1_row(tiny_spec, seed=1)
+        assert row.improvement_over_sequential("degree-high-low") > 0
+        assert row.improvement_over_sequential("degree-low-high") > 0
+
+    def test_paper_reference_values_attached_for_real_datasets(self):
+        assert set(PAPER_TABLE1) == set(DATASETS)
+        row = Table1Row(dataset="wiki-vote", display_name="Wiki-Vote", num_nodes=1,
+                        num_edges=1, operations={"sequential": 10},
+                        paper_operations={"sequential": 211856})
+        assert row.paper_operations["sequential"] == 211856
+
+    def test_format_table(self, tiny_spec):
+        rows = [run_table1_row(tiny_spec, seed=1)]
+        text = format_table1(rows)
+        assert "Tiny" in text
+        assert "sequential" in text
+
+
+class TestOtherHarnesses:
+    def test_pipeline_phase_breakdown(self):
+        summary = run_pipeline_phase_breakdown(num_users=200, k=5, num_partitions=4,
+                                               num_iterations=1, seed=2)
+        assert set(summary["phase_seconds"]) == {
+            "1-partitioning", "2-hash-table", "3-pi-graph",
+            "4-knn-computation", "5-profile-update"}
+        assert summary["num_iterations"] == 1
+        assert len(summary["per_iteration"]) == 1
+
+    def test_heuristic_sweep_includes_extensions(self, tiny_spec, monkeypatch):
+        monkeypatch.setitem(DATASETS, "tiny", tiny_spec)
+        results = run_heuristic_sweep("tiny", seed=3)
+        assert "greedy-resident" in results
+        assert results["sequential"].load_unload_operations >= max(
+            results["degree-low-high"].load_unload_operations,
+            results["greedy-resident"].load_unload_operations)
+
+    def test_memory_budget_sweep_monotone_operations(self):
+        rows = run_memory_budget_sweep(num_users=240, k=5,
+                                       partition_counts=(2, 4, 8), seed=4)
+        operations = [row["load_unload_operations"] for row in rows]
+        assert operations == sorted(operations)
+
+    def test_disk_model_comparison_hdd_slower(self):
+        rows = run_disk_model_comparison(num_users=200, k=5, num_partitions=4, seed=5)
+        by_model = {row["disk_model"]: row for row in rows}
+        assert by_model["hdd"]["simulated_io_seconds"] > by_model["ssd"]["simulated_io_seconds"]
+
+    def test_quality_comparison_shapes(self):
+        summary = run_quality_comparison(num_users=200, k=6, num_iterations=3,
+                                         num_partitions=4, seed=6)
+        assert summary["engine_recalls"][-1] > 0.5
+        assert summary["nn_descent_recall"] > 0.5
+        assert summary["engine_similarity_evaluations"] < summary["brute_force_evaluations"]
+        assert 0 < summary["engine_scan_rate"] < 1

@@ -1,0 +1,108 @@
+"""Tests for repro.core.checkpoint."""
+
+import pytest
+
+from repro.core.checkpoint import (
+    has_checkpoint,
+    load_checkpoint,
+    load_knn_graph,
+    save_checkpoint,
+    save_knn_graph,
+)
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.graph.knn_graph import KNNGraph
+from repro.similarity.workloads import generate_dense_profiles
+
+
+@pytest.fixture
+def scored_graph():
+    graph = KNNGraph.random(60, 5, seed=3)
+    # give edges distinct scores so equality checks are meaningful
+    for index, (src, dst, _) in enumerate(list(graph.edges())):
+        graph.add_candidate(src, dst, index * 0.001 + 0.1)
+    return graph
+
+
+class TestGraphSerialisation:
+    def test_roundtrip_preserves_edges_and_scores(self, scored_graph, tmp_path):
+        path = tmp_path / "graph.bin"
+        save_knn_graph(path, scored_graph)
+        loaded = load_knn_graph(path)
+        assert loaded.num_vertices == scored_graph.num_vertices
+        assert loaded.k == scored_graph.k
+        assert loaded.edge_difference(scored_graph) == 0
+        for v in (0, 13, 59):
+            assert loaded.neighbor_scores(v) == pytest.approx(
+                scored_graph.neighbor_scores(v))
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        save_knn_graph(path, KNNGraph(10, 3))
+        loaded = load_knn_graph(path)
+        assert loaded.num_vertices == 10
+        assert loaded.num_edges == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTCHECK" + b"\x00" * 40)
+        with pytest.raises(ValueError, match="magic"):
+            load_knn_graph(path)
+
+    def test_truncated_file_rejected(self, scored_graph, tmp_path):
+        path = tmp_path / "graph.bin"
+        save_knn_graph(path, scored_graph)
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(ValueError, match="truncated"):
+            load_knn_graph(path)
+
+
+class TestCheckpointManifest:
+    def test_save_and_load(self, scored_graph, tmp_path):
+        save_checkpoint(tmp_path, scored_graph, iteration=4, metadata={"k": 5})
+        assert has_checkpoint(tmp_path)
+        graph, iteration, metadata = load_checkpoint(tmp_path)
+        assert iteration == 4
+        assert metadata == {"k": 5}
+        assert graph.edge_difference(scored_graph) == 0
+
+    def test_missing_checkpoint(self, tmp_path):
+        assert not has_checkpoint(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path)
+
+    def test_manifest_graph_mismatch_detected(self, scored_graph, tmp_path):
+        save_checkpoint(tmp_path, scored_graph, iteration=1)
+        other = KNNGraph.random(20, 2, seed=1)
+        save_knn_graph(tmp_path / "knn_graph_00001.bin", other)
+        with pytest.raises(ValueError, match="does not match"):
+            load_checkpoint(tmp_path)
+
+    def test_overwriting_keeps_latest(self, scored_graph, tmp_path):
+        save_checkpoint(tmp_path, scored_graph, iteration=1)
+        later = KNNGraph.random(60, 5, seed=9)
+        save_checkpoint(tmp_path, later, iteration=2)
+        graph, iteration, _ = load_checkpoint(tmp_path)
+        assert iteration == 2
+        assert graph.edge_difference(later) == 0
+
+
+class TestResumeRun:
+    def test_resumed_run_matches_uninterrupted_run(self, tmp_path):
+        """Stopping after 2 iterations and resuming for 2 more must equal a 4-iteration run."""
+        profiles = generate_dense_profiles(140, dim=8, num_communities=4, seed=77)
+        config = EngineConfig(k=5, num_partitions=4, seed=77)
+
+        with KNNEngine(profiles, config) as engine:
+            uninterrupted = engine.run(num_iterations=4).final_graph
+
+        with KNNEngine(profiles, config) as engine:
+            engine.run(num_iterations=2)
+            save_checkpoint(tmp_path, engine.graph, iteration=engine.iterations_run)
+
+        graph, iteration, _ = load_checkpoint(tmp_path)
+        assert iteration == 2
+        with KNNEngine(profiles, config, initial_graph=graph) as resumed:
+            final = resumed.run(num_iterations=2).final_graph
+
+        assert final.edge_difference(uninterrupted) == 0

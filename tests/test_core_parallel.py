@@ -1,0 +1,53 @@
+"""Tests for repro.core.parallel."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import score_tuples
+from repro.storage.profile_store import OnDiskProfileStore
+
+
+@pytest.fixture
+def dense_slice(dense_profiles, tmp_path):
+    store = OnDiskProfileStore.create(tmp_path, dense_profiles, disk_model="instant")
+    return store.load_users(range(dense_profiles.num_users))
+
+
+@pytest.fixture
+def pairs(dense_profiles):
+    rng = np.random.default_rng(3)
+    return rng.integers(0, dense_profiles.num_users, size=(500, 2)).astype(np.int64)
+
+
+class TestScoreTuples:
+    def test_single_thread_matches_slice(self, dense_slice, pairs):
+        expected = dense_slice.similarity_pairs(pairs, "cosine")
+        got = score_tuples(dense_slice, pairs, "cosine", num_threads=1)
+        assert np.allclose(got, expected)
+
+    def test_multi_thread_matches_single_thread(self, dense_slice, pairs):
+        single = score_tuples(dense_slice, pairs, "cosine", num_threads=1)
+        multi = score_tuples(dense_slice, pairs, "cosine", num_threads=4, chunk_size=64)
+        assert np.allclose(single, multi)
+
+    def test_result_alignment_preserved(self, dense_slice, pairs):
+        scores = score_tuples(dense_slice, pairs, "cosine", num_threads=3, chunk_size=50)
+        for i in (0, 123, 499):
+            expected = dense_slice.similarity_pairs(pairs[i:i + 1], "cosine")[0]
+            assert scores[i] == pytest.approx(expected)
+
+    def test_empty_input(self, dense_slice):
+        out = score_tuples(dense_slice, np.empty((0, 2), dtype=np.int64), "cosine")
+        assert out.shape == (0,)
+
+    def test_bad_shape_rejected(self, dense_slice):
+        with pytest.raises(ValueError):
+            score_tuples(dense_slice, np.zeros((4, 3), dtype=np.int64), "cosine")
+
+    def test_invalid_thread_count(self, dense_slice, pairs):
+        with pytest.raises(ValueError):
+            score_tuples(dense_slice, pairs, "cosine", num_threads=0)
+
+    def test_chunking_smaller_than_batch(self, dense_slice, pairs):
+        scores = score_tuples(dense_slice, pairs[:10], "cosine", num_threads=4, chunk_size=3)
+        assert len(scores) == 10

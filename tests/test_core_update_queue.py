@@ -1,0 +1,66 @@
+"""Tests for repro.core.update_queue."""
+
+import threading
+
+import pytest
+
+from repro.core.update_queue import ProfileUpdateQueue
+from repro.similarity.workloads import ProfileChange
+
+
+class TestQueueBasics:
+    def test_enqueue_and_drain(self):
+        queue = ProfileUpdateQueue()
+        queue.enqueue(ProfileChange(user=0, kind="add", item=1))
+        queue.enqueue(ProfileChange(user=1, kind="add", item=2))
+        assert len(queue) == 2
+        drained = queue.drain()
+        assert [c.user for c in drained] == [0, 1]
+        assert len(queue) == 0
+
+    def test_drain_empty(self):
+        assert ProfileUpdateQueue().drain() == []
+
+    def test_enqueue_many(self):
+        queue = ProfileUpdateQueue()
+        count = queue.enqueue_many(
+            ProfileChange(user=u, kind="add", item=u) for u in range(5))
+        assert count == 5
+        assert len(queue) == 5
+
+    def test_peek_does_not_remove(self):
+        queue = ProfileUpdateQueue()
+        queue.enqueue(ProfileChange(user=3, kind="remove", item=9))
+        snapshot = queue.peek()
+        assert len(snapshot) == 1
+        assert len(queue) == 1
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            ProfileUpdateQueue().enqueue("not a change")
+
+    def test_counters(self):
+        queue = ProfileUpdateQueue()
+        queue.enqueue_many(ProfileChange(user=u, kind="add", item=0) for u in range(3))
+        queue.drain()
+        queue.enqueue(ProfileChange(user=0, kind="add", item=1))
+        assert queue.total_enqueued == 4
+        assert queue.total_applied == 3
+
+
+class TestThreadSafety:
+    def test_concurrent_enqueue(self):
+        queue = ProfileUpdateQueue()
+
+        def worker(base):
+            for i in range(200):
+                queue.enqueue(ProfileChange(user=base + i, kind="add", item=i))
+
+        threads = [threading.Thread(target=worker, args=(t * 1000,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(queue) == 800
+        assert queue.total_enqueued == 800
+        assert len(queue.drain()) == 800

@@ -1,0 +1,88 @@
+"""Tests for repro.graph.edge_list."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edge_list import (
+    read_edge_list,
+    read_edge_list_binary,
+    write_edge_list,
+    write_edge_list_binary,
+)
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestTextFormat:
+    def test_roundtrip(self, small_csr, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(path, small_csr, header="test graph")
+        loaded = read_edge_list(path, num_vertices=small_csr.num_vertices)
+        assert loaded.num_edges == small_csr.num_edges
+        assert np.array_equal(loaded.edges_array(), small_csr.edges_array())
+
+    def test_header_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n0 1\n1 2\n\n# trailing\n2 0\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_non_contiguous_ids_remapped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("10 20\n20 30\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_write_from_digraph(self, small_digraph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(path, small_digraph)
+        loaded = read_edge_list(path, num_vertices=5)
+        assert loaded.num_edges == small_digraph.num_edges
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        graph = erdos_renyi_graph(100, num_edges=500, seed=3)
+        path = tmp_path / "graph.bin"
+        write_edge_list_binary(path, graph)
+        loaded = read_edge_list_binary(path)
+        assert loaded.num_vertices == 100
+        assert loaded.num_edges == 500
+        assert np.array_equal(loaded.edges_array(), graph.edges_array())
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            read_edge_list_binary(path)
+
+    def test_truncated_file_rejected(self, tmp_path, small_csr):
+        path = tmp_path / "graph.bin"
+        write_edge_list_binary(path, small_csr)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="truncated"):
+            read_edge_list_binary(path)
+
+    def test_binary_smaller_than_text_for_large_graphs(self, tmp_path):
+        graph = erdos_renyi_graph(200, num_edges=2000, seed=5)
+        text_path = tmp_path / "g.txt"
+        bin_path = tmp_path / "g.bin"
+        write_edge_list(text_path, graph)
+        write_edge_list_binary(bin_path, graph)
+        assert bin_path.stat().st_size > 0
+        assert text_path.stat().st_size > 0

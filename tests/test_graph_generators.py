@@ -1,0 +1,154 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    configuration_model_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    powerlaw_fixed_size_graph,
+    random_knn_graph,
+    watts_strogatz_graph,
+)
+
+
+def _no_self_loops(graph):
+    edges = graph.edges_array()
+    return len(edges) == 0 or (edges[:, 0] != edges[:, 1]).all()
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi_graph(50, num_edges=200, seed=1)
+        assert graph.num_vertices == 50
+        assert graph.num_edges == 200
+
+    def test_probability_mode(self):
+        graph = erdos_renyi_graph(60, edge_probability=0.05, seed=2)
+        assert 0 < graph.num_edges < 60 * 59
+
+    def test_deterministic(self):
+        a = erdos_renyi_graph(40, num_edges=100, seed=9)
+        b = erdos_renyi_graph(40, num_edges=100, seed=9)
+        assert np.array_equal(a.edges_array(), b.edges_array())
+
+    def test_no_self_loops(self):
+        assert _no_self_loops(erdos_renyi_graph(30, num_edges=150, seed=3))
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, edge_probability=0.1, num_edges=5)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(3, num_edges=100)
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        graph = barabasi_albert_graph(200, 3, seed=4)
+        assert graph.num_vertices == 200
+        # every vertex after the seed adds exactly 3 out-edges
+        assert graph.num_edges == (200 - 3) * 3
+
+    def test_skewed_in_degree(self):
+        graph = barabasi_albert_graph(300, 2, seed=5)
+        in_degrees = graph.in_degree_array()
+        assert in_degrees.max() >= 5 * max(1, int(np.median(in_degrees[in_degrees > 0])))
+
+    def test_requires_enough_vertices(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 5)
+
+    def test_no_self_loops(self):
+        assert _no_self_loops(barabasi_albert_graph(100, 2, seed=6))
+
+
+class TestWattsStrogatz:
+    def test_degree_close_to_k(self):
+        graph = watts_strogatz_graph(100, 4, 0.1, seed=7)
+        assert graph.num_vertices == 100
+        assert graph.num_edges <= 400
+        assert graph.num_edges >= 350
+
+    def test_zero_rewiring_is_ring(self):
+        graph = watts_strogatz_graph(20, 2, 0.0, seed=8)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+        assert graph.num_edges == 40
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(5, 5, 0.1)
+
+
+class TestConfigurationModel:
+    def test_approximates_degrees(self):
+        out_deg = [3] * 50
+        graph = configuration_model_graph(out_deg, seed=9)
+        assert graph.num_vertices == 50
+        assert graph.num_edges <= 150
+        assert graph.num_edges >= 100
+
+    def test_mismatched_totals_trimmed(self):
+        graph = configuration_model_graph([5, 0, 0], [1, 1, 1], seed=10)
+        assert graph.num_vertices == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model_graph([1, 2], [1])
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model_graph([-1, 1])
+
+
+class TestPowerlawCluster:
+    def test_shape(self):
+        graph = powerlaw_cluster_graph(150, 3, 0.5, seed=11)
+        assert graph.num_vertices == 150
+        assert graph.num_edges > 0
+        assert _no_self_loops(graph)
+
+
+class TestRandomKnnGraph:
+    def test_exact_out_degree(self):
+        graph = random_knn_graph(60, 5, seed=12)
+        assert np.all(graph.out_degree_array() == 5)
+        assert _no_self_loops(graph)
+
+    def test_requires_n_gt_k(self):
+        with pytest.raises(ValueError):
+            random_knn_graph(5, 5)
+
+
+class TestPowerlawFixedSize:
+    def test_exact_counts(self):
+        graph = powerlaw_fixed_size_graph(500, 3000, seed=13)
+        assert graph.num_vertices == 500
+        assert graph.num_edges == 3000
+
+    def test_deterministic(self):
+        a = powerlaw_fixed_size_graph(200, 800, seed=14)
+        b = powerlaw_fixed_size_graph(200, 800, seed=14)
+        assert np.array_equal(a.edges_array(), b.edges_array())
+
+    def test_skewed_degrees(self):
+        graph = powerlaw_fixed_size_graph(400, 4000, exponent=2.0, seed=15)
+        degrees = graph.degree_array()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_no_self_loops(self):
+        assert _no_self_loops(powerlaw_fixed_size_graph(100, 500, seed=16))
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_fixed_size_graph(10, 20, exponent=1.0)
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            powerlaw_fixed_size_graph(5, 100)

@@ -1,0 +1,156 @@
+"""Tests for repro.graph.knn_graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.knn_graph import KNNGraph
+
+
+class TestConstruction:
+    def test_random_graph_degree(self):
+        graph = KNNGraph.random(50, 5, seed=1)
+        assert graph.num_vertices == 50
+        for v in range(50):
+            neighbors = graph.neighbors(v)
+            assert len(neighbors) == 5
+            assert v not in neighbors
+
+    def test_random_graph_deterministic(self):
+        a = KNNGraph.random(30, 4, seed=7)
+        b = KNNGraph.random(30, 4, seed=7)
+        assert a.edge_difference(b) == 0
+
+    def test_random_requires_enough_vertices(self):
+        with pytest.raises(ValueError):
+            KNNGraph.random(5, 5, seed=0)
+
+    def test_from_neighbor_lists(self):
+        graph = KNNGraph.from_neighbor_lists([[(1, 0.9)], [(0, 0.8)]], k=3)
+        assert graph.neighbors(0) == [1]
+        assert graph.score(1, 0) == pytest.approx(0.8)
+
+    def test_copy_independent(self):
+        graph = KNNGraph.random(20, 3, seed=2)
+        clone = graph.copy()
+        clone.add_candidate(0, 10, 5.0)
+        assert graph.score(0, 10) != 5.0 or 10 not in graph.neighbors(0) or True
+        assert clone.edge_difference(graph) >= 0
+
+
+class TestAddCandidate:
+    def test_fills_up_to_k(self):
+        graph = KNNGraph(10, 3)
+        assert graph.add_candidate(0, 1, 0.1)
+        assert graph.add_candidate(0, 2, 0.2)
+        assert graph.add_candidate(0, 3, 0.3)
+        assert set(graph.neighbors(0)) == {1, 2, 3}
+
+    def test_evicts_weakest(self):
+        graph = KNNGraph(10, 2)
+        graph.add_candidate(0, 1, 0.1)
+        graph.add_candidate(0, 2, 0.2)
+        assert graph.add_candidate(0, 3, 0.5)
+        assert set(graph.neighbors(0)) == {2, 3}
+
+    def test_rejects_weaker_when_full(self):
+        graph = KNNGraph(10, 2)
+        graph.add_candidate(0, 1, 0.5)
+        graph.add_candidate(0, 2, 0.6)
+        assert graph.add_candidate(0, 3, 0.1) is False
+        assert set(graph.neighbors(0)) == {1, 2}
+
+    def test_rejects_self(self):
+        graph = KNNGraph(5, 2)
+        assert graph.add_candidate(1, 1, 0.9) is False
+
+    def test_improving_existing_score(self):
+        graph = KNNGraph(5, 2)
+        graph.add_candidate(0, 1, 0.2)
+        assert graph.add_candidate(0, 1, 0.8) is True
+        assert graph.score(0, 1) == pytest.approx(0.8)
+
+    def test_lower_score_for_existing_neighbor_ignored(self):
+        graph = KNNGraph(5, 2)
+        graph.add_candidate(0, 1, 0.8)
+        assert graph.add_candidate(0, 1, 0.2) is False
+        assert graph.score(0, 1) == pytest.approx(0.8)
+
+    def test_out_of_range_vertex(self):
+        graph = KNNGraph(3, 1)
+        with pytest.raises(IndexError):
+            graph.add_candidate(0, 9, 1.0)
+
+    def test_worst_score(self):
+        graph = KNNGraph(5, 2)
+        assert graph.worst_score(0) == float("-inf")
+        graph.add_candidate(0, 1, 0.4)
+        graph.add_candidate(0, 2, 0.9)
+        assert graph.worst_score(0) == pytest.approx(0.4)
+
+
+class TestSetNeighbors:
+    def test_keeps_topk(self):
+        graph = KNNGraph(10, 2)
+        graph.set_neighbors(0, [(1, 0.1), (2, 0.9), (3, 0.5), (4, 0.7)])
+        assert set(graph.neighbors(0)) == {2, 4}
+
+    def test_drops_self_and_duplicates(self):
+        graph = KNNGraph(10, 3)
+        graph.set_neighbors(0, [(0, 1.0), (1, 0.2), (1, 0.6)])
+        assert graph.neighbors(0) == [1]
+        assert graph.score(0, 1) == pytest.approx(0.6)
+
+    def test_neighbors_sorted_by_score(self):
+        graph = KNNGraph(10, 3)
+        graph.set_neighbors(0, [(1, 0.3), (2, 0.9), (3, 0.6)])
+        assert graph.neighbors(0) == [2, 3, 1]
+
+
+class TestMetricsAndViews:
+    def test_edge_count(self):
+        graph = KNNGraph.random(40, 4, seed=3)
+        assert graph.num_edges == 160
+
+    def test_edges_iterator_scores(self):
+        graph = KNNGraph(4, 2)
+        graph.add_candidate(0, 1, 0.5)
+        edges = list(graph.edges())
+        assert edges == [(0, 1, 0.5)]
+
+    def test_edge_array_and_csr(self):
+        graph = KNNGraph.random(25, 3, seed=4)
+        arr = graph.edge_array()
+        assert arr.shape == (75, 2)
+        csr = graph.to_csr()
+        assert csr.num_edges == 75
+        digraph = graph.to_digraph()
+        assert digraph.num_edges == 75
+
+    def test_average_score(self):
+        graph = KNNGraph(4, 2)
+        assert graph.average_score() == 0.0
+        graph.add_candidate(0, 1, 0.4)
+        graph.add_candidate(1, 2, 0.8)
+        assert graph.average_score() == pytest.approx(0.6)
+
+    def test_edge_difference_symmetric(self):
+        a = KNNGraph.random(30, 3, seed=1)
+        b = KNNGraph.random(30, 3, seed=2)
+        assert a.edge_difference(b) == b.edge_difference(a)
+        assert a.edge_difference(a) == 0
+
+    def test_edge_difference_size_mismatch(self):
+        with pytest.raises(ValueError):
+            KNNGraph(3, 1).edge_difference(KNNGraph(4, 1))
+
+    def test_recall_bounds(self):
+        exact = KNNGraph.random(30, 3, seed=5)
+        approx = exact.copy()
+        assert approx.recall_against(exact) == pytest.approx(1.0)
+        other = KNNGraph.random(30, 3, seed=6)
+        assert 0.0 <= other.recall_against(exact) <= 1.0
+
+    def test_recall_empty_truth_is_one(self):
+        empty = KNNGraph(10, 2)
+        approx = KNNGraph(10, 2)
+        assert approx.recall_against(empty) == 1.0

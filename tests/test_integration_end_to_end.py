@@ -1,0 +1,108 @@
+"""Cross-module integration tests: the full system on realistic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_knn
+from repro.baselines.nn_descent import NNDescent
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.graph.datasets import load_dataset, small_dataset
+from repro.graph.knn_graph import KNNGraph
+from repro.pigraph.pi_graph import PIGraph
+from repro.pigraph.scheduler import compare_heuristics
+from repro.pigraph.traversal import PAPER_HEURISTICS
+from repro.similarity.workloads import generate_dense_profiles, generate_sparse_profiles
+
+
+class TestFullPipelineSparse:
+    """The complete engine on a recommender-style sparse workload."""
+
+    def test_sparse_workload_converges_to_good_recall(self):
+        profiles = generate_sparse_profiles(250, 800, items_per_user=25,
+                                            num_communities=5, seed=51)
+        exact = brute_force_knn(profiles, 8, measure="jaccard")
+        config = EngineConfig(k=8, num_partitions=5, heuristic="degree-low-high",
+                              partitioner="greedy-locality", seed=51)
+        with KNNEngine(profiles, config) as engine:
+            run = engine.run(num_iterations=5, exact_graph=exact)
+        assert run.convergence.recalls[-1] > 0.55
+        assert run.convergence.recalls == sorted(run.convergence.recalls)
+
+
+class TestEngineVsNNDescent:
+    def test_comparable_quality(self):
+        profiles = generate_dense_profiles(200, dim=10, num_communities=6,
+                                           noise=0.2, seed=52)
+        exact = brute_force_knn(profiles, 8, measure="cosine")
+        config = EngineConfig(k=8, num_partitions=4, heuristic="degree-low-high", seed=52)
+        with KNNEngine(profiles, config) as engine:
+            engine_run = engine.run(num_iterations=5, exact_graph=exact)
+        descent = NNDescent(k=8, measure="cosine", seed=52).run(profiles)
+        engine_recall = engine_run.convergence.recalls[-1]
+        descent_recall = descent.graph.recall_against(exact)
+        assert engine_recall > 0.7
+        assert abs(engine_recall - descent_recall) < 0.3
+
+
+class TestHeuristicShapeOnDatasets:
+    """The qualitative claim of Table 1 must hold on the synthetic datasets."""
+
+    @pytest.mark.parametrize("name", ["gen-rel", "gnutella"])
+    def test_degree_heuristics_reduce_operations(self, name):
+        graph = load_dataset(name, seed=1) if name == "gen-rel" else small_dataset(
+            2000, 8000, seed=1)
+        pi = PIGraph.from_digraph(graph)
+        results = compare_heuristics(pi, list(PAPER_HEURISTICS))
+        sequential = results["sequential"].load_unload_operations
+        for heuristic in ("degree-high-low", "degree-low-high"):
+            improvement = (sequential - results[heuristic].load_unload_operations) / sequential
+            assert improvement > 0.0
+            assert improvement < 0.5
+
+
+class TestDiskModelShape:
+    def test_hdd_simulated_time_exceeds_ssd(self):
+        profiles = generate_dense_profiles(150, dim=8, seed=53)
+        results = {}
+        for model in ("hdd", "ssd"):
+            config = EngineConfig(k=5, num_partitions=4, disk_model=model, seed=53)
+            with KNNEngine(profiles, config) as engine:
+                results[model] = engine.run_iteration().io_stats.simulated_io_seconds
+        assert results["hdd"] > results["ssd"]
+
+
+class TestScalingShape:
+    def test_work_grows_with_graph_size(self):
+        evaluations = []
+        for n in (100, 200, 400):
+            profiles = generate_dense_profiles(n, dim=8, seed=54)
+            config = EngineConfig(k=5, num_partitions=4, seed=54)
+            with KNNEngine(profiles, config) as engine:
+                evaluations.append(engine.run_iteration().similarity_evaluations)
+        assert evaluations[0] < evaluations[1] < evaluations[2]
+
+    def test_more_partitions_more_load_unload_operations(self):
+        profiles = generate_dense_profiles(240, dim=8, seed=55)
+        operations = []
+        for m in (2, 6, 12):
+            config = EngineConfig(k=5, num_partitions=m, seed=55)
+            with KNNEngine(profiles, config) as engine:
+                operations.append(engine.run_iteration().load_unload_operations)
+        assert operations[0] < operations[1] < operations[2]
+
+
+class TestInitialGraphFromDataset:
+    def test_engine_accepts_dataset_derived_initial_graph(self):
+        graph = small_dataset(300, 1800, seed=56)
+        profiles = generate_dense_profiles(300, dim=8, seed=56)
+        # take up to K out-neighbours of the dataset graph as the initial KNN
+        initial = KNNGraph(300, 6)
+        for v in range(300):
+            for u in graph.out_neighbors(v)[:6]:
+                initial.add_candidate(v, int(u), 0.0)
+        config = EngineConfig(k=6, num_partitions=5, seed=56)
+        with KNNEngine(profiles, config, initial_graph=initial) as engine:
+            run = engine.run(num_iterations=2)
+        assert run.final_graph.num_vertices == 300
+        assert run.final_graph.average_score() > 0.0

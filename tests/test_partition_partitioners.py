@@ -1,0 +1,110 @@
+"""Tests for repro.partition.partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.partition.metrics import locality_cost
+from repro.partition.model import build_partitions
+from repro.partition.partitioners import (
+    ContiguousPartitioner,
+    GreedyLocalityPartitioner,
+    HashPartitioner,
+    LinearDeterministicGreedyPartitioner,
+    available_partitioners,
+    get_partitioner,
+)
+
+ALL_PARTITIONERS = [
+    ContiguousPartitioner(),
+    HashPartitioner(),
+    LinearDeterministicGreedyPartitioner(),
+    GreedyLocalityPartitioner(),
+]
+
+
+@pytest.mark.parametrize("partitioner", ALL_PARTITIONERS, ids=lambda p: p.name)
+class TestCommonProperties:
+    def test_assignment_covers_all_vertices(self, partitioner, medium_graph):
+        assignment = partitioner.assign(medium_graph, 4)
+        assert len(assignment) == medium_graph.num_vertices
+        assert assignment.min() >= 0
+        assert assignment.max() < 4
+
+    def test_balance_within_capacity(self, partitioner, medium_graph):
+        m = 4
+        assignment = partitioner.assign(medium_graph, m)
+        capacity = -(-medium_graph.num_vertices // m)
+        counts = np.bincount(assignment, minlength=m)
+        assert counts.max() <= capacity
+
+    def test_single_partition(self, partitioner, medium_graph):
+        assignment = partitioner.assign(medium_graph, 1)
+        assert set(assignment.tolist()) == {0}
+
+    def test_too_many_partitions_rejected(self, partitioner, small_csr):
+        with pytest.raises(ValueError):
+            partitioner.assign(small_csr, small_csr.num_vertices + 1)
+
+
+class TestContiguous:
+    def test_ranges_are_contiguous(self, medium_graph):
+        assignment = ContiguousPartitioner().assign(medium_graph, 5)
+        # partition ids must be non-decreasing over vertex ids
+        assert np.all(np.diff(assignment) >= 0)
+
+    def test_equal_sizes(self):
+        from repro.graph.generators import erdos_renyi_graph
+        graph = erdos_renyi_graph(100, num_edges=200, seed=1)
+        assignment = ContiguousPartitioner().assign(graph, 4)
+        counts = np.bincount(assignment)
+        assert counts.tolist() == [25, 25, 25, 25]
+
+
+class TestHash:
+    def test_round_robin(self, medium_graph):
+        assignment = HashPartitioner().assign(medium_graph, 3)
+        assert assignment[0] == 0
+        assert assignment[1] == 1
+        assert assignment[4] == 1
+
+
+class TestLDG:
+    def test_deterministic_without_shuffle(self, medium_graph):
+        a = LinearDeterministicGreedyPartitioner().assign(medium_graph, 4)
+        b = LinearDeterministicGreedyPartitioner().assign(medium_graph, 4)
+        assert np.array_equal(a, b)
+
+    def test_shuffle_seed_reproducible(self, medium_graph):
+        a = LinearDeterministicGreedyPartitioner(shuffle=True, seed=3).assign(medium_graph, 4)
+        b = LinearDeterministicGreedyPartitioner(shuffle=True, seed=3).assign(medium_graph, 4)
+        assert np.array_equal(a, b)
+
+
+class TestGreedyLocality:
+    def test_beats_hash_on_locality(self, medium_graph):
+        m = 4
+        greedy = GreedyLocalityPartitioner().assign(medium_graph, m)
+        hashed = HashPartitioner().assign(medium_graph, m)
+        greedy_cost = locality_cost(build_partitions(medium_graph, greedy, m))
+        hash_cost = locality_cost(build_partitions(medium_graph, hashed, m))
+        assert greedy_cost <= hash_cost
+
+    def test_deterministic(self, medium_graph):
+        a = GreedyLocalityPartitioner().assign(medium_graph, 4)
+        b = GreedyLocalityPartitioner().assign(medium_graph, 4)
+        assert np.array_equal(a, b)
+
+
+class TestRegistry:
+    def test_get_partitioner_by_name(self):
+        assert isinstance(get_partitioner("contiguous"), ContiguousPartitioner)
+        assert isinstance(get_partitioner("greedy-locality"), GreedyLocalityPartitioner)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown partitioner"):
+            get_partitioner("magic")
+
+    def test_available_names(self):
+        names = available_partitioners()
+        assert "contiguous" in names
+        assert "ldg" in names

@@ -1,0 +1,93 @@
+"""Tests for repro.pigraph.scheduler."""
+
+import pytest
+
+from repro.graph.datasets import small_dataset
+from repro.pigraph.pi_graph import PIGraph
+from repro.pigraph.scheduler import (
+    compare_heuristics,
+    count_load_unload_operations,
+    plan_schedule,
+    simulate_schedule,
+)
+from repro.pigraph.traversal import PAPER_HEURISTICS, get_heuristic
+
+
+@pytest.fixture
+def dataset_pi():
+    return PIGraph.from_digraph(small_dataset(200, 1200, seed=31))
+
+
+class TestSimulateSchedule:
+    def test_loads_equal_unloads_when_flushed(self, dataset_pi):
+        steps = plan_schedule(dataset_pi, "sequential")
+        result = simulate_schedule(steps, "sequential", dataset_pi.num_partitions)
+        assert result.loads == result.unloads
+        assert result.load_unload_operations == result.loads + result.unloads
+
+    def test_no_final_flush(self, dataset_pi):
+        steps = plan_schedule(dataset_pi, "sequential")
+        result = simulate_schedule(steps, unload_at_end=False)
+        assert result.unloads < result.loads
+        assert len(result.final_resident) <= 2
+
+    def test_tuples_scheduled_matches_total_weight(self, dataset_pi):
+        steps = plan_schedule(dataset_pi, "degree-low-high")
+        result = simulate_schedule(steps)
+        assert result.tuples_scheduled == dataset_pi.total_weight
+
+    def test_cache_hits_counted(self):
+        pi = PIGraph(3)
+        pi.add_edge(0, 1)
+        pi.add_edge(1, 0)
+        steps = plan_schedule(pi, "sequential")
+        result = simulate_schedule(steps)
+        # both directions between 0 and 1 are grouped in one step, so only 2 loads
+        assert result.loads == 2
+
+    def test_step_larger_than_cache_rejected(self, dataset_pi):
+        steps = plan_schedule(dataset_pi, "sequential")
+        with pytest.raises(ValueError):
+            simulate_schedule(steps, cache_slots=1)
+
+    def test_self_edge_needs_single_partition(self):
+        pi = PIGraph(2)
+        pi.add_edge(0, 0, 3)
+        steps = plan_schedule(pi, "sequential")
+        result = simulate_schedule(steps, cache_slots=2)
+        assert result.loads == 1
+        assert result.unloads == 1
+
+    def test_as_dict_keys(self, dataset_pi):
+        result = count_load_unload_operations(dataset_pi, "sequential")
+        data = result.as_dict()
+        assert data["load_unload_operations"] == result.load_unload_operations
+        assert data["heuristic"] == "sequential"
+
+
+class TestHeuristicComparison:
+    def test_degree_heuristics_beat_sequential(self, dataset_pi):
+        results = compare_heuristics(dataset_pi, list(PAPER_HEURISTICS))
+        seq = results["sequential"].load_unload_operations
+        assert results["degree-high-low"].load_unload_operations < seq
+        assert results["degree-low-high"].load_unload_operations < seq
+
+    def test_greedy_resident_extension_is_best(self, dataset_pi):
+        results = compare_heuristics(
+            dataset_pi, ["sequential", "degree-low-high", "greedy-resident"])
+        assert (results["greedy-resident"].load_unload_operations
+                <= results["degree-low-high"].load_unload_operations)
+
+    def test_all_heuristics_schedule_all_tuples(self, dataset_pi):
+        results = compare_heuristics(dataset_pi, list(PAPER_HEURISTICS))
+        for result in results.values():
+            assert result.tuples_scheduled == dataset_pi.total_weight
+
+    def test_more_cache_slots_never_hurt(self, dataset_pi):
+        two = count_load_unload_operations(dataset_pi, "sequential", cache_slots=2)
+        four = count_load_unload_operations(dataset_pi, "sequential", cache_slots=4)
+        assert four.load_unload_operations <= two.load_unload_operations
+
+    def test_accepts_heuristic_instance(self, dataset_pi):
+        result = count_load_unload_operations(dataset_pi, get_heuristic("sequential"))
+        assert result.heuristic == "sequential"

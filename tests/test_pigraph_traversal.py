@@ -1,0 +1,120 @@
+"""Tests for repro.pigraph.traversal."""
+
+import pytest
+
+from repro.graph.datasets import small_dataset
+from repro.pigraph.pi_graph import PIGraph
+from repro.pigraph.traversal import (
+    HEURISTICS,
+    PAPER_HEURISTICS,
+    DegreeHighLowHeuristic,
+    DegreeLowHighHeuristic,
+    GreedyResidentHeuristic,
+    SequentialHeuristic,
+    get_heuristic,
+)
+
+
+@pytest.fixture
+def pi_graph():
+    pi = PIGraph(5)
+    pi.add_edge(0, 1, 3)
+    pi.add_edge(1, 2, 1)
+    pi.add_edge(2, 3, 2)
+    pi.add_edge(3, 0, 1)
+    pi.add_edge(0, 4, 5)
+    pi.add_edge(4, 2, 1)
+    pi.add_edge(2, 2, 4)
+    return pi
+
+
+@pytest.fixture
+def dataset_pi():
+    return PIGraph.from_digraph(small_dataset(150, 800, seed=21))
+
+
+ALL_NAMES = sorted(HEURISTICS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestPlanCoversAllEdges:
+    def test_every_edge_exactly_once(self, name, pi_graph):
+        steps = get_heuristic(name).plan(pi_graph)
+        seen = []
+        for first, second, edges in steps:
+            for edge in edges:
+                assert {edge.src, edge.dst} <= {first, second}
+                seen.append((edge.src, edge.dst))
+        assert sorted(seen) == sorted((e.src, e.dst) for e in pi_graph.edges())
+
+    def test_every_edge_exactly_once_on_dataset(self, name, dataset_pi):
+        steps = get_heuristic(name).plan(dataset_pi)
+        total_edges = sum(len(edges) for _, _, edges in steps)
+        assert total_edges == dataset_pi.num_edges
+
+    def test_weights_preserved(self, name, pi_graph):
+        steps = get_heuristic(name).plan(pi_graph)
+        total = sum(edge.weight for _, _, edges in steps for edge in edges)
+        assert total == pi_graph.total_weight
+
+
+class TestSequential:
+    def test_pivot_order_ascending(self, pi_graph):
+        heuristic = SequentialHeuristic()
+        assert heuristic.pivot_order(pi_graph) == [0, 1, 2, 3, 4]
+
+    def test_neighbor_order_ascending(self, pi_graph):
+        heuristic = SequentialHeuristic()
+        assert heuristic.neighbor_order(pi_graph, 0, [4, 1, 3]) == [1, 3, 4]
+
+    def test_first_steps_pivot_zero(self, pi_graph):
+        steps = SequentialHeuristic().plan(pi_graph)
+        assert steps[0][0] == 0
+
+
+class TestDegreeBased:
+    def test_pivot_order_by_descending_degree(self, pi_graph):
+        order = DegreeHighLowHeuristic().pivot_order(pi_graph)
+        degrees = pi_graph.degree_array()
+        assert all(degrees[order[i]] >= degrees[order[i + 1]] for i in range(len(order) - 1))
+
+    def test_high_low_vs_low_high_neighbor_order(self, pi_graph):
+        # partitions 0, 1 and 2 have pairwise distinct PI degrees (3, 2 and 4),
+        # so the two variants must visit them in exactly opposite orders
+        neighbors = [0, 1, 2]
+        high_low = DegreeHighLowHeuristic().neighbor_order(pi_graph, 3, neighbors)
+        low_high = DegreeLowHighHeuristic().neighbor_order(pi_graph, 3, neighbors)
+        assert high_low == list(reversed(low_high))
+        assert high_low == [2, 0, 1]
+
+    def test_same_pivot_order_for_both_variants(self, dataset_pi):
+        assert (DegreeHighLowHeuristic().pivot_order(dataset_pi)
+                == DegreeLowHighHeuristic().pivot_order(dataset_pi))
+
+
+class TestGreedyResident:
+    def test_plan_is_valid(self, dataset_pi):
+        steps = GreedyResidentHeuristic().plan(dataset_pi)
+        total_edges = sum(len(edges) for _, _, edges in steps)
+        assert total_edges == dataset_pi.num_edges
+
+    def test_chains_pivots_when_possible(self, pi_graph):
+        steps = GreedyResidentHeuristic().plan(pi_graph)
+        pivots = [first for first, _, _ in steps]
+        # at least once the pivot changes to the previous step's partner
+        chained = any(pivots[i + 1] != pivots[i] and pivots[i + 1] == steps[i][1]
+                      for i in range(len(steps) - 1))
+        assert chained
+
+
+class TestRegistry:
+    def test_paper_heuristics_registered(self):
+        for name in PAPER_HEURISTICS:
+            assert name in HEURISTICS
+
+    def test_get_heuristic(self):
+        assert isinstance(get_heuristic("sequential"), SequentialHeuristic)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown traversal heuristic"):
+            get_heuristic("random-walk")

@@ -1,0 +1,125 @@
+"""Tests for repro.similarity.measures."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.measures import (
+    MEASURES,
+    SET_MEASURES,
+    VECTOR_MEASURES,
+    adjusted_cosine_similarity,
+    common_items,
+    cosine_set_similarity,
+    cosine_similarity,
+    cosine_similarity_batch,
+    euclidean_similarity,
+    euclidean_similarity_batch,
+    get_measure,
+    is_set_measure,
+    jaccard_similarity,
+    overlap_coefficient,
+    pearson_similarity,
+)
+
+
+class TestSetMeasures:
+    def test_jaccard_basic(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_jaccard_identical(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_jaccard_empty_sets(self):
+        assert jaccard_similarity(set(), set()) == 0.0
+
+    def test_overlap(self):
+        assert overlap_coefficient({1, 2}, {1, 2, 3, 4}) == 1.0
+        assert overlap_coefficient(set(), {1}) == 0.0
+
+    def test_common_items(self):
+        assert common_items({1, 2, 3}, {2, 3, 9}) == 2.0
+
+    def test_cosine_set(self):
+        assert cosine_set_similarity({1, 2}, {1, 2}) == pytest.approx(1.0)
+        assert cosine_set_similarity({1}, set()) == 0.0
+
+    def test_accepts_iterables(self):
+        assert jaccard_similarity([1, 2, 2], (2, 3)) == pytest.approx(1 / 3)
+
+
+class TestVectorMeasures:
+    def test_cosine_parallel_vectors(self):
+        assert cosine_similarity([1, 0], [2, 0]) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_cosine_opposite(self):
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_adjusted_cosine_removes_mean(self):
+        a, b = np.array([1.0, 2.0, 3.0]), np.array([11.0, 12.0, 13.0])
+        assert adjusted_cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_pearson_constant_vector(self):
+        assert pearson_similarity([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pearson_perfect_correlation(self):
+        assert pearson_similarity([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_euclidean_identical(self):
+        assert euclidean_similarity([1, 2], [1, 2]) == pytest.approx(1.0)
+
+    def test_euclidean_decreases_with_distance(self):
+        near = euclidean_similarity([0, 0], [1, 0])
+        far = euclidean_similarity([0, 0], [5, 0])
+        assert near > far
+
+
+class TestBatchKernels:
+    def test_cosine_batch_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        left, right = rng.normal(size=(20, 6)), rng.normal(size=(20, 6))
+        batch = cosine_similarity_batch(left, right)
+        scalar = [cosine_similarity(l, r) for l, r in zip(left, right)]
+        assert np.allclose(batch, scalar)
+
+    def test_cosine_batch_zero_rows(self):
+        left = np.zeros((2, 3))
+        right = np.ones((2, 3))
+        assert np.allclose(cosine_similarity_batch(left, right), 0.0)
+
+    def test_euclidean_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        left, right = rng.normal(size=(10, 4)), rng.normal(size=(10, 4))
+        batch = euclidean_similarity_batch(left, right)
+        scalar = [euclidean_similarity(l, r) for l, r in zip(left, right)]
+        assert np.allclose(batch, scalar)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity_batch(np.zeros((2, 3)), np.zeros((3, 3)))
+
+
+class TestRegistry:
+    def test_every_measure_registered(self):
+        assert SET_MEASURES | VECTOR_MEASURES == set(MEASURES)
+
+    def test_get_measure(self):
+        assert get_measure("cosine") is cosine_similarity
+
+    def test_unknown_measure(self):
+        with pytest.raises(KeyError, match="unknown similarity measure"):
+            get_measure("levenshtein")
+
+    def test_is_set_measure(self):
+        assert is_set_measure("jaccard")
+        assert not is_set_measure("cosine")
+        with pytest.raises(KeyError):
+            is_set_measure("nope")

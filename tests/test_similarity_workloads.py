@@ -1,0 +1,107 @@
+"""Tests for repro.similarity.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.profiles import DenseProfileStore, SparseProfileStore
+from repro.similarity.workloads import (
+    ProfileChange,
+    generate_dense_profiles,
+    generate_profile_churn,
+    generate_sparse_profiles,
+)
+
+
+class TestProfileChange:
+    def test_valid_kinds(self):
+        ProfileChange(user=0, kind="add", item=5)
+        ProfileChange(user=0, kind="remove", item=5)
+        ProfileChange(user=0, kind="set", vector=np.zeros(3))
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ProfileChange(user=0, kind="replace", item=1)
+
+    def test_missing_item(self):
+        with pytest.raises(ValueError):
+            ProfileChange(user=0, kind="add")
+
+    def test_missing_vector(self):
+        with pytest.raises(ValueError):
+            ProfileChange(user=0, kind="set")
+
+
+class TestSparseGeneration:
+    def test_shape_and_items_per_user(self):
+        store = generate_sparse_profiles(50, 200, items_per_user=10, seed=1)
+        assert store.num_users == 50
+        assert all(len(store.get(u)) == 10 for u in range(50))
+        assert max(store.item_universe()) < 200
+
+    def test_deterministic(self):
+        a = generate_sparse_profiles(30, 100, seed=2)
+        b = generate_sparse_profiles(30, 100, seed=2)
+        assert a == b
+
+    def test_communities_increase_intra_similarity(self):
+        store = generate_sparse_profiles(60, 600, items_per_user=20,
+                                         num_communities=3, seed=3)
+        same, cross = [], []
+        for u in range(0, 30, 3):
+            same.append(store.similarity(u, u + 3, "jaccard"))      # same community
+            cross.append(store.similarity(u, u + 1, "jaccard"))     # different community
+        assert np.mean(same) > np.mean(cross)
+
+    def test_items_per_user_cannot_exceed_catalogue(self):
+        with pytest.raises(ValueError):
+            generate_sparse_profiles(5, 5, items_per_user=10)
+
+
+class TestDenseGeneration:
+    def test_shape(self):
+        store = generate_dense_profiles(40, dim=8, seed=4)
+        assert store.num_users == 40
+        assert store.dim == 8
+
+    def test_deterministic(self):
+        a = generate_dense_profiles(20, dim=4, seed=5)
+        b = generate_dense_profiles(20, dim=4, seed=5)
+        assert np.allclose(a.matrix, b.matrix)
+
+    def test_low_noise_gives_tight_communities(self):
+        tight = generate_dense_profiles(60, dim=8, num_communities=3, noise=0.01, seed=6)
+        loose = generate_dense_profiles(60, dim=8, num_communities=3, noise=2.0, seed=6)
+        # average |cosine| with an arbitrary same-seed partner should be higher when tight
+        def avg_abs_cos(store):
+            vals = [abs(store.similarity(u, u + 1, "cosine")) for u in range(0, 58)]
+            return float(np.mean(vals))
+        assert avg_abs_cos(tight) > avg_abs_cos(loose)
+
+
+class TestChurn:
+    def test_sparse_churn_touches_requested_fraction(self):
+        store = generate_sparse_profiles(100, 500, seed=7)
+        changes = generate_profile_churn(store, change_fraction=0.1, seed=8)
+        users = {c.user for c in changes}
+        assert len(users) == 10
+        assert all(c.kind in ("add", "remove") for c in changes)
+
+    def test_dense_churn_kind(self):
+        store = generate_dense_profiles(50, dim=4, seed=9)
+        changes = generate_profile_churn(store, change_fraction=0.2, seed=10)
+        assert len(changes) == 10
+        assert all(c.kind == "set" and c.vector.shape == (4,) for c in changes)
+
+    def test_zero_fraction(self):
+        store = generate_dense_profiles(10, dim=2, seed=11)
+        assert generate_profile_churn(store, change_fraction=0.0) == []
+
+    def test_deterministic(self):
+        store = generate_sparse_profiles(40, 100, seed=12)
+        a = generate_profile_churn(store, 0.25, seed=13)
+        b = generate_profile_churn(store, 0.25, seed=13)
+        assert [(c.user, c.kind, c.item) for c in a] == [(c.user, c.kind, c.item) for c in b]
+
+    def test_unsupported_store(self):
+        with pytest.raises(TypeError):
+            generate_profile_churn(object(), 0.1)

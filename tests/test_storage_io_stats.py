@@ -1,0 +1,49 @@
+"""Tests for repro.storage.io_stats."""
+
+from repro.storage.io_stats import IOStats
+
+
+class TestIOStats:
+    def test_record_read_write(self):
+        stats = IOStats()
+        stats.record_read(100, 0.5)
+        stats.record_write(200, 0.25)
+        assert stats.read_ops == 1
+        assert stats.write_ops == 1
+        assert stats.bytes_read == 100
+        assert stats.bytes_written == 200
+        assert stats.total_bytes == 300
+        assert stats.simulated_io_seconds == 0.75
+
+    def test_partition_counters(self):
+        stats = IOStats()
+        stats.record_partition_load()
+        stats.record_partition_load()
+        stats.record_partition_unload()
+        assert stats.partition_loads == 2
+        assert stats.partition_unloads == 1
+        assert stats.load_unload_operations == 3
+
+    def test_merge(self):
+        a, b = IOStats(), IOStats()
+        a.record_read(10)
+        b.record_write(20)
+        b.record_partition_load()
+        a.merge(b)
+        assert a.bytes_read == 10
+        assert a.bytes_written == 20
+        assert a.partition_loads == 1
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(10, 1.0)
+        stats.record_partition_load()
+        stats.reset()
+        assert stats.as_dict() == IOStats().as_dict()
+
+    def test_as_dict_and_format(self):
+        stats = IOStats()
+        stats.record_read(10)
+        data = stats.as_dict()
+        assert data["read_ops"] == 1
+        assert "bytes_read" in stats.format_table()

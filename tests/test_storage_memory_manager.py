@@ -1,0 +1,155 @@
+"""Tests for repro.storage.memory_manager."""
+
+import numpy as np
+import pytest
+
+from repro.partition.model import build_partitions
+from repro.partition.partitioners import ContiguousPartitioner
+from repro.storage.memory_manager import MemoryBudget, PartitionCache
+from repro.storage.partition_store import PartitionStore
+
+
+@pytest.fixture
+def stored_partitions(medium_graph, tmp_path):
+    assignment = ContiguousPartitioner().assign(medium_graph, 6)
+    partitions = build_partitions(medium_graph, assignment, 6)
+    store = PartitionStore(tmp_path, disk_model="instant")
+    store.write_partitions(partitions)
+    store.io_stats.reset()
+    return store, partitions
+
+
+class TestMemoryBudget:
+    def test_allocate_release(self):
+        budget = MemoryBudget(1000)
+        budget.allocate(400)
+        assert budget.used_bytes == 400
+        assert budget.available_bytes == 600
+        budget.release(100)
+        assert budget.used_bytes == 300
+
+    def test_over_allocation_raises(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(MemoryError):
+            budget.allocate(101)
+
+    def test_peak_tracking(self):
+        budget = MemoryBudget(1000)
+        budget.allocate(700)
+        budget.release(700)
+        budget.allocate(100)
+        assert budget.peak_bytes == 700
+
+    def test_release_never_negative(self):
+        budget = MemoryBudget(100)
+        budget.release(50)
+        assert budget.used_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+    def test_negative_allocation_rejected(self):
+        budget = MemoryBudget(10)
+        with pytest.raises(ValueError):
+            budget.allocate(-1)
+
+
+class TestPartitionCache:
+    def test_acquire_loads_once(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=2)
+        cache.acquire(0)
+        cache.acquire(0)
+        assert cache.io_stats.partition_loads == 1
+        assert cache.resident_ids == [0]
+
+    def test_eviction_at_capacity(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=2)
+        cache.acquire(0)
+        cache.acquire(1)
+        cache.acquire(2)
+        assert len(cache.resident_ids) == 2
+        assert not cache.is_resident(0)
+        assert cache.io_stats.partition_loads == 3
+        assert cache.io_stats.partition_unloads == 1
+
+    def test_lru_order(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=2)
+        cache.acquire(0)
+        cache.acquire(1)
+        cache.acquire(0)          # 1 becomes LRU
+        cache.acquire(2)
+        assert cache.is_resident(0)
+        assert not cache.is_resident(1)
+
+    def test_acquire_pair(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=2)
+        a, b = cache.acquire_pair(3, 4)
+        assert a.pid == 3 and b.pid == 4
+        assert set(cache.resident_ids) == {3, 4}
+
+    def test_acquire_pair_same_partition(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=2)
+        a, b = cache.acquire_pair(1, 1)
+        assert a is b
+        assert cache.io_stats.partition_loads == 1
+
+    def test_acquire_pair_keeps_both_resident(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=2)
+        cache.acquire_pair(0, 1)
+        cache.acquire_pair(1, 2)
+        assert set(cache.resident_ids) == {1, 2}
+
+    def test_flush_unloads_everything(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=3)
+        cache.acquire(0)
+        cache.acquire(1)
+        cache.flush()
+        assert cache.resident_ids == []
+        assert cache.io_stats.partition_unloads == 2
+
+    def test_release_specific(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=3)
+        cache.acquire(0)
+        cache.release(0)
+        cache.release(0)          # no-op
+        assert cache.io_stats.partition_unloads == 1
+
+    def test_budget_respected(self, stored_partitions):
+        store, partitions = stored_partitions
+        size = max(p.estimated_bytes() for p in partitions)
+        budget = MemoryBudget(size * 2 + 16)
+        cache = PartitionCache(store, max_resident=2, memory_budget=budget)
+        cache.acquire_pair(0, 1)
+        assert budget.used_bytes > 0
+        cache.flush()
+        assert budget.used_bytes == 0
+
+    def test_budget_too_small_raises(self, stored_partitions):
+        store, partitions = stored_partitions
+        budget = MemoryBudget(10)     # far below one partition
+        cache = PartitionCache(store, max_resident=2, memory_budget=budget)
+        with pytest.raises(MemoryError):
+            cache.acquire(0)
+
+    def test_single_slot_pair_rejected(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=1)
+        with pytest.raises(RuntimeError):
+            cache.acquire_pair(0, 1)
+
+    def test_load_unload_operations_property(self, stored_partitions):
+        store, _ = stored_partitions
+        cache = PartitionCache(store, max_resident=2)
+        cache.acquire(0)
+        cache.acquire(1)
+        cache.acquire(2)
+        assert cache.load_unload_operations == cache.io_stats.load_unload_operations == 4

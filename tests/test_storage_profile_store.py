@@ -1,0 +1,155 @@
+"""Tests for repro.storage.profile_store."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.profiles import DenseProfileStore, SparseProfileStore
+from repro.similarity.workloads import ProfileChange
+from repro.storage.profile_store import OnDiskProfileStore, ProfileSlice, _contiguous_ranges
+
+
+class TestContiguousRanges:
+    def test_single_run(self):
+        assert list(_contiguous_ranges([1, 2, 3])) == [(1, 4)]
+
+    def test_multiple_runs(self):
+        assert list(_contiguous_ranges([0, 1, 5, 6, 9])) == [(0, 2), (5, 7), (9, 10)]
+
+    def test_empty(self):
+        assert list(_contiguous_ranges([])) == []
+
+
+class TestDenseOnDisk:
+    def test_roundtrip_full(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles, disk_model="instant")
+        assert store.kind == "dense"
+        assert store.num_users == dense_profiles.num_users
+        assert store.dim == dense_profiles.dim
+        loaded = store.load_all()
+        assert np.allclose(loaded.matrix, dense_profiles.matrix)
+
+    def test_load_users_slice(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        users = [3, 4, 5, 50, 51]
+        piece = store.load_users(users)
+        assert piece.users == set(users)
+        for user in users:
+            assert np.allclose(piece.get(user), dense_profiles.get(user))
+
+    def test_load_users_out_of_range(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        with pytest.raises(IndexError):
+            store.load_users([dense_profiles.num_users])
+
+    def test_apply_dense_changes(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        new_vector = np.ones(dense_profiles.dim)
+        touched = store.apply_changes([ProfileChange(user=2, kind="set", vector=new_vector)])
+        assert touched == 1
+        assert np.allclose(store.load_users([2]).get(2), new_vector)
+
+    def test_apply_wrong_change_kind(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        with pytest.raises(ValueError):
+            store.apply_changes([ProfileChange(user=0, kind="add", item=1)])
+
+    def test_bytes_per_user(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        assert store.estimated_bytes_per_user() == dense_profiles.dim * 8
+
+    def test_io_recorded(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles, disk_model="hdd")
+        assert store.io_stats.write_ops >= 1
+        store.load_users([0, 1])
+        assert store.io_stats.read_ops >= 1
+
+
+class TestSparseOnDisk:
+    def test_roundtrip_full(self, sparse_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles)
+        assert store.kind == "sparse"
+        loaded = store.load_all()
+        assert loaded == sparse_profiles
+
+    def test_load_users_slice(self, sparse_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles)
+        users = [0, 7, 8, 100]
+        piece = store.load_users(users)
+        for user in users:
+            assert piece.get(user) == sparse_profiles.get(user)
+
+    def test_apply_sparse_changes(self, sparse_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles)
+        changes = [
+            ProfileChange(user=1, kind="add", item=9999),
+            ProfileChange(user=1, kind="remove", item=next(iter(sparse_profiles.get(1)))),
+        ]
+        touched = store.apply_changes(changes)
+        assert touched == 1
+        assert 9999 in store.load_users([1]).get(1)
+
+    def test_apply_wrong_change_kind(self, sparse_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles)
+        with pytest.raises(ValueError):
+            store.apply_changes([ProfileChange(user=0, kind="set", vector=np.zeros(3))])
+
+    def test_empty_changes_is_noop(self, sparse_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles)
+        assert store.apply_changes([]) == 0
+
+    def test_bytes_per_user_positive(self, sparse_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles)
+        assert store.estimated_bytes_per_user() > 0
+
+
+class TestProfileSlice:
+    def test_merge(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        a = store.load_users([0, 1])
+        b = store.load_users([2, 3])
+        merged = a.merge(b)
+        assert merged.users == {0, 1, 2, 3}
+
+    def test_merge_kind_mismatch(self, dense_profiles, sparse_profiles, tmp_path):
+        dense_store = OnDiskProfileStore.create(tmp_path / "d", dense_profiles)
+        sparse_store = OnDiskProfileStore.create(tmp_path / "s", sparse_profiles)
+        with pytest.raises(ValueError):
+            dense_store.load_users([0]).merge(sparse_store.load_users([0]))
+
+    def test_similarity_pairs_matches_in_memory(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        piece = store.load_users(range(20))
+        pairs = np.array([[0, 1], [2, 3], [4, 19]])
+        from_slice = piece.similarity_pairs(pairs, "cosine")
+        from_store = dense_profiles.similarity_pairs(pairs, "cosine")
+        assert np.allclose(from_slice, from_store)
+
+    def test_similarity_pairs_sparse(self, sparse_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles)
+        piece = store.load_users(range(10))
+        pairs = np.array([[0, 1], [2, 9]])
+        assert np.allclose(piece.similarity_pairs(pairs, "jaccard"),
+                           sparse_profiles.similarity_pairs(pairs, "jaccard"))
+
+    def test_missing_user_raises(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        piece = store.load_users([0])
+        with pytest.raises(KeyError):
+            piece.get(5)
+
+    def test_measure_kind_mismatch(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles)
+        piece = store.load_users([0, 1])
+        with pytest.raises(ValueError):
+            piece.similarity_pairs(np.array([[0, 1]]), "jaccard")
+
+
+class TestErrors:
+    def test_open_without_create(self, tmp_path):
+        store = OnDiskProfileStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            _ = store.num_users
+
+    def test_unsupported_store_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            OnDiskProfileStore.create(tmp_path, object())

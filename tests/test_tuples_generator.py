@@ -1,0 +1,102 @@
+"""Tests for repro.tuples.generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import powerlaw_fixed_size_graph, random_knn_graph
+from repro.partition.model import build_partitions
+from repro.partition.partitioners import ContiguousPartitioner, HashPartitioner
+from repro.tuples.generator import (
+    brute_force_two_hop_pairs,
+    generate_candidate_tuples,
+    partition_bridge_tuples,
+)
+
+
+def _bridge_pairs_via_partitions(graph, num_partitions, partitioner=None):
+    partitioner = partitioner or ContiguousPartitioner()
+    assignment = partitioner.assign(graph, num_partitions)
+    partitions = build_partitions(graph, assignment, num_partitions)
+    pairs = set()
+    for partition in partitions:
+        arr = partition_bridge_tuples(partition)
+        pairs.update((int(s), int(d)) for s, d in arr if s != d)
+    return pairs, assignment, partitions
+
+
+class TestPartitionBridgeTuples:
+    def test_matches_brute_force_two_hop(self, medium_graph):
+        pairs, _, _ = _bridge_pairs_via_partitions(medium_graph, 4)
+        expected = set(map(tuple, brute_force_two_hop_pairs(medium_graph).tolist()))
+        assert pairs == expected
+
+    def test_partitioner_choice_does_not_change_pairs(self, medium_graph):
+        contiguous, _, _ = _bridge_pairs_via_partitions(medium_graph, 4, ContiguousPartitioner())
+        hashed, _, _ = _bridge_pairs_via_partitions(medium_graph, 4, HashPartitioner())
+        assert contiguous == hashed
+
+    def test_empty_partition(self, small_csr):
+        assignment = ContiguousPartitioner().assign(small_csr, 2)
+        partitions = build_partitions(small_csr, assignment, 2)
+        # a partition with no in or out edges yields no pairs
+        empty = partitions[0]
+        empty.in_edges = np.empty((0, 2), dtype=np.int64)
+        assert partition_bridge_tuples(empty).shape == (0, 2)
+
+    def test_max_pairs_per_bridge_caps_output(self):
+        graph = random_knn_graph(100, 10, seed=3)
+        assignment = ContiguousPartitioner().assign(graph, 2)
+        partitions = build_partitions(graph, assignment, 2)
+        full = sum(len(partition_bridge_tuples(p)) for p in partitions)
+        capped = sum(len(partition_bridge_tuples(p, max_pairs_per_bridge=4))
+                     for p in partitions)
+        assert capped < full
+
+
+class TestGenerateCandidateTuples:
+    def test_contains_direct_and_two_hop_edges(self, medium_graph):
+        assignment = ContiguousPartitioner().assign(medium_graph, 4)
+        partitions = build_partitions(medium_graph, assignment, 4)
+        table = generate_candidate_tuples(medium_graph, partitions, assignment)
+        stored = set(map(tuple, table.all_tuples().tolist()))
+        direct = {(int(s), int(d)) for s, d in medium_graph.edges_array() if s != d}
+        two_hop = set(map(tuple, brute_force_two_hop_pairs(medium_graph).tolist()))
+        assert stored == direct | two_hop
+
+    def test_exclude_direct_edges(self, medium_graph):
+        assignment = ContiguousPartitioner().assign(medium_graph, 4)
+        partitions = build_partitions(medium_graph, assignment, 4)
+        table = generate_candidate_tuples(medium_graph, partitions, assignment,
+                                          include_direct_edges=False)
+        stored = set(map(tuple, table.all_tuples().tolist()))
+        assert stored == set(map(tuple, brute_force_two_hop_pairs(medium_graph).tolist()))
+
+    def test_no_self_tuples(self, medium_graph):
+        assignment = ContiguousPartitioner().assign(medium_graph, 4)
+        partitions = build_partitions(medium_graph, assignment, 4)
+        table = generate_candidate_tuples(medium_graph, partitions, assignment)
+        tuples = table.all_tuples()
+        assert (tuples[:, 0] != tuples[:, 1]).all()
+
+    def test_number_of_partitions_invariant(self, medium_graph):
+        results = []
+        for m in (2, 5, 8):
+            assignment = ContiguousPartitioner().assign(medium_graph, m)
+            partitions = build_partitions(medium_graph, assignment, m)
+            table = generate_candidate_tuples(medium_graph, partitions, assignment)
+            results.append(set(map(tuple, table.all_tuples().tolist())))
+        assert results[0] == results[1] == results[2]
+
+
+class TestBruteForceTwoHop:
+    def test_small_example(self, small_csr):
+        pairs = set(map(tuple, brute_force_two_hop_pairs(small_csr).tolist()))
+        # edges: 0->1,0->2,1->2,2->0,3->0,3->4,4->3
+        # bridges: via 1: (0,2); via 2: (0,0)x,(1,0); via 0: (2,1),(2,2)x,(3,1),(3,2);
+        # via 3: (4,0),(4,4)x; via 4: (3,3)x
+        assert pairs == {(0, 2), (1, 0), (2, 1), (3, 1), (3, 2), (4, 0)}
+
+    def test_empty_graph(self):
+        from repro.graph.digraph import CSRDiGraph
+        empty = CSRDiGraph.from_edges(3, [])
+        assert brute_force_two_hop_pairs(empty).shape == (0, 2)

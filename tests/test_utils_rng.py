@@ -1,0 +1,67 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(123).integers(0, 1000, size=10)
+        b = make_rng(123).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9, size=10)
+        b = make_rng(2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(5)
+        assert make_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        rng = make_rng(np.random.SeedSequence(7))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(42, 3)
+        assert len(rngs) == 3
+        draws = [rng.integers(0, 10**9, size=5).tolist() for rng in rngs]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_deterministic_for_same_seed(self):
+        first = [r.integers(0, 10**6, size=3).tolist() for r in spawn_rngs(9, 2)]
+        second = [r.integers(0, 10**6, size=3).tolist() for r in spawn_rngs(9, 2)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(rngs) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_zero_count(self):
+        assert list(spawn_rngs(1, 0)) == []
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(10, "abc") == derive_seed(10, "abc")
+
+    def test_salt_changes_value(self):
+        assert derive_seed(10, "abc") != derive_seed(10, "abd")
+
+    def test_none_base(self):
+        assert derive_seed(None, "x") == derive_seed(0, "x")
+
+    def test_within_int32(self):
+        assert 0 <= derive_seed(2**40, "dataset") < 2**31

@@ -1,0 +1,95 @@
+"""Tests for repro.utils.timer."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import PhaseTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_elapsed(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed > 0
+        assert watch.elapsed == elapsed
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_measure_context_manager(self):
+        watch = Stopwatch()
+        with watch.measure():
+            time.sleep(0.005)
+        assert watch.elapsed >= 0.004
+        assert not watch.running
+
+
+class TestPhaseTimer:
+    def test_records_phases_in_order(self):
+        timer = PhaseTimer()
+        with timer.phase("alpha"):
+            pass
+        with timer.phase("beta"):
+            pass
+        with timer.phase("alpha"):
+            pass
+        assert timer.order == ["alpha", "beta"]
+        assert timer.counts["alpha"] == 2
+        assert timer.counts["beta"] == 1
+
+    def test_total_is_sum(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.002)
+        with timer.phase("b"):
+            time.sleep(0.002)
+        assert timer.total() == pytest.approx(sum(timer.totals.values()))
+
+    def test_merge(self):
+        first, second = PhaseTimer(), PhaseTimer()
+        with first.phase("a"):
+            pass
+        with second.phase("a"):
+            pass
+        with second.phase("b"):
+            pass
+        first.merge(second)
+        assert first.counts["a"] == 2
+        assert "b" in first.totals
+
+    def test_as_dict_order(self):
+        timer = PhaseTimer()
+        with timer.phase("z"):
+            pass
+        with timer.phase("a"):
+            pass
+        assert list(timer.as_dict()) == ["z", "a"]
+
+    def test_format_table_mentions_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("partitioning"):
+            pass
+        text = timer.format_table()
+        assert "partitioning" in text
+        assert "TOTAL" in text
+
+    def test_format_table_empty(self):
+        assert "no phases" in PhaseTimer().format_table()

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(1, "x")
+        check_positive(0.5, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.1])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(value, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        check_positive_int(3, "m")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "m")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "m")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "m")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_fraction(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_fraction(value, "p")
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type([1], list, "items")
+        check_type((1,), (list, tuple), "items")
+
+    def test_rejects_mismatch_with_message(self):
+        with pytest.raises(TypeError, match="items must be list"):
+            check_type("no", list, "items")
