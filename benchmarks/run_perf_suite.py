@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Fixed-seed performance suite: phase timings and scoring throughput.
+
+Runs the Figure-1 pipeline at a fixed workload size plus a thread sweep of
+the phase-4 scoring kernel, and writes the results to ``BENCH_perf.json`` so
+that successive PRs accumulate a comparable performance trajectory.
+
+Run with:  PYTHONPATH=src python benchmarks/run_perf_suite.py [--output PATH]
+
+The quantities recorded:
+
+* ``pipeline`` — per-phase wall-clock seconds, candidate-tuple counts,
+  similarity evaluations and evaluations/second of a two-iteration engine
+  run (num_users=2000, the workload used by this repo's perf acceptance
+  checks);
+* ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
+  4 scoring threads;
+* ``graph_fingerprint`` — a hash of the final graph's edge set, so a perf
+  regression hunt can immediately see whether behaviour changed too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.core.iteration import PHASE_NAMES
+from repro.similarity.workloads import generate_dense_profiles
+
+SEED = 11
+NUM_USERS = 2000
+K = 10
+NUM_PARTITIONS = 6
+NUM_ITERATIONS = 2
+
+
+def _graph_fingerprint(graph) -> str:
+    edges = sorted((int(s), int(d), round(float(score), 9))
+                   for s, d, score in graph.edges())
+    return hashlib.sha256(json.dumps(edges).encode()).hexdigest()
+
+
+def run_pipeline_bench() -> dict:
+    profiles = generate_dense_profiles(NUM_USERS, dim=16, num_communities=8,
+                                       seed=SEED)
+    config = EngineConfig(k=K, num_partitions=NUM_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED)
+    start = time.perf_counter()
+    with KNNEngine(profiles, config) as engine:
+        run = engine.run(num_iterations=NUM_ITERATIONS)
+    wall = time.perf_counter() - start
+    summary = run.summary()
+    phase_seconds = summary["phase_seconds"]
+    evaluations = summary["total_similarity_evaluations"]
+    phase4 = phase_seconds[PHASE_NAMES[3]]
+    return {
+        "num_users": NUM_USERS,
+        "k": K,
+        "num_partitions": NUM_PARTITIONS,
+        "num_iterations": NUM_ITERATIONS,
+        "seed": SEED,
+        "wall_seconds": round(wall, 4),
+        "phase_seconds": {name: round(value, 4)
+                          for name, value in phase_seconds.items()},
+        "candidate_tuples": sum(result.num_candidate_tuples
+                                for result in run.iterations),
+        "similarity_evaluations": evaluations,
+        "phase4_evaluations_per_second": round(evaluations / phase4) if phase4 else None,
+        "graph_fingerprint": _graph_fingerprint(run.iterations[-1].graph),
+    }
+
+
+def run_thread_sweep(thread_counts=(1, 2, 4)) -> list:
+    rows = []
+    profiles = generate_dense_profiles(NUM_USERS, dim=16, num_communities=8,
+                                       seed=SEED)
+    for num_threads in thread_counts:
+        config = EngineConfig(k=K, num_partitions=NUM_PARTITIONS,
+                              heuristic="degree-low-high", seed=SEED,
+                              num_threads=num_threads)
+        with KNNEngine(profiles, config) as engine:
+            result = engine.run_iteration()
+        phase4 = result.phase_timer.as_dict()[PHASE_NAMES[3]]
+        rows.append({
+            "num_threads": num_threads,
+            "phase4_seconds": round(phase4, 4),
+            "similarity_evaluations": result.similarity_evaluations,
+            "evaluations_per_second": round(result.similarity_evaluations / phase4)
+            if phase4 else None,
+        })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_perf.json")
+    parser.add_argument("--skip-threads", action="store_true",
+                        help="only run the pipeline bench")
+    args = parser.parse_args()
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "pipeline": run_pipeline_bench(),
+    }
+    if not args.skip_threads:
+        report["thread_sweep"] = run_thread_sweep()
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,10 @@ from repro.utils.timer import PhaseTimer
 
 _logger = get_logger("core.iteration")
 
+#: Floor (in scored rows) for the phase-4 bulk-merge flush threshold; the
+#: effective threshold is ``max(4 * num_vertices * k, _SCORED_FLUSH_ROWS)``.
+_SCORED_FLUSH_ROWS = 262144
+
 #: Names of the five phases, used consistently in timers, logs and benches.
 PHASE_NAMES = (
     "1-partitioning",
@@ -102,13 +106,16 @@ class OutOfCoreIteration:
         io_stats = IOStats()
         measure = config.measure or self._profile_store_default_measure()
 
+        # both phase 1 and phase 2 scan G(t) in CSR form; build it once
+        csr = graph.to_csr()
+
         with timer.phase(PHASE_NAMES[0]):
-            assignment, partitions = self._phase1_partition(graph)
+            assignment, partitions = self._phase1_partition(csr)
 
         with timer.phase(PHASE_NAMES[1]):
-            table = self._phase2_hash_table(graph, partitions, assignment)
+            table = self._phase2_hash_table(csr, partitions, assignment)
             # the partitions now live on disk; drop the in-memory copies
-            del partitions
+            del partitions, csr
 
         with timer.phase(PHASE_NAMES[2]):
             pi_graph, steps, schedule = self._phase3_pi_graph(table)
@@ -140,9 +147,8 @@ class OutOfCoreIteration:
 
     # -- phase 1 --------------------------------------------------------------
 
-    def _phase1_partition(self, graph: KNNGraph) -> Tuple[np.ndarray, List[Partition]]:
+    def _phase1_partition(self, csr) -> Tuple[np.ndarray, List[Partition]]:
         config = self._config
-        csr = graph.to_csr()
         partitioner = get_partitioner(config.partitioner)
         assignment = partitioner.assign(csr, config.num_partitions)
         partitions = build_partitions(csr, assignment, config.num_partitions)
@@ -152,10 +158,9 @@ class OutOfCoreIteration:
 
     # -- phase 2 --------------------------------------------------------------
 
-    def _phase2_hash_table(self, graph: KNNGraph, partitions: Sequence[Partition],
+    def _phase2_hash_table(self, csr, partitions: Sequence[Partition],
                            assignment: np.ndarray) -> TupleHashTable:
         config = self._config
-        csr = graph.to_csr()
         return generate_candidate_tuples(
             csr,
             partitions,
@@ -197,23 +202,53 @@ class OutOfCoreIteration:
         resident_profiles: Dict[int, ProfileSlice] = {}
         new_graph = KNNGraph(graph.num_vertices, config.k)
         evaluations = 0
+        scored_tuples: List[np.ndarray] = []
+        scored_values: List[np.ndarray] = []
+        pending_rows = 0
+        # scored tuples are merged into G(t+1) in bounded batches so the
+        # accumulation never outgrows a small multiple of the graph itself,
+        # preserving the two-resident-partitions memory envelope
+        flush_threshold = max(4 * graph.num_vertices * config.k, _SCORED_FLUSH_ROWS)
+
+        def flush_scored() -> None:
+            nonlocal pending_rows
+            if not scored_tuples:
+                return
+            tuples_block = (scored_tuples[0] if len(scored_tuples) == 1
+                            else np.concatenate(scored_tuples))
+            scores_block = (scored_values[0] if len(scored_values) == 1
+                            else np.concatenate(scored_values))
+            # the hash table guarantees each (s, d) pair is scored once per
+            # iteration, so every flushed block is duplicate-free
+            new_graph.add_candidates_batch(tuples_block[:, 0], tuples_block[:, 1],
+                                           scores_block, assume_unique=True)
+            scored_tuples.clear()
+            scored_values.clear()
+            pending_rows = 0
 
         for first, second, edges in steps:
             partition_a, partition_b = cache.acquire_pair(first, second)
             self._sync_profile_slices(cache, resident_profiles,
                                       {first: partition_a, second: partition_b})
             merged = self._merged_slice(resident_profiles, first, second)
-            for edge in edges:
-                tuples = table.tuples_for(edge.src, edge.dst)
-                if len(tuples) == 0:
-                    continue
-                scores = score_tuples(merged, tuples, measure,
-                                      num_threads=config.num_threads)
-                evaluations += len(tuples)
-                for (source, destination), score in zip(tuples, scores):
-                    new_graph.add_candidate(int(source), int(destination), float(score))
+            # concatenate every PI edge of the residency step into one batch
+            # and score it with a single (optionally threaded) kernel call
+            chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
+            chunks = [chunk for chunk in chunks if len(chunk)]
+            if not chunks:
+                continue
+            tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            scores = score_tuples(merged, tuples, measure,
+                                  num_threads=config.num_threads)
+            evaluations += len(tuples)
+            scored_tuples.append(tuples)
+            scored_values.append(scores)
+            pending_rows += len(tuples)
+            if pending_rows >= flush_threshold:
+                flush_scored()
         cache.flush()
         resident_profiles.clear()
+        flush_scored()
         return new_graph, evaluations
 
     def _sync_profile_slices(self, cache: PartitionCache,

@@ -35,7 +35,11 @@ def score_tuples(profile_slice: ProfileSlice, tuples: np.ndarray, measure: str,
     if num_threads == 1 or len(tuples) <= chunk_size:
         return profile_slice.similarity_pairs(tuples, measure)
 
-    chunks = [tuples[start:start + chunk_size] for start in range(0, len(tuples), chunk_size)]
+    # balance the batch across the pool: at least one chunk per thread, and
+    # never a chunk larger than chunk_size, so a single residency-step batch
+    # keeps every worker busy
+    num_chunks = max(num_threads, -(-len(tuples) // chunk_size))
+    chunks = np.array_split(tuples, num_chunks)
     results: list = [None] * len(chunks)
     with ThreadPoolExecutor(max_workers=num_threads) as pool:
         futures = {

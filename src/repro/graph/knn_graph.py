@@ -53,12 +53,15 @@ class KNNGraph:
             )
         rng = make_rng(seed)
         graph = cls(num_vertices, k)
+        destinations = np.empty((num_vertices, k), dtype=np.int64)
         for v in range(num_vertices):
             choices = rng.choice(num_vertices - 1, size=k, replace=False)
             # shift values >= v by one to exclude the self loop
-            neighbors = np.where(choices >= v, choices + 1, choices)
-            for u in neighbors:
-                graph.add_candidate(v, int(u), 0.0)
+            destinations[v] = np.where(choices >= v, choices + 1, choices)
+        sources = np.repeat(np.arange(num_vertices, dtype=np.int64), k)
+        graph.add_candidates_batch(sources, destinations.ravel(),
+                                   np.zeros(num_vertices * k, dtype=np.float64),
+                                   assume_unique=True)
         return graph
 
     @classmethod
@@ -96,13 +99,18 @@ class KNNGraph:
         if neighbor in scores:
             if score <= scores[neighbor]:
                 return False
+            # lazy deletion: the old heap entry goes stale instead of paying
+            # an O(K) rebuild; stale entries are skipped when the top is read
             scores[neighbor] = score
-            self._rebuild_heap(vertex)
+            heapq.heappush(heap, (score, neighbor))
+            if len(heap) > 2 * self._k + 4:
+                self._compact_heap(vertex)
             return True
         if len(scores) < self._k:
             scores[neighbor] = score
             heapq.heappush(heap, (score, neighbor))
             return True
+        self._prune_stale_top(vertex)
         worst_score, worst_neighbor = heap[0]
         if score <= worst_score:
             return False
@@ -111,6 +119,127 @@ class KNNGraph:
         scores[neighbor] = score
         heapq.heappush(heap, (score, neighbor))
         return True
+
+    def add_candidates_batch(self, sources: np.ndarray, destinations: np.ndarray,
+                             scores: np.ndarray, assume_unique: bool = False) -> int:
+        """Array-native bulk form of :meth:`add_candidate`.
+
+        Offers ``destinations[i]`` with ``scores[i]`` as a candidate of
+        ``sources[i]`` for all ``i`` in one pass: candidates are grouped by
+        source, deduplicated (keeping the best score per edge) and merged
+        with each source's existing neighbour list, then the top-K survivors
+        are selected with a single lexsort instead of per-edge heap pushes.
+
+        With distinct scores the result is identical to calling
+        :meth:`add_candidate` once per row in order.  On *tied* scores the
+        two paths may legitimately differ: the sequential heap evicts the
+        tied-worst neighbour with the smallest id, which is path-dependent
+        and not expressible as a top-K under any static order.  The batch
+        path is deterministic instead — ties keep incumbent neighbours
+        first, then earlier rows.  Both are valid KNN graphs; only the
+        arbitrary choice among equal-score neighbours can differ.  Returns
+        the number of offered edges that *survive* in the updated neighbour
+        lists (inserted, or improving an incumbent's score) — unlike summing
+        :meth:`add_candidate`'s booleans, transient insertions evicted by a
+        better candidate later in the same batch are not counted.
+
+        ``assume_unique=True`` promises that no ``(source, destination)``
+        pair is repeated within the batch (true for tuples drawn from the
+        dedup hash table), which skips the per-edge dedup pass when the
+        touched vertices have no incumbent neighbours.
+        """
+        src = np.asarray(sources, dtype=np.int64).ravel()
+        dst = np.asarray(destinations, dtype=np.int64).ravel()
+        sc = np.asarray(scores, dtype=np.float64).ravel()
+        if not (len(src) == len(dst) == len(sc)):
+            raise ValueError("sources, destinations and scores must have equal length")
+        if len(src) == 0:
+            return 0
+        lo = min(int(src.min()), int(dst.min()))
+        hi = max(int(src.max()), int(dst.max()))
+        if lo < 0 or hi >= self.num_vertices:
+            raise IndexError(
+                f"vertex {lo if lo < 0 else hi} out of range for graph with "
+                f"{self.num_vertices} vertices"
+            )
+        keep = src != dst
+        if not keep.all():
+            src, dst, sc = src[keep], dst[keep], sc[keep]
+        if len(src) == 0:
+            return 0
+
+        num_new = len(src)
+        c_tie = None
+        if self.num_edges:
+            affected = np.sort(src)
+            affected = affected[np.concatenate([[True], affected[1:] != affected[:-1]])]
+            ex_src: List[int] = []
+            ex_dst: List[int] = []
+            ex_sc: List[float] = []
+            for v in affected.tolist():
+                current = self._scores[v]
+                if current:
+                    ex_src.extend([v] * len(current))
+                    ex_dst.extend(current.keys())
+                    ex_sc.extend(current.values())
+            if ex_src:
+                c_src = np.concatenate([np.asarray(ex_src, dtype=np.int64), src])
+                c_dst = np.concatenate([np.asarray(ex_dst, dtype=np.int64), dst])
+                c_sc = np.concatenate([np.asarray(ex_sc, dtype=np.float64), sc])
+                # tie-break rank: incumbents (0) beat new candidates on equal
+                # scores, and among new candidates the earlier row wins,
+                # reproducing the sequential arrival order
+                c_tie = np.concatenate([np.zeros(len(ex_src), dtype=np.int64),
+                                        np.arange(1, num_new + 1, dtype=np.int64)])
+        if c_tie is None:
+            c_src, c_dst, c_sc = src, dst, sc
+
+        # order every entry by descending score; the tie rank is nondecreasing
+        # in row order, so a stable sort on the score alone realises the
+        # (-score, tie) ordering without a multi-key lexsort
+        order = np.argsort(-c_sc, kind="stable")
+        if not (c_tie is None and assume_unique):
+            # keep only each edge's best entry: its first occurrence by key
+            # (with no incumbents and unique pairs this pass is skippable)
+            if c_tie is None:
+                c_tie = np.arange(1, num_new + 1, dtype=np.int64)
+            edge_keys = (c_src * self.num_vertices + c_dst)[order]
+            _, first_positions = np.unique(edge_keys, return_index=True)
+            order = order[np.sort(first_positions)]
+
+        # a stable sort by source within the score ordering lists each
+        # source's candidates in descending-score order; composing the two
+        # permutations first means one gather per payload array
+        order = order[np.argsort(c_src[order], kind="stable")]
+        s_src, s_dst, s_sc = c_src[order], c_dst[order], c_sc[order]
+
+        # rank < K within each contiguous source group selects the new lists
+        group_breaks = np.flatnonzero(s_src[1:] != s_src[:-1]) + 1
+        group_starts = np.concatenate([[0], group_breaks])
+        group_sizes = np.diff(np.concatenate([group_starts, [len(s_src)]]))
+        rank = np.arange(len(s_src)) - np.repeat(group_starts, group_sizes)
+        keep = rank < self._k
+        s_src, s_dst, s_sc = s_src[keep], s_dst[keep], s_sc[keep]
+        changed = (len(s_src) if c_tie is None
+                   else int(np.count_nonzero(c_tie[order][keep])))
+
+        # group bounds of the kept rows give the touched vertices directly
+        first_in_group = np.empty(len(s_src), dtype=bool)
+        first_in_group[0] = True
+        np.not_equal(s_src[1:], s_src[:-1], out=first_in_group[1:])
+        starts = np.flatnonzero(first_in_group)
+        stops = np.concatenate([starts[1:], [len(s_src)]])
+        all_dst = s_dst.tolist()
+        all_sc = s_sc.tolist()
+        for v, start, stop in zip(s_src[starts].tolist(), starts.tolist(),
+                                  stops.tolist()):
+            neighbors = all_dst[start:stop]
+            vertex_scores = all_sc[start:stop]
+            self._scores[v] = dict(zip(neighbors, vertex_scores))
+            heap = list(zip(vertex_scores, neighbors))
+            heapq.heapify(heap)
+            self._heaps[v] = heap
+        return changed
 
     def set_neighbors(self, vertex: int, entries: Iterable[Tuple[int, float]]) -> None:
         """Replace the neighbour list of ``vertex`` with the top-K of ``entries``."""
@@ -127,10 +256,18 @@ class KNNGraph:
         self._heaps[vertex] = [(score, neighbor) for neighbor, score in top]
         heapq.heapify(self._heaps[vertex])
 
-    def _rebuild_heap(self, vertex: int) -> None:
+    def _compact_heap(self, vertex: int) -> None:
+        """Drop all stale (lazily deleted) entries from a vertex's heap."""
         self._heaps[vertex] = [(score, neighbor)
                                for neighbor, score in self._scores[vertex].items()]
         heapq.heapify(self._heaps[vertex])
+
+    def _prune_stale_top(self, vertex: int) -> None:
+        """Pop stale entries until the heap top is the true worst neighbour."""
+        heap = self._heaps[vertex]
+        scores = self._scores[vertex]
+        while heap and scores.get(heap[0][1]) != heap[0][0]:
+            heapq.heappop(heap)
 
     # -- queries ----------------------------------------------------------
 
@@ -166,6 +303,7 @@ class KNNGraph:
         self._check_vertex(vertex)
         if len(self._scores[vertex]) < self._k:
             return float("-inf")
+        self._prune_stale_top(vertex)
         return self._heaps[vertex][0][0]
 
     def edges(self) -> Iterator[ScoredEdge]:
@@ -173,13 +311,27 @@ class KNNGraph:
             for neighbor, score in sorted(self._scores[v].items()):
                 yield (v, neighbor, score)
 
+    def _edge_keys(self) -> np.ndarray:
+        """All edges encoded as sorted unique int64 keys ``src * n + dst``."""
+        n = self.num_vertices
+        counts = np.fromiter((len(s) for s in self._scores), dtype=np.int64, count=n)
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        src = np.repeat(np.arange(n, dtype=np.int64), counts)
+        dst = np.fromiter((nb for s in self._scores for nb in s),
+                          dtype=np.int64, count=total)
+        keys = src * n + dst
+        keys.sort()
+        return keys
+
     def edge_array(self) -> np.ndarray:
         """All edges as an ``(E, 2)`` int64 array (scores dropped)."""
-        rows = [(v, neighbor) for v in range(self.num_vertices)
-                for neighbor in sorted(self._scores[v])]
-        if not rows:
+        keys = self._edge_keys()
+        if len(keys) == 0:
             return np.empty((0, 2), dtype=np.int64)
-        return np.asarray(rows, dtype=np.int64)
+        n = self.num_vertices
+        return np.column_stack([keys // n, keys % n])
 
     def to_digraph(self) -> DiGraph:
         graph = DiGraph(self.num_vertices)
@@ -206,12 +358,10 @@ class KNNGraph:
         """
         if other.num_vertices != self.num_vertices:
             raise ValueError("graphs must have the same vertex count")
-        diff = 0
-        for v in range(self.num_vertices):
-            mine = set(self._scores[v])
-            theirs = set(other._scores[v])
-            diff += len(mine ^ theirs)
-        return diff
+        mine = self._edge_keys()
+        theirs = other._edge_keys()
+        shared = len(np.intersect1d(mine, theirs, assume_unique=True))
+        return len(mine) + len(theirs) - 2 * shared
 
     def recall_against(self, exact: "KNNGraph") -> float:
         """Fraction of the exact KNN edges that this graph also contains.
@@ -221,15 +371,12 @@ class KNNGraph:
         """
         if exact.num_vertices != self.num_vertices:
             raise ValueError("graphs must have the same vertex count")
-        hits, total = 0, 0
-        for v in range(self.num_vertices):
-            truth = set(exact._scores[v])
-            if not truth:
-                continue
-            mine = set(self._scores[v])
-            hits += len(truth & mine)
-            total += len(truth)
-        return hits / total if total else 1.0
+        truth = exact._edge_keys()
+        if len(truth) == 0:
+            return 1.0
+        mine = self._edge_keys()
+        hits = len(np.intersect1d(mine, truth, assume_unique=True))
+        return hits / len(truth)
 
     def __repr__(self) -> str:
         return (f"KNNGraph(num_vertices={self.num_vertices}, k={self._k}, "

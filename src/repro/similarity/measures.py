@@ -15,7 +15,7 @@ the KNN top-K selection never needs to know which measure is in use.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Set, Union
+from typing import Callable, Dict, FrozenSet, Iterable, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -120,6 +120,181 @@ def euclidean_similarity_batch(left: np.ndarray, right: np.ndarray) -> np.ndarra
     if left.shape != right.shape:
         raise ValueError(f"shape mismatch: {left.shape} vs {right.shape}")
     return 1.0 / (1.0 + np.linalg.norm(left - right, axis=1))
+
+
+def cosine_from_norms(left: np.ndarray, right: np.ndarray,
+                      left_norms: np.ndarray, right_norms: np.ndarray) -> np.ndarray:
+    """Row-wise cosine similarity with precomputed row norms.
+
+    Callers that score many batches against the same profile matrix (e.g. a
+    resident :class:`~repro.storage.profile_store.ProfileSlice`) compute each
+    row's norm once and skip the per-batch norm reduction.
+    """
+    dots = np.einsum("ij,ij->i", left, right)
+    norms = left_norms * right_norms
+    out = np.zeros(len(left), dtype=np.float64)
+    nonzero = norms > 0
+    out[nonzero] = dots[nonzero] / norms[nonzero]
+    return out
+
+
+def adjusted_cosine_similarity_batch(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Row-wise adjusted cosine: each row is centred on its own mean first."""
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    if left.shape != right.shape:
+        raise ValueError(f"shape mismatch: {left.shape} vs {right.shape}")
+    return cosine_similarity_batch(left - left.mean(axis=1, keepdims=True),
+                                   right - right.mean(axis=1, keepdims=True))
+
+
+def pearson_similarity_batch(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Row-wise Pearson correlation (0.0 for degenerate rows)."""
+    return adjusted_cosine_similarity_batch(left, right)
+
+
+#: Batch kernel per dense (vector) measure; every name in VECTOR_MEASURES has one.
+VECTOR_MEASURE_BATCH: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "cosine": cosine_similarity_batch,
+    "euclidean": euclidean_similarity_batch,
+    "adjusted_cosine": adjusted_cosine_similarity_batch,
+    "pearson": pearson_similarity_batch,
+}
+
+
+def vector_measure_batch(measure: str, left: np.ndarray,
+                         right: np.ndarray) -> np.ndarray:
+    """Row-wise scores under a named vector measure.
+
+    Built-in measures dispatch to their vectorised kernel; a custom measure
+    registered in :data:`MEASURES` falls back to a per-pair loop so it still
+    works (slowly) everywhere the engine scores batches.
+    """
+    kernel = VECTOR_MEASURE_BATCH.get(measure)
+    if kernel is not None:
+        return kernel(left, right)
+    fn = get_measure(measure)
+    return np.asarray([fn(l, r) for l, r in zip(left, right)], dtype=np.float64)
+
+
+# -- vectorised set-measure kernels over a CSR incidence matrix -------------
+
+def _jaccard_from_counts(common: np.ndarray, size_a: np.ndarray,
+                         size_b: np.ndarray) -> np.ndarray:
+    union = size_a + size_b - common
+    return np.divide(common, union, out=np.zeros_like(common), where=union > 0)
+
+
+def _overlap_from_counts(common: np.ndarray, size_a: np.ndarray,
+                         size_b: np.ndarray) -> np.ndarray:
+    smaller = np.minimum(size_a, size_b)
+    return np.divide(common, smaller, out=np.zeros_like(common), where=smaller > 0)
+
+
+def _common_from_counts(common: np.ndarray, size_a: np.ndarray,
+                        size_b: np.ndarray) -> np.ndarray:
+    return common
+
+
+def _cosine_set_from_counts(common: np.ndarray, size_a: np.ndarray,
+                            size_b: np.ndarray) -> np.ndarray:
+    denom = np.sqrt(size_a * size_b)
+    return np.divide(common, denom, out=np.zeros_like(common), where=denom > 0)
+
+
+#: Batch kernel per set measure, applied to (common, |a|, |b|) count arrays.
+SET_MEASURE_KERNELS: Dict[str, Callable[[np.ndarray, np.ndarray, np.ndarray],
+                                        np.ndarray]] = {
+    "jaccard": _jaccard_from_counts,
+    "overlap": _overlap_from_counts,
+    "common": _common_from_counts,
+    "cosine_set": _cosine_set_from_counts,
+}
+
+
+class SetProfileCSR:
+    """CSR user×item incidence matrix over a collection of item-set profiles.
+
+    Item ids are recoded to dense ``0..num_items-1`` codes at build time so
+    that per-pair intersection counting can tag each item with its pair index
+    in a single int64 key without overflow.  All four set measures reduce to
+    the triple ``(|a ∩ b|, |a|, |b|)``, which :meth:`pair_counts` computes for
+    a whole batch of pairs with no per-pair Python.
+    """
+
+    def __init__(self, indptr: np.ndarray, codes: np.ndarray, num_items: int):
+        self._indptr = np.asarray(indptr, dtype=np.int64)
+        self._codes = np.asarray(codes, dtype=np.int64)
+        self._num_items = int(num_items)
+
+    @classmethod
+    def from_sets(cls, profiles: Sequence[Iterable[int]]) -> "SetProfileCSR":
+        """Build from one item set per row (row order is preserved)."""
+        sizes = np.fromiter((len(p) for p in profiles), dtype=np.int64,
+                            count=len(profiles))
+        indptr = np.zeros(len(profiles) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        total = int(indptr[-1])
+        flat = np.fromiter((item for profile in profiles for item in profile),
+                           dtype=np.int64, count=total)
+        if total:
+            uniques, codes = np.unique(flat, return_inverse=True)
+            num_items = len(uniques)
+        else:
+            codes = np.empty(0, dtype=np.int64)
+            num_items = 0
+        return cls(indptr, codes, num_items)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._indptr) - 1
+
+    def row_sizes(self, rows: np.ndarray) -> np.ndarray:
+        return self._indptr[rows + 1] - self._indptr[rows]
+
+    def _gather(self, rows: np.ndarray,
+                sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated item codes of ``rows`` plus the pair index of each item."""
+        total = int(sizes.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        pair_idx = np.repeat(np.arange(len(rows), dtype=np.int64), sizes)
+        starts = np.repeat(self._indptr[rows], sizes)
+        prefix = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, sizes)
+        return self._codes[starts + offsets], pair_idx
+
+    def pair_counts(self, left_rows: np.ndarray, right_rows: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(|a ∩ b|, |a|, |b|)`` float64 arrays for a batch of row pairs."""
+        left_rows = np.asarray(left_rows, dtype=np.int64)
+        right_rows = np.asarray(right_rows, dtype=np.int64)
+        size_a = self.row_sizes(left_rows)
+        size_b = self.row_sizes(right_rows)
+        common = np.zeros(len(left_rows), dtype=np.float64)
+        if self._num_items:
+            items_a, pairs_a = self._gather(left_rows, size_a)
+            items_b, pairs_b = self._gather(right_rows, size_b)
+            if len(items_a) and len(items_b):
+                # tag every item with its pair index; identical keys on both
+                # sides are exactly the per-pair intersections
+                keys_a = pairs_a * self._num_items + items_a
+                keys_b = pairs_b * self._num_items + items_b
+                matched = np.isin(keys_a, keys_b, assume_unique=True)
+                counts = np.bincount(pairs_a[matched], minlength=len(left_rows))
+                common = counts.astype(np.float64)
+        return common, size_a.astype(np.float64), size_b.astype(np.float64)
+
+    def measure_pairs(self, measure: str, left_rows: np.ndarray,
+                      right_rows: np.ndarray) -> np.ndarray:
+        """Batch set-measure scores for row pairs (no per-pair Python)."""
+        try:
+            kernel = SET_MEASURE_KERNELS[measure]
+        except KeyError:
+            get_measure(measure)  # raise the standard unknown-measure error
+            raise ValueError(f"measure {measure!r} is not a set measure")
+        return kernel(*self.pair_counts(left_rows, right_rows))
 
 
 #: Registry of named pairwise measures usable from the engine configuration.

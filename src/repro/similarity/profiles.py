@@ -70,6 +70,13 @@ class SparseProfileStore(ProfileStoreBase):
 
     def __init__(self, profiles: Sequence[Iterable[int]]):
         self._profiles: List[Set[int]] = [set(p) for p in profiles]
+        self._csr: Optional[_measures.SetProfileCSR] = None
+
+    def _incidence(self) -> _measures.SetProfileCSR:
+        """CSR user×item incidence matrix, rebuilt lazily after mutations."""
+        if self._csr is None:
+            self._csr = _measures.SetProfileCSR.from_sets(self._profiles)
+        return self._csr
 
     @classmethod
     def empty(cls, num_users: int) -> "SparseProfileStore":
@@ -81,22 +88,27 @@ class SparseProfileStore(ProfileStoreBase):
         return len(self._profiles)
 
     def get(self, user: int) -> Set[int]:
+        """The user's item set (a copy — mutate via :meth:`set`/:meth:`add_item`,
+        which keep the cached incidence matrix consistent)."""
         self._check_user(user)
-        return self._profiles[user]
+        return set(self._profiles[user])
 
     def set(self, user: int, profile: Iterable[int]) -> None:
         self._check_user(user)
         self._profiles[user] = set(profile)
+        self._csr = None
 
     def add_item(self, user: int, item: int) -> None:
         """Add a single item to a user's profile (profile-churn primitive)."""
         self._check_user(user)
         self._profiles[user].add(item)
+        self._csr = None
 
     def remove_item(self, user: int, item: int) -> None:
         """Remove a single item if present (no error when absent)."""
         self._check_user(user)
         self._profiles[user].discard(item)
+        self._csr = None
 
     def similarity(self, user_a: int, user_b: int, measure: str = "jaccard") -> float:
         self._check_user(user_a)
@@ -112,16 +124,16 @@ class SparseProfileStore(ProfileStoreBase):
         pairs = np.asarray(pairs, dtype=np.int64)
         if pairs.ndim != 2 or pairs.shape[1] != 2:
             raise ValueError("pairs must be an (n, 2) array")
-        fn = _measures.get_measure(measure)
+        _measures.get_measure(measure)
         if measure not in _measures.SET_MEASURES:
             raise ValueError(
                 f"measure {measure!r} operates on vectors; use a DenseProfileStore"
             )
-        out = np.empty(len(pairs), dtype=np.float64)
-        profiles = self._profiles
-        for i, (a, b) in enumerate(pairs):
-            out[i] = fn(profiles[a], profiles[b])
-        return out
+        if len(pairs) == 0:
+            return np.zeros(0, dtype=np.float64)
+        if pairs.min() < 0 or pairs.max() >= self.num_users:
+            raise IndexError(f"pair endpoints out of range (store has {self.num_users} users)")
+        return self._incidence().measure_pairs(measure, pairs[:, 0], pairs[:, 1])
 
     def subset(self, users: Sequence[int]) -> "SparseProfileStore":
         store = SparseProfileStore.empty(self.num_users)
@@ -215,14 +227,12 @@ class DenseProfileStore(ProfileStoreBase):
             raise ValueError(
                 f"measure {measure!r} operates on item sets; use a SparseProfileStore"
             )
+        _measures.get_measure(measure)
+        if len(pairs) == 0:
+            return np.zeros(0, dtype=np.float64)
         left = self._matrix[pairs[:, 0]]
         right = self._matrix[pairs[:, 1]]
-        if measure == "cosine":
-            return _measures.cosine_similarity_batch(left, right)
-        if measure == "euclidean":
-            return _measures.euclidean_similarity_batch(left, right)
-        fn = _measures.get_measure(measure)
-        return np.asarray([fn(l, r) for l, r in zip(left, right)], dtype=np.float64)
+        return _measures.vector_measure_batch(measure, left, right)
 
     def subset(self, users: Sequence[int]) -> "DenseProfileStore":
         store = DenseProfileStore.empty(self.num_users, self.dim)

@@ -35,44 +35,101 @@ PathLike = Union[str, os.PathLike]
 
 
 class ProfileSlice:
-    """Profiles of a subset of users, loaded into memory for similarity scoring."""
+    """Profiles of a subset of users, loaded into memory for similarity scoring.
 
-    def __init__(self, kind: str, profiles: Dict[int, object], dim: int = 0):
+    Construction precomputes an id→row lookup array (``_row_of``) and packs
+    the profiles into a batch-scorable form — a dense matrix or a CSR
+    incidence matrix — so that :meth:`similarity_pairs` is pure NumPy with no
+    per-pair Python on either profile kind.
+    """
+
+    def __init__(self, kind: str, profiles: Optional[Dict[int, object]], dim: int = 0,
+                 *, user_ids: Optional[np.ndarray] = None,
+                 matrix: Optional[np.ndarray] = None):
         if kind not in ("sparse", "dense"):
             raise ValueError(f"kind must be 'sparse' or 'dense', got {kind!r}")
         self.kind = kind
-        self._profiles = profiles
         self._dim = dim
+        if profiles is not None:
+            self._user_ids = np.asarray(sorted(profiles), dtype=np.int64)
+        elif kind == "dense" and user_ids is not None and matrix is not None:
+            # array fast path: rows of ``matrix`` correspond to the (sorted)
+            # ``user_ids``, no per-user dict required
+            self._user_ids = np.asarray(user_ids, dtype=np.int64)
+        else:
+            raise ValueError("provide a profiles dict, or user_ids+matrix for dense")
+        users = self._user_ids
+        if len(users):
+            self._row_of = np.full(int(users[-1]) + 1, -1, dtype=np.int64)
+            self._row_of[users] = np.arange(len(users), dtype=np.int64)
+        else:
+            self._row_of = np.empty(0, dtype=np.int64)
         if kind == "dense":
-            self._index = {user: i for i, user in enumerate(sorted(profiles))}
-            if profiles:
-                self._matrix = np.vstack([profiles[user] for user in sorted(profiles)])
+            if matrix is not None:
+                self._matrix = matrix
+            elif profiles:
+                self._matrix = np.vstack([profiles[int(user)] for user in users])
             else:
                 self._matrix = np.zeros((0, dim), dtype=np.float64)
+            self._dim = self._matrix.shape[1] if self._matrix.size else dim
+            self._csr = None
+            self._norms = np.linalg.norm(self._matrix, axis=1)
+        else:
+            self._profiles: Dict[int, object] = profiles
+            self._matrix = None
+            self._csr = _measures.SetProfileCSR.from_sets(
+                [profiles[int(user)] for user in users])
+
+    def _rows_for(self, user_ids: np.ndarray) -> np.ndarray:
+        """Map loaded user ids to row indices, raising ``KeyError`` on misses."""
+        rows = np.full(len(user_ids), -1, dtype=np.int64)
+        in_range = (user_ids >= 0) & (user_ids < len(self._row_of))
+        rows[in_range] = self._row_of[user_ids[in_range]]
+        if (rows < 0).any():
+            missing = int(user_ids[rows < 0][0])
+            raise KeyError(f"user {missing} is not loaded in this profile slice")
+        return rows
 
     @property
     def users(self) -> Set[int]:
-        return set(self._profiles)
+        return set(self._user_ids.tolist())
 
     def __len__(self) -> int:
-        return len(self._profiles)
+        return len(self._user_ids)
 
     def __contains__(self, user: int) -> bool:
-        return user in self._profiles
+        return bool(0 <= user < len(self._row_of) and self._row_of[user] >= 0)
 
     def get(self, user: int):
-        try:
-            return self._profiles[user]
-        except KeyError:
-            raise KeyError(f"user {user} is not loaded in this profile slice") from None
+        if self.kind == "sparse":
+            try:
+                return self._profiles[user]
+            except KeyError:
+                raise KeyError(f"user {user} is not loaded in this profile slice") from None
+        row = self._rows_for(np.asarray([user], dtype=np.int64))[0]
+        return self._matrix[row]
 
     def merge(self, other: "ProfileSlice") -> "ProfileSlice":
         """Union of two slices (used when both partitions' profiles are resident)."""
         if other.kind != self.kind:
             raise ValueError("cannot merge slices of different profile kinds")
-        combined = dict(self._profiles)
-        combined.update(other._profiles)
-        return ProfileSlice(self.kind, combined, dim=self._dim or other._dim)
+        if self.kind == "sparse":
+            combined = dict(self._profiles)
+            combined.update(other._profiles)
+            return ProfileSlice(self.kind, combined, dim=self._dim or other._dim)
+        # dense: concatenate the row blocks, keeping the other slice's row for
+        # any user present in both (dict.update semantics)
+        users = np.concatenate([self._user_ids, other._user_ids])
+        matrix = np.concatenate([self._matrix, other._matrix], axis=0)
+        order = np.argsort(users, kind="stable")
+        users, matrix = users[order], matrix[order]
+        if len(users) > 1:
+            last = np.empty(len(users), dtype=bool)
+            last[-1] = True
+            np.not_equal(users[:-1], users[1:], out=last[:-1])
+            users, matrix = users[last], matrix[last]
+        return ProfileSlice(self.kind, None, dim=self._dim or other._dim,
+                            user_ids=users, matrix=matrix)
 
     def similarity_pairs(self, pairs: np.ndarray, measure: str) -> np.ndarray:
         """Vectorised similarity for an ``(n, 2)`` array of loaded user ids."""
@@ -81,26 +138,24 @@ class ProfileSlice:
             raise ValueError("pairs must be an (n, 2) array")
         if len(pairs) == 0:
             return np.zeros(0, dtype=np.float64)
+        _measures.get_measure(measure)
         if self.kind == "dense":
             if measure in _measures.SET_MEASURES:
                 raise ValueError(f"measure {measure!r} needs sparse profiles")
-            left_rows = np.asarray([self._index[int(u)] for u in pairs[:, 0]])
-            right_rows = np.asarray([self._index[int(u)] for u in pairs[:, 1]])
-            left = self._matrix[left_rows]
-            right = self._matrix[right_rows]
+            left_rows = self._rows_for(pairs[:, 0])
+            right_rows = self._rows_for(pairs[:, 1])
             if measure == "cosine":
-                return _measures.cosine_similarity_batch(left, right)
-            if measure == "euclidean":
-                return _measures.euclidean_similarity_batch(left, right)
-            fn = _measures.get_measure(measure)
-            return np.asarray([fn(l, r) for l, r in zip(left, right)], dtype=np.float64)
-        fn = _measures.get_measure(measure)
+                # row norms are precomputed once per slice
+                return _measures.cosine_from_norms(
+                    self._matrix[left_rows], self._matrix[right_rows],
+                    self._norms[left_rows], self._norms[right_rows])
+            return _measures.vector_measure_batch(
+                measure, self._matrix[left_rows], self._matrix[right_rows])
         if measure not in _measures.SET_MEASURES:
             raise ValueError(f"measure {measure!r} needs dense profiles")
-        out = np.empty(len(pairs), dtype=np.float64)
-        for i, (a, b) in enumerate(pairs):
-            out[i] = fn(self._profiles[int(a)], self._profiles[int(b)])
-        return out
+        left_rows = self._rows_for(pairs[:, 0])
+        right_rows = self._rows_for(pairs[:, 1])
+        return self._csr.measure_pairs(measure, left_rows, right_rows)
 
 
 class OnDiskProfileStore:
@@ -215,18 +270,19 @@ class OnDiskProfileStore:
         dim = self.dim
         path = self._base_dir / self._DENSE_NAME
         mm = np.memmap(path, dtype=np.float64, mode="r", shape=(self.num_users, dim))
-        profiles: Dict[int, np.ndarray] = {}
-        total_bytes = 0
+        blocks: List[np.ndarray] = []
         for start, stop in _contiguous_ranges(ids):
             block = np.array(mm[start:stop])
-            for offset, user in enumerate(range(start, stop)):
-                profiles[user] = block[offset]
+            blocks.append(block)
             num_bytes = block.nbytes
-            total_bytes += num_bytes
             self.io_stats.record_read(num_bytes,
                                       self._disk.read_cost(num_bytes, sequential=False))
         del mm
-        return ProfileSlice("dense", profiles, dim=dim)
+        if not blocks:
+            return ProfileSlice("dense", {}, dim=dim)
+        matrix = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+        return ProfileSlice("dense", None, dim=dim,
+                            user_ids=np.asarray(ids, dtype=np.int64), matrix=matrix)
 
     def _load_sparse(self, ids: List[int]) -> ProfileSlice:
         indptr = np.fromfile(self._base_dir / self._SPARSE_INDPTR, dtype=np.int64)

@@ -21,6 +21,11 @@ from repro.graph.digraph import CSRDiGraph
 from repro.partition.model import Partition
 from repro.tuples.hash_table import TupleHashTable
 
+#: Row budget for batching bridge tuples into bulk hash-table inserts: large
+#: enough that a whole iteration usually needs one dedup sweep, small enough
+#: that the raw (duplicate-laden) pair buffer stays bounded (~16 MiB).
+_BRIDGE_FLUSH_ROWS = 1 << 20
+
 
 def partition_bridge_tuples(partition: Partition,
                             max_pairs_per_bridge: Optional[int] = None) -> np.ndarray:
@@ -101,11 +106,31 @@ def generate_candidate_tuples(graph: CSRDiGraph,
         :func:`partition_bridge_tuples`).
     """
     table = TupleHashTable(graph.num_vertices, assignment)
+    # batch the partitions' bridge pairs (plus the direct edges) into as few
+    # bulk inserts as a bounded row buffer allows: normally one dedup sweep
+    # per iteration, without the raw duplicate-laden pairs of every partition
+    # resident at once
+    chunks: list = []
+    pending = 0
+
+    def flush() -> None:
+        nonlocal pending
+        if chunks:
+            table.add_array(chunks[0] if len(chunks) == 1 else np.concatenate(chunks))
+            chunks.clear()
+            pending = 0
+
     for partition in partitions:
         pairs = partition_bridge_tuples(partition, max_pairs_per_bridge=max_pairs_per_bridge)
         if len(pairs):
-            table.add_array(pairs)
+            chunks.append(pairs)
+            pending += len(pairs)
+            if pending >= _BRIDGE_FLUSH_ROWS:
+                flush()
+    flush()
     if include_direct_edges and graph.num_edges:
+        # inserted separately so the flush buffer never holds the direct
+        # edges on top of pending bridge pairs
         table.add_array(graph.edges_array())
     return table
 

@@ -51,6 +51,24 @@ class TestEquivalenceWithInMemory:
             graphs.append(runner.run(0, initial).graph)
         assert graphs[0].edge_difference(graphs[1]) == 0
 
+    def test_flush_threshold_does_not_change_result(self, tmp_path, profiles,
+                                                    monkeypatch):
+        """Phase 4 merges scored tuples in bounded batches; the batch size
+        must not affect G(t+1) (incumbent merges across flushes)."""
+        import repro.core.iteration as iteration_module
+        k = 5
+        initial = KNNGraph.random(profiles.num_users, k, seed=3)
+        runner, _ = make_runner(tmp_path / "one-flush", profiles, k=k,
+                                num_partitions=5, seed=3)
+        single = runner.run(0, initial).graph
+        monkeypatch.setattr(iteration_module, "_SCORED_FLUSH_ROWS", 1)
+        runner, _ = make_runner(tmp_path / "many-flush", profiles, k=k,
+                                num_partitions=5, seed=3)
+        many = runner.run(0, initial).graph
+        assert single.edge_difference(many) == 0
+        for v in range(profiles.num_users):
+            assert single.neighbor_scores(v) == pytest.approx(many.neighbor_scores(v))
+
 
 class TestIterationAccounting:
     def test_phases_all_timed(self, tmp_path, profiles):

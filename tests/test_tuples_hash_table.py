@@ -66,6 +66,38 @@ class TestAddArray:
         with pytest.raises(IndexError):
             table.add_array(np.array([[0, 50]]))
 
+    def test_interleaved_scalar_and_bulk_dedup(self):
+        """Regression: bulk inserts must dedup against scalar adds and back.
+
+        The original ``add_array`` scanned a Python set per key; the
+        array-native rewrite must preserve exact dedup semantics when scalar
+        and bulk insertion interleave in any order.
+        """
+        assignment = np.arange(30) % 4
+        mixed = TupleHashTable(30, assignment)
+        scalar = TupleHashTable(30, assignment)
+        rng = np.random.default_rng(7)
+        batches = [rng.integers(0, 30, size=(80, 2)) for _ in range(4)]
+        for batch in batches:
+            # scalar-insert the first half, bulk-insert the whole batch, then
+            # scalar-insert the second half again (all duplicates)
+            mixed.add_many(map(tuple, batch[:40]))
+            mixed.add_array(batch)
+            mixed.add_many(map(tuple, batch[40:]))
+            scalar.add_many(map(tuple, batch))
+        assert mixed.num_tuples == scalar.num_tuples
+        assert set(mixed.iter_tuples()) == set(scalar.iter_tuples())
+        assert mixed.bucket_sizes() == scalar.bucket_sizes()
+        assert sum(mixed.bucket_sizes().values()) == mixed.num_tuples
+
+    def test_bulk_then_bulk_dedup_counts(self):
+        assignment = np.zeros(10, dtype=np.int64)
+        table = TupleHashTable(10, assignment)
+        first = table.add_array(np.array([[0, 1], [1, 2], [2, 3]]))
+        second = table.add_array(np.array([[1, 2], [2, 3], [3, 4]]))
+        assert (first, second) == (3, 1)
+        assert table.num_tuples == 4
+
     def test_matches_scalar_path(self):
         assignment = np.arange(20) % 3
         scalar_table = TupleHashTable(20, assignment)
