@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI gate: compare a fresh perf-suite run against the committed trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_suite.py --quick --output /tmp/fresh.json
+    PYTHONPATH=src python benchmarks/check_perf_regression.py \
+        --baseline BENCH_perf.json --fresh /tmp/fresh.json [--tolerance 0.20]
+
+Fails (exit 1) when the fresh phase-4 wall-clock regresses more than
+``tolerance`` (default 20%) against the committed ``BENCH_perf.json``, and
+prints a behaviour warning when the graph fingerprint changed (a fingerprint
+change is legitimate when an algorithmic PR intends it — the diff to the
+committed baseline makes it explicit — so it warns rather than fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Key of the gated phase inside ``pipeline.phase_seconds``.
+PHASE4_KEY = "4-knn-computation"
+
+
+def compare_phase4(baseline: dict, fresh: dict, tolerance: float) -> "tuple[bool, str]":
+    """Return ``(ok, message)`` for the phase-4 wall-clock comparison."""
+    base_phase = baseline["pipeline"]["phase_seconds"][PHASE4_KEY]
+    fresh_phase = fresh["pipeline"]["phase_seconds"][PHASE4_KEY]
+    if base_phase <= 0:
+        return True, f"baseline phase-4 time is {base_phase}s; nothing to gate"
+    ratio = fresh_phase / base_phase
+    message = (f"phase-4 wall-clock: baseline {base_phase:.4f}s, "
+               f"fresh {fresh_phase:.4f}s ({ratio:.2f}x)")
+    if ratio > 1.0 + tolerance:
+        return False, message + f" — REGRESSION beyond {tolerance:.0%} tolerance"
+    return True, message + " — within tolerance"
+
+
+def compare_fingerprints(baseline: dict, fresh: dict) -> "tuple[bool, str]":
+    """Return ``(same, message)`` for the behaviour fingerprint."""
+    base_fp = baseline["pipeline"].get("graph_fingerprint")
+    fresh_fp = fresh["pipeline"].get("graph_fingerprint")
+    if base_fp == fresh_fp:
+        return True, f"graph fingerprint unchanged ({str(base_fp)[:12]}…)"
+    return False, (f"graph fingerprint CHANGED: {str(base_fp)[:12]}… → "
+                   f"{str(fresh_fp)[:12]}… (behaviour differs from the baseline)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_perf.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated perf report")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional phase-4 slowdown (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+
+    ok, message = compare_phase4(baseline, fresh, args.tolerance)
+    print(message)
+    same, fp_message = compare_fingerprints(baseline, fresh)
+    print(("" if same else "WARNING: ") + fp_message)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

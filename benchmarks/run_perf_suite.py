@@ -1,11 +1,17 @@
 #!/usr/bin/env python
 """Fixed-seed performance suite: phase timings and scoring throughput.
 
-Runs the Figure-1 pipeline at a fixed workload size plus a thread sweep of
-the phase-4 scoring kernel, and writes the results to ``BENCH_perf.json`` so
-that successive PRs accumulate a comparable performance trajectory.
+Runs the Figure-1 pipeline at a fixed workload size, a thread sweep of the
+phase-4 scoring kernel, and a backend sweep (thread pool vs. process pool
+over mmap-served profile slices) at 2k and 10k users, and writes the
+results to ``BENCH_perf.json`` so that successive PRs accumulate a
+comparable performance trajectory.
 
 Run with:  PYTHONPATH=src python benchmarks/run_perf_suite.py [--output PATH]
+
+``--quick`` restricts the run to the pipeline bench (the CI regression gate
+compares its phase-4 wall-clock against the committed baseline, see
+``benchmarks/check_perf_regression.py``).
 
 The quantities recorded:
 
@@ -15,6 +21,10 @@ The quantities recorded:
   checks);
 * ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
   4 scoring threads;
+* ``backend_sweep`` — phase-4 seconds of one engine iteration per backend
+  (serial / thread / process at several worker counts) at 2k and 10k dense
+  users, each row carrying the final graph fingerprint so cross-backend
+  bit-parity is visible in the trajectory;
 * ``graph_fingerprint`` — a hash of the final graph's edge set, so a perf
   regression hunt can immediately see whether behaviour changed too.
 """
@@ -22,8 +32,8 @@ The quantities recorded:
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -39,11 +49,14 @@ K = 10
 NUM_PARTITIONS = 6
 NUM_ITERATIONS = 2
 
-
-def _graph_fingerprint(graph) -> str:
-    edges = sorted((int(s), int(d), round(float(score), 9))
-                   for s, d, score in graph.edges())
-    return hashlib.sha256(json.dumps(edges).encode()).hexdigest()
+#: (backend, workers) datapoints of the backend sweep; "workers" means
+#: num_threads for the thread backend and num_workers for the process one.
+BACKEND_POINTS = (
+    ("serial", 1),
+    ("thread", 4),
+    ("process", 2),
+    ("process", 4),
+)
 
 
 def run_pipeline_bench() -> dict:
@@ -72,7 +85,23 @@ def run_pipeline_bench() -> dict:
                                 for result in run.iterations),
         "similarity_evaluations": evaluations,
         "phase4_evaluations_per_second": round(evaluations / phase4) if phase4 else None,
-        "graph_fingerprint": _graph_fingerprint(run.iterations[-1].graph),
+        "graph_fingerprint": run.iterations[-1].graph.edge_fingerprint(),
+    }
+
+
+def _one_iteration(profiles, **overrides) -> dict:
+    config = EngineConfig(k=K, num_partitions=NUM_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED, **overrides)
+    with KNNEngine(profiles, config) as engine:
+        result = engine.run_iteration()
+        graph = engine.graph
+    phase4 = result.phase_timer.as_dict()[PHASE_NAMES[3]]
+    return {
+        "phase4_seconds": round(phase4, 4),
+        "similarity_evaluations": result.similarity_evaluations,
+        "evaluations_per_second": (round(result.similarity_evaluations / phase4)
+                                   if phase4 else None),
+        "graph_fingerprint": graph.edge_fingerprint(),
     }
 
 
@@ -81,19 +110,25 @@ def run_thread_sweep(thread_counts=(1, 2, 4)) -> list:
     profiles = generate_dense_profiles(NUM_USERS, dim=16, num_communities=8,
                                        seed=SEED)
     for num_threads in thread_counts:
-        config = EngineConfig(k=K, num_partitions=NUM_PARTITIONS,
-                              heuristic="degree-low-high", seed=SEED,
-                              num_threads=num_threads)
-        with KNNEngine(profiles, config) as engine:
-            result = engine.run_iteration()
-        phase4 = result.phase_timer.as_dict()[PHASE_NAMES[3]]
-        rows.append({
-            "num_threads": num_threads,
-            "phase4_seconds": round(phase4, 4),
-            "similarity_evaluations": result.similarity_evaluations,
-            "evaluations_per_second": round(result.similarity_evaluations / phase4)
-            if phase4 else None,
-        })
+        row = _one_iteration(profiles, num_threads=num_threads)
+        rows.append({"num_threads": num_threads, **row})
+    return rows
+
+
+def run_backend_sweep(user_counts=(2000, 10000)) -> list:
+    rows = []
+    for num_users in user_counts:
+        profiles = generate_dense_profiles(num_users, dim=16, num_communities=8,
+                                           seed=SEED)
+        for backend, workers in BACKEND_POINTS:
+            overrides = {"backend": backend}
+            if backend == "thread":
+                overrides["num_threads"] = workers
+            elif backend == "process":
+                overrides["num_workers"] = workers
+            row = _one_iteration(profiles, **overrides)
+            rows.append({"num_users": num_users, "backend": backend,
+                         "workers": workers, **row})
     return rows
 
 
@@ -102,16 +137,25 @@ def main() -> None:
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_perf.json")
     parser.add_argument("--skip-threads", action="store_true",
-                        help="only run the pipeline bench")
+                        help="deprecated alias for --quick (kept so existing "
+                             "'pipeline bench only' invocations stay fast)")
+    parser.add_argument("--skip-backends", action="store_true",
+                        help="skip the backend (thread vs. process) sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="pipeline bench only (what the CI gate compares)")
     args = parser.parse_args()
+    quick = args.quick or args.skip_threads
 
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "pipeline": run_pipeline_bench(),
     }
-    if not args.skip_threads:
+    if not quick:
         report["thread_sweep"] = run_thread_sweep()
+    if not (quick or args.skip_backends):
+        report["backend_sweep"] = run_backend_sweep()
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwrote {args.output}")

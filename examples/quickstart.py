@@ -31,12 +31,21 @@ def main() -> None:
     # 2. Engine configuration: K=10 neighbours, 8 on-disk partitions, at most
     #    two partitions resident (the paper's memory constraint), and the
     #    degree-based low-to-high PI-graph traversal heuristic.
+    #
+    #    Phase-4 scoring is parallelisable via two knobs (all backends
+    #    produce bit-identical graphs):
+    #      backend="thread",  num_threads=4  — thread pool (kernels drop the GIL)
+    #      backend="process", num_workers=4  — process pool; workers re-open the
+    #                                          profile store read-only by path and
+    #                                          score against zero-copy mmap slices
     config = EngineConfig(
         k=10,
         num_partitions=8,
         partitioner="contiguous",
         heuristic="degree-low-high",
         disk_model="ssd",
+        backend="thread",
+        num_threads=1,
         seed=1,
     )
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
+from repro.core.parallel import BACKENDS
 from repro.pigraph.traversal import HEURISTICS
 from repro.partition.partitioners import available_partitioners
 from repro.similarity.measures import MEASURES
@@ -52,8 +53,17 @@ class EngineConfig:
     max_pairs_per_bridge:
         Optional cap on the per-bridge-vertex cross product when generating
         candidate tuples (``None`` reproduces the paper exactly).
+    backend:
+        Phase-4 scoring backend: ``"serial"`` (one kernel call per residency
+        step), ``"thread"`` (a GIL-sharing thread pool of ``num_threads``),
+        or ``"process"`` (a pool of ``num_workers`` processes that re-open
+        the profile store read-only by path and score tuple shards against
+        mmap-served slices).  All three produce bit-identical graphs.
     num_threads:
-        Worker threads for the phase-4 similarity scoring (1 = sequential).
+        Worker threads for the ``thread`` backend (1 = sequential).
+    num_workers:
+        Worker processes for the ``process`` backend; also the shard count
+        of the deterministic per-shard top-K merge into ``G(t+1)``.
     seed:
         Seed for the random initial KNN graph.
     """
@@ -68,7 +78,9 @@ class EngineConfig:
     memory_budget_bytes: Optional[float] = None
     include_direct_edges: bool = True
     max_pairs_per_bridge: Optional[int] = None
+    backend: str = "thread"
     num_threads: int = 1
+    num_workers: int = 1
     seed: Optional[int] = 0
 
     def __post_init__(self):
@@ -76,6 +88,11 @@ class EngineConfig:
         check_positive_int(self.num_partitions, "num_partitions")
         check_positive_int(self.max_resident_partitions, "max_resident_partitions")
         check_positive_int(self.num_threads, "num_threads")
+        check_positive_int(self.num_workers, "num_workers")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: {', '.join(BACKENDS)}"
+            )
         if self.max_resident_partitions < 2:
             raise ValueError(
                 "max_resident_partitions must be at least 2: phase 4 needs the two "

@@ -17,12 +17,12 @@ queue, and calls :meth:`OutOfCoreIteration.run` once per iteration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.parallel import score_tuples
+from repro.core.parallel import ProcessScoringPool, score_tuples
 from repro.core.update_queue import ProfileUpdateQueue
 from repro.graph.knn_graph import KNNGraph
 from repro.partition.model import Partition, build_partitions
@@ -199,7 +199,12 @@ class OutOfCoreIteration:
             profile_bytes_per_user=self._profile_store.estimated_bytes_per_user(),
             io_stats=io_stats,
         )
+        use_process = config.backend == "process"
+        pool = (ProcessScoringPool(self._profile_store, num_workers=config.num_workers)
+                if use_process else None)
+        merge_shards = config.num_workers if use_process else 1
         resident_profiles: Dict[int, ProfileSlice] = {}
+        charged_profiles: Set[int] = set()
         new_graph = KNNGraph(graph.num_vertices, config.k)
         evaluations = 0
         scored_tuples: List[np.ndarray] = []
@@ -219,33 +224,55 @@ class OutOfCoreIteration:
             scores_block = (scored_values[0] if len(scored_values) == 1
                             else np.concatenate(scored_values))
             # the hash table guarantees each (s, d) pair is scored once per
-            # iteration, so every flushed block is duplicate-free
-            new_graph.add_candidates_batch(tuples_block[:, 0], tuples_block[:, 1],
-                                           scores_block, assume_unique=True)
+            # iteration, so every flushed block is duplicate-free; the
+            # sharded merge is bit-identical to a single batch call (the
+            # top-K selection is independent per source vertex)
+            new_graph.add_candidates_sharded(tuples_block[:, 0], tuples_block[:, 1],
+                                             scores_block, num_shards=merge_shards,
+                                             assume_unique=True)
             scored_tuples.clear()
             scored_values.clear()
             pending_rows = 0
 
-        for first, second, edges in steps:
-            partition_a, partition_b = cache.acquire_pair(first, second)
-            self._sync_profile_slices(cache, resident_profiles,
-                                      {first: partition_a, second: partition_b})
-            merged = self._merged_slice(resident_profiles, first, second)
-            # concatenate every PI edge of the residency step into one batch
-            # and score it with a single (optionally threaded) kernel call
-            chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
-            chunks = [chunk for chunk in chunks if len(chunk)]
-            if not chunks:
-                continue
-            tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-            scores = score_tuples(merged, tuples, measure,
-                                  num_threads=config.num_threads)
-            evaluations += len(tuples)
-            scored_tuples.append(tuples)
-            scored_values.append(scores)
-            pending_rows += len(tuples)
-            if pending_rows >= flush_threshold:
-                flush_scored()
+        try:
+            for first, second, edges in steps:
+                partition_a, partition_b = cache.acquire_pair(first, second)
+                needed = {first: partition_a, second: partition_b}
+                if use_process:
+                    # the workers load (mmap, zero-copy) the slices themselves;
+                    # the coordinator only keeps the I/O accounting aligned
+                    self._sync_profile_charges(cache, charged_profiles, needed)
+                else:
+                    self._sync_profile_slices(cache, resident_profiles, needed)
+                    merged = self._merged_slice(resident_profiles, first, second)
+                # concatenate every PI edge of the residency step into one batch
+                # and score it with a single (parallel) scoring call
+                chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
+                chunks = [chunk for chunk in chunks if len(chunk)]
+                if not chunks:
+                    continue
+                tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                if use_process:
+                    # per-partition id arrays, so workers cache each
+                    # partition's zero-copy slice across residency steps
+                    parts = [(first, partition_a.vertices)]
+                    if second != first:
+                        parts.append((second, partition_b.vertices))
+                    scores = pool.score(None, tuples, measure,
+                                        key=(first, second), parts=parts)
+                else:
+                    scores = score_tuples(merged, tuples, measure,
+                                          num_threads=config.num_threads,
+                                          backend=config.backend)
+                evaluations += len(tuples)
+                scored_tuples.append(tuples)
+                scored_values.append(scores)
+                pending_rows += len(tuples)
+                if pending_rows >= flush_threshold:
+                    flush_scored()
+        finally:
+            if pool is not None:
+                pool.shutdown()
         cache.flush()
         resident_profiles.clear()
         flush_scored()
@@ -262,6 +289,23 @@ class OutOfCoreIteration:
         for pid, partition in needed.items():
             if pid not in resident_profiles:
                 resident_profiles[pid] = self._profile_store.load_users(partition.vertices)
+
+    def _sync_profile_charges(self, cache: PartitionCache,
+                              charged: Set[int],
+                              needed: Dict[int, Partition]) -> None:
+        """Mirror :meth:`_sync_profile_slices` accounting for the process backend.
+
+        Worker processes load the profile slices in their own address space;
+        their IOStats never reach the engine, so the coordinator charges one
+        mapped slice read per partition residency — the same schedule the
+        in-process backends pay, and an honest model of the shared page
+        cache (each slice is faulted in once, not once per worker).
+        """
+        charged &= set(cache.resident_ids)
+        for pid, partition in needed.items():
+            if pid not in charged:
+                self._profile_store.charge_slice_read(partition.vertices)
+                charged.add(pid)
 
     @staticmethod
     def _merged_slice(resident_profiles: Dict[int, ProfileSlice],

@@ -1,51 +1,236 @@
-"""Multi-threaded similarity scoring (the paper's future-work "multiple threads").
+"""Parallel similarity scoring: thread and process backends.
 
 Phase 4 scores a (possibly large) batch of candidate tuples against the
 profiles of the two resident partitions.  The batch is embarrassingly
-parallel, and the dense-profile kernels are NumPy calls that release the
-GIL, so a plain thread pool gives real speedups without any multiprocessing
-serialisation of the profile slices.
+parallel.  Two parallel backends are provided:
+
+* ``thread`` — a plain thread pool.  The dense-profile kernels are NumPy
+  calls that release the GIL, so threads give real speedups with zero
+  serialisation of the profile slices.
+* ``process`` — a process pool (:class:`ProcessScoringPool`).  Workers
+  *never* receive profile data over the pipe: each worker re-opens the
+  on-disk profile store read-only by path and serves its slices straight
+  from the mapped files (zero-copy for contiguous partitions, cached per
+  partition across residency steps), so per task only the tuple shard, the
+  score shard and O(1) slice descriptors cross the pipe.  This sidesteps
+  the GIL entirely — including the Python-level portions of the kernels
+  that threads serialise on.
+
+Both backends return scores aligned with the input tuples row for row
+(shards are concatenated in submission order), so results are bit-identical
+to the serial path regardless of worker count.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Sequence, Tuple, Union
+
+import multiprocessing
 
 import numpy as np
 
-from repro.storage.profile_store import ProfileSlice
+from repro.storage.profile_store import OnDiskProfileStore, ProfileSlice
 from repro.utils.validation import check_positive_int
+
+#: Recognised values for the ``backend`` knob (config and ``score_tuples``).
+BACKENDS = ("serial", "thread", "process")
+
+
+def _num_chunks(num_tuples: int, num_threads: int, chunk_size: int) -> int:
+    """Chunk count for the thread backend: at least one chunk per thread and
+    never a chunk larger than ``chunk_size``, clamped so no chunk is empty."""
+    return min(num_tuples, max(num_threads, -(-num_tuples // chunk_size)))
 
 
 def score_tuples(profile_slice: ProfileSlice, tuples: np.ndarray, measure: str,
-                 num_threads: int = 1, chunk_size: int = 4096) -> np.ndarray:
-    """Similarity scores for an ``(n, 2)`` tuple array, optionally threaded.
+                 num_threads: int = 1, chunk_size: int = 4096,
+                 backend: str = "thread",
+                 pool: "Optional[ProcessScoringPool]" = None) -> np.ndarray:
+    """Similarity scores for an ``(n, 2)`` tuple array, optionally parallel.
 
     The result is aligned with ``tuples`` row for row regardless of the
-    thread count, so callers never need to re-associate scores with pairs.
+    backend or worker count, so callers never need to re-associate scores
+    with pairs.  ``backend="process"`` requires a :class:`ProcessScoringPool`
+    whose workers have the same store open; the slice itself stays in the
+    calling process and only its user ids cross the pipe.
     """
     check_positive_int(num_threads, "num_threads")
     check_positive_int(chunk_size, "chunk_size")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}")
     tuples = np.asarray(tuples, dtype=np.int64)
     if tuples.size == 0:
         return np.zeros(0, dtype=np.float64)
     if tuples.ndim != 2 or tuples.shape[1] != 2:
         raise ValueError("tuples must be an (n, 2) array")
-    if num_threads == 1 or len(tuples) <= chunk_size:
+    if backend == "process":
+        if pool is None:
+            raise ValueError("backend='process' requires a ProcessScoringPool")
+        # a contiguous slice can be identified by its span — the store is
+        # immutable while the pool is alive — letting workers cache the load
+        ids = profile_slice.user_ids
+        key = None
+        if len(ids) and int(ids[-1]) - int(ids[0]) + 1 == len(ids):
+            key = ("span", int(ids[0]), int(ids[-1]))
+        return pool.score(ids, tuples, measure, key=key)
+    if backend == "serial" or num_threads == 1 or len(tuples) <= chunk_size:
         return profile_slice.similarity_pairs(tuples, measure)
 
-    # balance the batch across the pool: at least one chunk per thread, and
-    # never a chunk larger than chunk_size, so a single residency-step batch
-    # keeps every worker busy
-    num_chunks = max(num_threads, -(-len(tuples) // chunk_size))
-    chunks = np.array_split(tuples, num_chunks)
+    # balance the batch across the pool; the chunk count is clamped to the
+    # tuple count so a batch barely above chunk_size never degenerates into
+    # near-empty chunks
+    chunks = np.array_split(tuples, _num_chunks(len(tuples), num_threads, chunk_size))
     results: list = [None] * len(chunks)
-    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+    with ThreadPoolExecutor(max_workers=num_threads) as thread_pool:
         futures = {
-            pool.submit(profile_slice.similarity_pairs, chunk, measure): index
+            thread_pool.submit(profile_slice.similarity_pairs, chunk, measure): index
             for index, chunk in enumerate(chunks)
         }
         for future, index in futures.items():
             results[index] = future.result()
     return np.concatenate(results)
+
+
+# -- process backend ---------------------------------------------------------
+#
+# Worker-side state: one re-opened store per worker process, a small cache
+# of per-partition slices (each partition is one contiguous id run under
+# the paper's split, so these are zero-copy mmap views — cheap to keep
+# resident across residency steps), and the most recently merged slice,
+# keyed so that the shards of one residency step all reuse a single merge.
+# The store is immutable while a pool is alive (pools live inside one
+# phase 4; profile updates happen in phase 5), so reusing cached slices
+# for a repeated key is always sound.
+
+_WORKER_STORE: Optional[OnDiskProfileStore] = None
+_WORKER_PARTS: "dict[object, ProfileSlice]" = {}
+_WORKER_SLICE: Tuple[Optional[object], Optional[ProfileSlice]] = (None, None)
+
+#: Per-partition slices a worker keeps resident (mirrors the coordinator's
+#: small partition cache; the slices are views, so this bounds mapping count,
+#: not bytes).
+_WORKER_PART_CACHE_SLOTS = 4
+
+
+def _compact_ids(user_ids) -> "Union[range, np.ndarray]":
+    """Contiguous id runs travel the pipe as an O(1) ``range``, not an array."""
+    ids = np.ascontiguousarray(user_ids, dtype=np.int64)
+    if len(ids) and int(ids[-1]) - int(ids[0]) + 1 == len(ids):
+        return range(int(ids[0]), int(ids[-1]) + 1)
+    return ids
+
+
+def _init_scoring_worker(store_dir: str) -> None:
+    global _WORKER_STORE, _WORKER_PARTS, _WORKER_SLICE
+    # the coordinator charges slice reads once for the whole pool, so the
+    # worker's own accounting uses the free device model
+    _WORKER_STORE = OnDiskProfileStore(store_dir, disk_model="instant")
+    _WORKER_PARTS = {}
+    _WORKER_SLICE = (None, None)
+
+
+def _worker_part_slice(part_key: object, user_ids: np.ndarray) -> ProfileSlice:
+    if part_key is None:  # uncacheable ad-hoc id set
+        return _WORKER_STORE.load_users(user_ids)
+    piece = _WORKER_PARTS.get(part_key)
+    if piece is None:
+        piece = _WORKER_STORE.load_users(user_ids)
+        while len(_WORKER_PARTS) >= _WORKER_PART_CACHE_SLOTS:
+            _WORKER_PARTS.pop(next(iter(_WORKER_PARTS)))
+        _WORKER_PARTS[part_key] = piece
+    return piece
+
+
+def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
+                 tuples: np.ndarray, measure: str) -> np.ndarray:
+    """Score one tuple shard against the union of the given partition slices.
+
+    ``parts`` is ``[(part_key, user_ids), ...]``; each partition is loaded
+    (zero-copy for contiguous runs) and cached by key, and the merged slice
+    is cached per ``key`` so all shards of one residency step share it.
+    Merging per-partition slices is exactly what the in-process backends do,
+    so scores stay bit-identical.
+    """
+    global _WORKER_SLICE
+    if key is None or _WORKER_SLICE[0] != key:
+        merged: Optional[ProfileSlice] = None
+        for part_key, user_ids in parts:
+            piece = _worker_part_slice(part_key, user_ids)
+            merged = piece if merged is None else merged.merge(piece)
+        _WORKER_SLICE = (key, merged)
+    return _WORKER_SLICE[1].similarity_pairs(tuples, measure)
+
+
+class ProcessScoringPool:
+    """A pool of scoring workers that re-open one profile store by path.
+
+    Tuple shards are split deterministically (``np.array_split`` order) and
+    the per-shard score arrays are concatenated in submission order, so the
+    assembled result is bit-identical to a serial ``similarity_pairs`` call.
+    Use as a context manager, or call :meth:`shutdown`.
+    """
+
+    def __init__(self, store: Union[OnDiskProfileStore, str, os.PathLike],
+                 num_workers: int = 1):
+        check_positive_int(num_workers, "num_workers")
+        store_dir = store.base_dir if isinstance(store, OnDiskProfileStore) else store
+        self._num_workers = num_workers
+        # fork (where available) shares the parent's imports copy-on-write;
+        # the workers re-open the store themselves in the initializer
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        self._executor = ProcessPoolExecutor(
+            max_workers=num_workers,
+            mp_context=context,
+            initializer=_init_scoring_worker,
+            initargs=(str(store_dir),),
+        )
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    def score(self, user_ids: Optional[np.ndarray], tuples: np.ndarray,
+              measure: str, key: object = None,
+              parts: "Optional[Sequence[Tuple[object, np.ndarray]]]" = None
+              ) -> np.ndarray:
+        """Score ``tuples`` against a set of loaded profiles, sharded.
+
+        ``parts`` — ``[(part_key, user_ids), ...]`` — names the resident
+        partitions of one residency step: workers load each partition slice
+        once (zero-copy for a contiguous partition), keep it cached by
+        ``part_key`` across steps, and merge exactly as the in-process
+        backends do, so scores stay bit-identical.  Without ``parts``, the
+        flat ``user_ids`` array is loaded as one slice (cached under ``key``
+        when given).  ``key`` identifies the merged slice across the shards
+        of one call — phase 4 passes one key per residency step.
+        """
+        tuples = np.asarray(tuples, dtype=np.int64)
+        if tuples.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if tuples.ndim != 2 or tuples.shape[1] != 2:
+            raise ValueError("tuples must be an (n, 2) array")
+        if parts is None:
+            if user_ids is None:
+                raise ValueError("provide user_ids or parts")
+            part_key = ("slice", key) if key is not None else None
+            parts = [(part_key, _compact_ids(user_ids))]
+        else:
+            parts = [(part_key, _compact_ids(ids)) for part_key, ids in parts]
+        shards = np.array_split(tuples, min(self._num_workers, len(tuples)))
+        futures = [
+            self._executor.submit(_score_shard, key, parts, shard, measure)
+            for shard in shards if len(shard)
+        ]
+        return np.concatenate([future.result() for future in futures])
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessScoringPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

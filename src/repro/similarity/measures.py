@@ -222,10 +222,15 @@ class SetProfileCSR:
     a whole batch of pairs with no per-pair Python.
     """
 
-    def __init__(self, indptr: np.ndarray, codes: np.ndarray, num_items: int):
+    def __init__(self, indptr: np.ndarray, codes: np.ndarray, num_items: int,
+                 item_ids: "np.ndarray | None" = None):
+        # np.asarray never copies matching dtypes, so read-only mmap-backed
+        # arrays are served through the kernels as-is
         self._indptr = np.asarray(indptr, dtype=np.int64)
         self._codes = np.asarray(codes, dtype=np.int64)
         self._num_items = int(num_items)
+        self._item_ids = (np.asarray(item_ids, dtype=np.int64)
+                          if item_ids is not None else None)
 
     @classmethod
     def from_sets(cls, profiles: Sequence[Iterable[int]]) -> "SetProfileCSR":
@@ -241,13 +246,76 @@ class SetProfileCSR:
             uniques, codes = np.unique(flat, return_inverse=True)
             num_items = len(uniques)
         else:
+            uniques = np.empty(0, dtype=np.int64)
             codes = np.empty(0, dtype=np.int64)
             num_items = 0
-        return cls(indptr, codes, num_items)
+        return cls(indptr, codes, num_items, item_ids=uniques)
 
     @property
     def num_rows(self) -> int:
         return len(self._indptr) - 1
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def codes(self) -> np.ndarray:
+        return self._codes
+
+    @property
+    def item_ids(self) -> "np.ndarray | None":
+        """Code→item-id decode table (``None`` when rows hold raw codes)."""
+        return self._item_ids
+
+    def row_codes(self, row: int) -> np.ndarray:
+        """Item codes of one row (a view into the codes array)."""
+        return self._codes[self._indptr[row]:self._indptr[row + 1]]
+
+    def row_items(self, row: int) -> np.ndarray:
+        """Original item ids of one row (decoded when a table is attached)."""
+        codes = self.row_codes(row)
+        return self._item_ids[codes] if self._item_ids is not None else codes
+
+    @classmethod
+    def merged_subset(cls, a: "SetProfileCSR", b: "SetProfileCSR",
+                      take: np.ndarray) -> "SetProfileCSR":
+        """Rows ``take`` of the virtual row stack ``[a; b]``, in one gather.
+
+        ``take`` indexes rows ``0..a.num_rows-1`` in ``a`` and
+        ``a.num_rows..`` in ``b``.  The output codes array is allocated
+        once and filled by one gather per source — no intermediate
+        concatenation of the two CSRs — which is what makes merging two
+        mmap-served partition slices a single-copy operation.
+        """
+        if a._num_items != b._num_items:
+            raise ValueError("cannot merge CSRs with different item codings")
+        take = np.asarray(take, dtype=np.int64)
+        from_b = take >= a.num_rows
+        rows_a = take[~from_b]
+        rows_b = take[from_b] - a.num_rows
+        sizes = np.empty(len(take), dtype=np.int64)
+        src_start = np.empty(len(take), dtype=np.int64)
+        sizes[~from_b] = a.row_sizes(rows_a)
+        sizes[from_b] = b.row_sizes(rows_b)
+        src_start[~from_b] = a._indptr[rows_a]
+        src_start[from_b] = b._indptr[rows_b]
+        indptr = np.zeros(len(take) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        total = int(indptr[-1])
+        codes = np.empty(total, dtype=np.int64)
+        if total:
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(indptr[:-1], sizes)
+            src = np.repeat(src_start, sizes) + offsets
+            item_from_b = np.repeat(from_b, sizes)
+            codes[~item_from_b] = a._codes[src[~item_from_b]]
+            codes[item_from_b] = b._codes[src[item_from_b]]
+        item_ids = a._item_ids if a._item_ids is not None else b._item_ids
+        return cls(indptr, codes, a._num_items, item_ids=item_ids)
 
     def row_sizes(self, rows: np.ndarray) -> np.ndarray:
         return self._indptr[rows + 1] - self._indptr[rows]

@@ -78,6 +78,16 @@ class SparseProfileStore(ProfileStoreBase):
             self._csr = _measures.SetProfileCSR.from_sets(self._profiles)
         return self._csr
 
+    def incidence(self) -> _measures.SetProfileCSR:
+        """The store's CSR incidence matrix (item ids recoded to dense codes).
+
+        The on-disk layer persists exactly these arrays (indptr, codes and
+        the code→item-id table), so sparse partition profiles live on disk
+        in CSR row order and a partition slice is a pure slice of the
+        mapped arrays.
+        """
+        return self._incidence()
+
     @classmethod
     def empty(cls, num_users: int) -> "SparseProfileStore":
         check_non_negative(num_users, "num_users")
@@ -173,11 +183,11 @@ class SparseProfileStore(ProfileStoreBase):
 class DenseProfileStore(ProfileStoreBase):
     """Profiles as rows of a dense ``(num_users, dim)`` float64 matrix."""
 
-    def __init__(self, matrix: np.ndarray):
+    def __init__(self, matrix: np.ndarray, copy: bool = True):
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
             raise ValueError("profile matrix must be two-dimensional")
-        self._matrix = matrix.copy()
+        self._matrix = matrix.copy() if copy else matrix
 
     @classmethod
     def empty(cls, num_users: int, dim: int) -> "DenseProfileStore":

@@ -56,6 +56,24 @@ class DiskModel:
         """Simulated seconds for a pure positioning operation."""
         return self.access_latency_s
 
+    def mapped_read_cost(self, num_bytes: int, sequential: bool = True) -> float:
+        """Simulated seconds to fault ``num_bytes`` in through a memory map.
+
+        Mapped reads are demand-paged: the device still moves every touched
+        byte, but in whole pages, so the charge is the ordinary read cost of
+        the byte count rounded up to the page size.  A zero-byte mapping
+        faults nothing and costs nothing.
+        """
+        check_non_negative(num_bytes, "num_bytes")
+        if num_bytes == 0:
+            return 0.0
+        pages = -(-int(num_bytes) // PAGE_SIZE_BYTES)
+        return self.read_cost(pages * PAGE_SIZE_BYTES, sequential=sequential)
+
+
+#: Page granularity used by :meth:`DiskModel.mapped_read_cost`.
+PAGE_SIZE_BYTES = 4096
+
 
 #: Presets roughly matching a 7200-rpm laptop HDD, a SATA SSD, and an ideal device.
 DISK_PRESETS: Dict[str, DiskModel] = {

@@ -89,7 +89,13 @@ class PartitionStore:
             self.write_partition(partition)
 
     def read_partition(self, pid: int) -> Partition:
-        """Load one partition from disk (sequential read of the whole file)."""
+        """Load one partition from disk (sequential read of the whole file).
+
+        The returned arrays are zero-copy read-only views over the file's
+        byte buffer — one allocation for the whole partition instead of one
+        per array.  Partitions are immutable once written, so every consumer
+        treats them as read-only.
+        """
         path = self.partition_path(pid)
         if not path.exists():
             raise FileNotFoundError(f"no stored partition with id {pid} under {self._base_dir}")
@@ -102,13 +108,13 @@ class PartitionStore:
         stored_pid, n_vertices, n_in, n_out, n_in_src, n_out_dst = (int(x) for x in header)
         if stored_pid != pid:
             raise ValueError(f"{path} stores partition {stored_pid}, expected {pid}")
-        vertices = np.frombuffer(raw, dtype=np.int64, count=n_vertices, offset=offset).copy()
+        vertices = np.frombuffer(raw, dtype=np.int64, count=n_vertices, offset=offset)
         offset += n_vertices * 8
         in_edges = np.frombuffer(raw, dtype=np.int64, count=n_in * 2, offset=offset)
-        in_edges = in_edges.reshape(n_in, 2).copy()
+        in_edges = in_edges.reshape(n_in, 2)
         offset += n_in * 16
         out_edges = np.frombuffer(raw, dtype=np.int64, count=n_out * 2, offset=offset)
-        out_edges = out_edges.reshape(n_out, 2).copy()
+        out_edges = out_edges.reshape(n_out, 2)
         self.io_stats.record_read(len(raw), self._disk.read_cost(len(raw), sequential=True))
         return Partition(
             pid=pid,

@@ -5,15 +5,26 @@ currently-loaded pair of partitions are brought into memory (phase 4 loads
 "the profiles of at most two partitions").  Two encodings mirror the
 in-memory stores:
 
-* dense — a single ``float64`` matrix file accessed through ``numpy.memmap``
-  so that loading a partition's rows is a strided read and profile updates
-  (phase 5) are in-place row writes;
-* sparse — an ``indptr``/``items`` pair of int64 arrays (CSR-style), loaded
-  per user-range; updates rewrite the file (sizes change), which matches the
-  paper's lazy batch-update semantics.
+* dense — a ``float64`` matrix file plus a precomputed per-row norm file,
+  both accessed through ``numpy.memmap``; a contiguous partition's slice is
+  served *zero-copy* as a read-only view of the mapped files, and profile
+  updates (phase 5) are in-place row writes;
+* sparse — the store's CSR incidence arrays (``indptr``, item *codes* and
+  the code→item-id table) written in row order, so a contiguous partition's
+  slice is a pure slice of the mapped arrays with no per-user set
+  materialisation; updates rewrite the files (sizes change), which matches
+  the paper's lazy batch-update semantics.
+
+The on-disk layout is versioned (``format_version`` in the meta file).
+Version-1 stores — dense without the norm file, sparse with raw item ids
+instead of codes — are still readable through a fallback loader.
 
 Every operation is charged to the configured disk model and recorded in
-:class:`~repro.storage.io_stats.IOStats`.
+:class:`~repro.storage.io_stats.IOStats`.  Mapped reads are charged through
+:meth:`~repro.storage.disk_model.DiskModel.mapped_read_cost` (page-granular
+demand paging) at slice-load time, which is also exposed as
+:meth:`OnDiskProfileStore.charge_slice_read` so a coordinating process can
+account for reads its worker processes perform against the same files.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -33,37 +44,52 @@ from repro.storage.io_stats import IOStats
 
 PathLike = Union[str, os.PathLike]
 
+#: Current on-disk layout version (see module docstring for the history).
+FORMAT_VERSION = 2
+
 
 class ProfileSlice:
     """Profiles of a subset of users, loaded into memory for similarity scoring.
 
-    Construction precomputes an id→row lookup array (``_row_of``) and packs
-    the profiles into a batch-scorable form — a dense matrix or a CSR
-    incidence matrix — so that :meth:`similarity_pairs` is pure NumPy with no
-    per-pair Python on either profile kind.
+    Construction precomputes an id→row translation — a plain offset when the
+    user ids are one contiguous run (the common case for the paper's
+    contiguous partitioner), a lookup array otherwise — and packs the
+    profiles into a batch-scorable form: a dense matrix (plus row norms) or
+    a CSR incidence matrix, so that :meth:`similarity_pairs` is pure NumPy
+    with no per-pair Python on either profile kind.  Slices served from a
+    mapped store hold read-only views of the mapped file; nothing in the
+    scoring path writes through them.
     """
 
     def __init__(self, kind: str, profiles: Optional[Dict[int, object]], dim: int = 0,
                  *, user_ids: Optional[np.ndarray] = None,
-                 matrix: Optional[np.ndarray] = None):
+                 matrix: Optional[np.ndarray] = None,
+                 norms: Optional[np.ndarray] = None,
+                 csr: Optional[_measures.SetProfileCSR] = None):
         if kind not in ("sparse", "dense"):
             raise ValueError(f"kind must be 'sparse' or 'dense', got {kind!r}")
         self.kind = kind
         self._dim = dim
         if profiles is not None:
             self._user_ids = np.asarray(sorted(profiles), dtype=np.int64)
-        elif kind == "dense" and user_ids is not None and matrix is not None:
-            # array fast path: rows of ``matrix`` correspond to the (sorted)
-            # ``user_ids``, no per-user dict required
+        elif user_ids is not None and (matrix is not None or csr is not None):
+            # array fast path: rows correspond to the (sorted) ``user_ids``,
+            # no per-user dict required
             self._user_ids = np.asarray(user_ids, dtype=np.int64)
         else:
-            raise ValueError("provide a profiles dict, or user_ids+matrix for dense")
+            raise ValueError("provide a profiles dict, or user_ids plus matrix/csr")
         users = self._user_ids
-        if len(users):
-            self._row_of = np.full(int(users[-1]) + 1, -1, dtype=np.int64)
-            self._row_of[users] = np.arange(len(users), dtype=np.int64)
+        if len(users) and int(users[-1]) - int(users[0]) + 1 == len(users):
+            # contiguous run: id→row is an offset, no lookup allocation
+            self._row_start: Optional[int] = int(users[0])
+            self._row_of: Optional[np.ndarray] = None
         else:
-            self._row_of = np.empty(0, dtype=np.int64)
+            self._row_start = None
+            if len(users):
+                self._row_of = np.full(int(users[-1]) + 1, -1, dtype=np.int64)
+                self._row_of[users] = np.arange(len(users), dtype=np.int64)
+            else:
+                self._row_of = np.empty(0, dtype=np.int64)
         if kind == "dense":
             if matrix is not None:
                 self._matrix = matrix
@@ -73,20 +99,33 @@ class ProfileSlice:
                 self._matrix = np.zeros((0, dim), dtype=np.float64)
             self._dim = self._matrix.shape[1] if self._matrix.size else dim
             self._csr = None
-            self._norms = np.linalg.norm(self._matrix, axis=1)
+            self._profiles = None
+            self._norms = (np.asarray(norms, dtype=np.float64) if norms is not None
+                           else np.linalg.norm(self._matrix, axis=1))
         else:
-            self._profiles: Dict[int, object] = profiles
             self._matrix = None
-            self._csr = _measures.SetProfileCSR.from_sets(
-                [profiles[int(user)] for user in users])
+            self._norms = None
+            if csr is not None:
+                self._profiles = None
+                self._csr = csr
+            else:
+                self._profiles = profiles
+                self._csr = _measures.SetProfileCSR.from_sets(
+                    [profiles[int(user)] for user in users])
 
     def _rows_for(self, user_ids: np.ndarray) -> np.ndarray:
         """Map loaded user ids to row indices, raising ``KeyError`` on misses."""
-        rows = np.full(len(user_ids), -1, dtype=np.int64)
-        in_range = (user_ids >= 0) & (user_ids < len(self._row_of))
-        rows[in_range] = self._row_of[user_ids[in_range]]
-        if (rows < 0).any():
-            missing = int(user_ids[rows < 0][0])
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        if self._row_start is not None:
+            rows = user_ids - self._row_start
+            bad = (rows < 0) | (rows >= len(self._user_ids))
+        else:
+            rows = np.full(len(user_ids), -1, dtype=np.int64)
+            in_range = (user_ids >= 0) & (user_ids < len(self._row_of))
+            rows[in_range] = self._row_of[user_ids[in_range]]
+            bad = rows < 0
+        if bad.any():
+            missing = int(user_ids[bad][0])
             raise KeyError(f"user {missing} is not loaded in this profile slice")
         return rows
 
@@ -94,42 +133,98 @@ class ProfileSlice:
     def users(self) -> Set[int]:
         return set(self._user_ids.tolist())
 
+    @property
+    def user_ids(self) -> np.ndarray:
+        """The loaded user ids, sorted ascending (do not mutate)."""
+        return self._user_ids
+
+    @property
+    def matrix(self) -> Optional[np.ndarray]:
+        """The dense profile matrix (``None`` for sparse slices)."""
+        return self._matrix
+
     def __len__(self) -> int:
         return len(self._user_ids)
 
     def __contains__(self, user: int) -> bool:
+        if self._row_start is not None:
+            return self._row_start <= user < self._row_start + len(self._user_ids)
         return bool(0 <= user < len(self._row_of) and self._row_of[user] >= 0)
 
     def get(self, user: int):
         if self.kind == "sparse":
-            try:
-                return self._profiles[user]
-            except KeyError:
-                raise KeyError(f"user {user} is not loaded in this profile slice") from None
+            if self._profiles is not None:
+                try:
+                    return self._profiles[user]
+                except KeyError:
+                    raise KeyError(
+                        f"user {user} is not loaded in this profile slice") from None
+            row = int(self._rows_for(np.asarray([user], dtype=np.int64))[0])
+            return set(self._csr.row_items(row).tolist())
         row = self._rows_for(np.asarray([user], dtype=np.int64))[0]
         return self._matrix[row]
+
+    def _as_profiles_dict(self) -> Dict[int, object]:
+        """Sparse slice as a ``user -> item set`` dict (merge fallback)."""
+        if self._profiles is not None:
+            return dict(self._profiles)
+        return {int(user): self.get(int(user)) for user in self._user_ids}
 
     def merge(self, other: "ProfileSlice") -> "ProfileSlice":
         """Union of two slices (used when both partitions' profiles are resident)."""
         if other.kind != self.kind:
             raise ValueError("cannot merge slices of different profile kinds")
         if self.kind == "sparse":
-            combined = dict(self._profiles)
-            combined.update(other._profiles)
+            if self._mergeable_csr(other):
+                return self._merge_sparse_arrays(other)
+            combined = self._as_profiles_dict()
+            combined.update(other._as_profiles_dict())
             return ProfileSlice(self.kind, combined, dim=self._dim or other._dim)
         # dense: concatenate the row blocks, keeping the other slice's row for
         # any user present in both (dict.update semantics)
         users = np.concatenate([self._user_ids, other._user_ids])
         matrix = np.concatenate([self._matrix, other._matrix], axis=0)
+        norms = np.concatenate([self._norms, other._norms])
         order = np.argsort(users, kind="stable")
-        users, matrix = users[order], matrix[order]
+        users, matrix, norms = users[order], matrix[order], norms[order]
         if len(users) > 1:
             last = np.empty(len(users), dtype=bool)
             last[-1] = True
             np.not_equal(users[:-1], users[1:], out=last[:-1])
-            users, matrix = users[last], matrix[last]
+            users, matrix, norms = users[last], matrix[last], norms[last]
         return ProfileSlice(self.kind, None, dim=self._dim or other._dim,
-                            user_ids=users, matrix=matrix)
+                            user_ids=users, matrix=matrix, norms=norms)
+
+    def _mergeable_csr(self, other: "ProfileSlice") -> bool:
+        """True when both sparse slices hold CSRs under one item coding."""
+        if self._profiles is not None or other._profiles is not None:
+            return False
+        a, b = self._csr.item_ids, other._csr.item_ids
+        if self._csr.num_items != other._csr.num_items:
+            return False
+        if a is None or b is None:
+            # raw-code CSRs: equal code spaces are only comparable when both
+            # lack a decode table (codes are then the item ids themselves)
+            return a is None and b is None
+        # slices from one store share the store's single mapped item table,
+        # so identity settles the common case without an O(num_items) scan
+        return a is b or np.array_equal(a, b)
+
+    def _merge_sparse_arrays(self, other: "ProfileSlice") -> "ProfileSlice":
+        users = np.concatenate([self._user_ids, other._user_ids])
+        rows = np.arange(len(users), dtype=np.int64)
+        order = np.argsort(users, kind="stable")
+        users, rows = users[order], rows[order]
+        if len(users) > 1:
+            # stable sort keeps other's row after self's for a shared user;
+            # keeping the last occurrence reproduces dict.update semantics
+            last = np.empty(len(users), dtype=bool)
+            last[-1] = True
+            np.not_equal(users[:-1], users[1:], out=last[:-1])
+            users, rows = users[last], rows[last]
+        merged = _measures.SetProfileCSR.merged_subset(self._csr, other._csr, rows)
+        return ProfileSlice("sparse", None, dim=self._dim or other._dim,
+                            user_ids=users, csr=merged)
 
     def similarity_pairs(self, pairs: np.ndarray, measure: str) -> np.ndarray:
         """Vectorised similarity for an ``(n, 2)`` array of loaded user ids."""
@@ -145,7 +240,8 @@ class ProfileSlice:
             left_rows = self._rows_for(pairs[:, 0])
             right_rows = self._rows_for(pairs[:, 1])
             if measure == "cosine":
-                # row norms are precomputed once per slice
+                # row norms are precomputed once per slice (or read straight
+                # from the store's norm file)
                 return _measures.cosine_from_norms(
                     self._matrix[left_rows], self._matrix[right_rows],
                     self._norms[left_rows], self._norms[right_rows])
@@ -163,8 +259,10 @@ class OnDiskProfileStore:
 
     _META_NAME = "profiles_meta.json"
     _DENSE_NAME = "profiles_dense.bin"
+    _NORMS_NAME = "profiles_norms.bin"
     _SPARSE_INDPTR = "profiles_indptr.bin"
-    _SPARSE_ITEMS = "profiles_items.bin"
+    _SPARSE_ITEMS = "profiles_items.bin"      # v1: raw item ids; v2: item codes
+    _SPARSE_ITEM_IDS = "profiles_item_ids.bin"  # v2 only: code→item-id table
 
     def __init__(self, base_dir: PathLike, disk_model: Union[str, DiskModel] = "ssd",
                  io_stats: Optional[IOStats] = None):
@@ -173,6 +271,11 @@ class OnDiskProfileStore:
         self._disk = get_disk_model(disk_model)
         self.io_stats = io_stats if io_stats is not None else IOStats()
         self._meta: Optional[dict] = None
+        # lazily-opened memory maps shared by every slice this store serves
+        # (invalidated when a rewrite replaces the files)
+        self._dense_mapped: Optional[Tuple[np.ndarray, Optional[np.ndarray]]] = None
+        self._sparse_mapped: Optional[
+            Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]] = None
         meta_path = self._base_dir / self._META_NAME
         if meta_path.exists():
             self._meta = json.loads(meta_path.read_text())
@@ -191,30 +294,41 @@ class OnDiskProfileStore:
     def _write_full(self, store: ProfileStoreBase) -> None:
         if isinstance(store, DenseProfileStore):
             matrix = store.matrix.astype(np.float64)
-            path = self._base_dir / self._DENSE_NAME
-            matrix.tofile(path)
-            self._meta = {"kind": "dense", "num_users": store.num_users, "dim": store.dim}
-            self.io_stats.record_write(matrix.nbytes,
-                                       self._disk.write_cost(matrix.nbytes, sequential=True))
+            matrix.tofile(self._base_dir / self._DENSE_NAME)
+            norms = np.linalg.norm(matrix, axis=1)
+            norms.tofile(self._base_dir / self._NORMS_NAME)
+            self._meta = {"kind": "dense", "num_users": store.num_users,
+                          "dim": store.dim, "format_version": FORMAT_VERSION}
+            total = matrix.nbytes + norms.nbytes
+            self.io_stats.record_write(total,
+                                       self._disk.write_cost(total, sequential=True))
         elif isinstance(store, SparseProfileStore):
-            indptr = np.zeros(store.num_users + 1, dtype=np.int64)
-            items_list: List[np.ndarray] = []
-            for user in range(store.num_users):
-                items = np.asarray(sorted(store.get(user)), dtype=np.int64)
-                items_list.append(items)
-                indptr[user + 1] = indptr[user] + len(items)
-            items = (np.concatenate(items_list) if items_list
-                     else np.empty(0, dtype=np.int64))
+            csr = store.incidence()
+            indptr = np.asarray(csr.indptr, dtype=np.int64)
+            codes = np.asarray(csr.codes, dtype=np.int64)
+            item_ids = (np.asarray(csr.item_ids, dtype=np.int64)
+                        if csr.item_ids is not None else np.empty(0, dtype=np.int64))
             indptr.tofile(self._base_dir / self._SPARSE_INDPTR)
-            items.tofile(self._base_dir / self._SPARSE_ITEMS)
-            self._meta = {"kind": "sparse", "num_users": store.num_users}
-            total = indptr.nbytes + items.nbytes
+            codes.tofile(self._base_dir / self._SPARSE_ITEMS)
+            item_ids.tofile(self._base_dir / self._SPARSE_ITEM_IDS)
+            self._meta = {"kind": "sparse", "num_users": store.num_users,
+                          "num_items": csr.num_items,
+                          "format_version": FORMAT_VERSION}
+            total = indptr.nbytes + codes.nbytes + item_ids.nbytes
             self.io_stats.record_write(total, self._disk.write_cost(total, sequential=True))
         else:
             raise TypeError(f"unsupported profile store type: {type(store).__name__}")
         (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
+        # the rewrite replaced the files; open maps point at dead data
+        self._dense_mapped = None
+        self._sparse_mapped = None
 
     # -- queries --------------------------------------------------------------
+
+    @property
+    def base_dir(self) -> Path:
+        """Directory holding the store's files (worker processes re-open by path)."""
+        return self._base_dir
 
     @property
     def kind(self) -> str:
@@ -230,6 +344,12 @@ class OnDiskProfileStore:
     def dim(self) -> int:
         self._require_meta()
         return int(self._meta.get("dim", 0))
+
+    @property
+    def format_version(self) -> int:
+        """On-disk layout version (1 = pre-norms/raw-item layout)."""
+        self._require_meta()
+        return int(self._meta.get("format_version", 1))
 
     def _require_meta(self) -> None:
         if self._meta is None:
@@ -250,52 +370,163 @@ class OnDiskProfileStore:
         total_items = int(indptr[-1]) if len(indptr) else 0
         return max(8, (total_items * 8) // max(1, self.num_users))
 
+    # -- slice loading ---------------------------------------------------------
+
+    def _dense_maps(self) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """The store's read-only (matrix, norms) maps, opened once."""
+        if self._dense_mapped is None:
+            mm = np.memmap(self._base_dir / self._DENSE_NAME, dtype=np.float64,
+                           mode="r", shape=(self.num_users, self.dim))
+            norms_path = self._base_dir / self._NORMS_NAME
+            norms_mm = (np.memmap(norms_path, dtype=np.float64, mode="r",
+                                  shape=(self.num_users,))
+                        if self.format_version >= 2 and norms_path.exists() else None)
+            self._dense_mapped = (mm, norms_mm)
+        return self._dense_mapped
+
+    def _sparse_maps(self) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+        """The store's read-only (indptr, codes, item_ids) maps, opened once.
+
+        Sharing one ``item_ids`` array across every slice also lets
+        :meth:`ProfileSlice.merge` recognise same-store slices by identity
+        instead of comparing item tables element-wise.
+        """
+        if self._sparse_mapped is None:
+            indptr_mm = np.memmap(self._base_dir / self._SPARSE_INDPTR,
+                                  dtype=np.int64, mode="r")
+            codes_path = self._base_dir / self._SPARSE_ITEMS
+            codes_mm = (np.memmap(codes_path, dtype=np.int64, mode="r")
+                        if codes_path.stat().st_size else None)
+            items_path = self._base_dir / self._SPARSE_ITEM_IDS
+            item_ids = (np.memmap(items_path, dtype=np.int64, mode="r")
+                        if items_path.exists() and items_path.stat().st_size
+                        else np.empty(0, dtype=np.int64))
+            self._sparse_mapped = (indptr_mm, codes_mm, item_ids)
+        return self._sparse_mapped
+
     def load_users(self, user_ids: Iterable[int]) -> ProfileSlice:
         """Load the profiles of ``user_ids`` into a :class:`ProfileSlice`.
 
-        The read is charged as a random access per contiguous user range
-        (dense) or per user-range slice (sparse), which is how the real
-        system would touch the profile file for one partition.
+        A single contiguous id run — the shape of one partition under the
+        paper's contiguous split — is served *zero-copy*: the slice holds
+        read-only views of the mapped profile (and norm / CSR) files.
+        Scattered ids fall back to one gathered copy.  Either way the read
+        is charged through the disk model's mapped-read cost, per contiguous
+        range.
+
+        Because a zero-copy slice reads the live files, it is **not a
+        snapshot**: a later :meth:`apply_changes` shows through dense
+        mapped views (and invalidates sparse slices entirely, since sparse
+        rewrites replace the files).  Phase 4 never holds a slice across a
+        phase-5 update; callers that do must reload after applying changes.
         """
+        ids = self._validated_ids(user_ids)
+        self.charge_slice_read(ids, _validated=True)
+        if self._meta["kind"] == "dense":
+            return self._load_dense(ids)
+        if self.format_version >= 2:
+            return self._load_sparse_v2(ids)
+        return self._load_sparse_v1(ids)
+
+    def _validated_ids(self, user_ids: Iterable[int]) -> List[int]:
         self._require_meta()
         ids = sorted({int(u) for u in user_ids})
         for user in ids:
             if not 0 <= user < self.num_users:
                 raise IndexError(f"user {user} out of range (store has {self.num_users})")
+        return ids
+
+    def charge_slice_read(self, user_ids: Iterable[int], _validated: bool = False) -> None:
+        """Charge (without loading) the I/O of one ``load_users`` call.
+
+        The phase-4 process backend loads slices inside worker processes
+        whose stats never reach the coordinating engine; the coordinator
+        calls this once per partition load so IOStats stay comparable with
+        the in-process backends.  The file page cache is shared between the
+        processes, so charging the device once per slice is also the honest
+        model.
+        """
+        ids = user_ids if _validated else self._validated_ids(user_ids)
+        ranges = list(_contiguous_ranges(ids))
+        if not ranges:
+            return
+        sequential = len(ranges) == 1
         if self._meta["kind"] == "dense":
-            return self._load_dense(ids)
-        return self._load_sparse(ids)
+            row_bytes = self.dim * 8 + (8 if self.format_version >= 2 else 0)
+            for start, stop in ranges:
+                nbytes = (stop - start) * row_bytes
+                self.io_stats.record_read(
+                    nbytes, self._disk.mapped_read_cost(nbytes, sequential=sequential))
+            return
+        indptr = self._sparse_maps()[0]
+        if self.format_version < 2:
+            # the v1 loader reads the whole indptr array up front
+            self.io_stats.record_read(indptr.nbytes,
+                                      self._disk.read_cost(indptr.nbytes, sequential=True))
+        for start, stop in ranges:
+            nbytes = int(indptr[stop] - indptr[start]) * 8
+            if self.format_version >= 2:
+                nbytes += (stop - start + 1) * 8  # the indptr slice itself
+            self.io_stats.record_read(
+                nbytes, self._disk.mapped_read_cost(nbytes, sequential=sequential))
 
     def _load_dense(self, ids: List[int]) -> ProfileSlice:
         dim = self.dim
-        path = self._base_dir / self._DENSE_NAME
-        mm = np.memmap(path, dtype=np.float64, mode="r", shape=(self.num_users, dim))
-        blocks: List[np.ndarray] = []
-        for start, stop in _contiguous_ranges(ids):
-            block = np.array(mm[start:stop])
-            blocks.append(block)
-            num_bytes = block.nbytes
-            self.io_stats.record_read(num_bytes,
-                                      self._disk.read_cost(num_bytes, sequential=False))
-        del mm
-        if not blocks:
+        if not ids:
             return ProfileSlice("dense", {}, dim=dim)
-        matrix = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+        mm, norms_mm = self._dense_maps()
+        ranges = list(_contiguous_ranges(ids))
+        if len(ranges) == 1:
+            start, stop = ranges[0]
+            matrix = mm[start:stop]  # zero-copy read-only view
+            norms = norms_mm[start:stop] if norms_mm is not None else None
+        else:
+            ids_arr = np.asarray(ids, dtype=np.int64)
+            matrix = np.asarray(mm[ids_arr])
+            matrix.flags.writeable = False
+            norms = np.asarray(norms_mm[ids_arr]) if norms_mm is not None else None
         return ProfileSlice("dense", None, dim=dim,
-                            user_ids=np.asarray(ids, dtype=np.int64), matrix=matrix)
+                            user_ids=np.asarray(ids, dtype=np.int64),
+                            matrix=matrix, norms=norms)
 
-    def _load_sparse(self, ids: List[int]) -> ProfileSlice:
+    def _load_sparse_v2(self, ids: List[int]) -> ProfileSlice:
+        num_items = int(self._meta.get("num_items", 0))
+        indptr_mm, codes_mm, item_ids = self._sparse_maps()
+        empty = np.empty(0, dtype=np.int64)
+        ranges = list(_contiguous_ranges(ids))
+        if len(ranges) == 1:
+            start, stop = ranges[0]
+            base = int(indptr_mm[start])
+            indptr = np.asarray(indptr_mm[start:stop + 1]) - base
+            hi = int(indptr_mm[stop])
+            codes = codes_mm[base:hi] if (codes_mm is not None and hi > base) else empty
+        else:
+            pieces: List[np.ndarray] = []
+            sizes: List[np.ndarray] = []
+            for start, stop in ranges:
+                lo, hi = int(indptr_mm[start]), int(indptr_mm[stop])
+                if codes_mm is not None and hi > lo:
+                    pieces.append(np.asarray(codes_mm[lo:hi]))
+                sizes.append(np.asarray(indptr_mm[start + 1:stop + 1])
+                             - np.asarray(indptr_mm[start:stop]))
+            codes = np.concatenate(pieces) if pieces else empty
+            codes.flags.writeable = False
+            all_sizes = np.concatenate(sizes) if sizes else empty
+            indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+            np.cumsum(all_sizes, out=indptr[1:])
+        csr = _measures.SetProfileCSR(indptr, codes, num_items, item_ids=item_ids)
+        return ProfileSlice("sparse", None,
+                            user_ids=np.asarray(ids, dtype=np.int64), csr=csr)
+
+    def _load_sparse_v1(self, ids: List[int]) -> ProfileSlice:
+        """Fallback loader for version-1 layouts (raw item ids on disk)."""
         indptr = np.fromfile(self._base_dir / self._SPARSE_INDPTR, dtype=np.int64)
-        self.io_stats.record_read(indptr.nbytes,
-                                  self._disk.read_cost(indptr.nbytes, sequential=True))
         items_path = self._base_dir / self._SPARSE_ITEMS
         mm = np.memmap(items_path, dtype=np.int64, mode="r") if items_path.stat().st_size else None
         profiles: Dict[int, Set[int]] = {}
         for start, stop in _contiguous_ranges(ids):
             lo, hi = int(indptr[start]), int(indptr[stop])
             block = np.array(mm[lo:hi]) if (mm is not None and hi > lo) else np.empty(0, np.int64)
-            self.io_stats.record_read(block.nbytes,
-                                      self._disk.read_cost(block.nbytes, sequential=False))
             for user in range(start, stop):
                 ulo, uhi = int(indptr[user]) - lo, int(indptr[user + 1]) - lo
                 profiles[user] = set(int(x) for x in block[ulo:uhi])
@@ -311,12 +542,16 @@ class OnDiskProfileStore:
             matrix = np.fromfile(path, dtype=np.float64).reshape(self.num_users, self.dim)
             self.io_stats.record_read(matrix.nbytes,
                                       self._disk.read_cost(matrix.nbytes, sequential=True))
-            return DenseProfileStore(matrix)
+            return DenseProfileStore(matrix, copy=False)
         indptr = np.fromfile(self._base_dir / self._SPARSE_INDPTR, dtype=np.int64)
         items = np.fromfile(self._base_dir / self._SPARSE_ITEMS, dtype=np.int64)
         total = indptr.nbytes + items.nbytes
+        if self.format_version >= 2:
+            item_ids = np.fromfile(self._base_dir / self._SPARSE_ITEM_IDS, dtype=np.int64)
+            total += item_ids.nbytes
+            items = item_ids[items] if len(items) else items
         self.io_stats.record_read(total, self._disk.read_cost(total, sequential=True))
-        profiles = [set(int(x) for x in items[indptr[u]:indptr[u + 1]])
+        profiles = [set(items[indptr[u]:indptr[u + 1]].tolist())
                     for u in range(self.num_users)]
         return SparseProfileStore(profiles)
 
@@ -326,8 +561,9 @@ class OnDiskProfileStore:
         """Apply a batch of queued profile changes (the paper's lazy update).
 
         Returns the number of users whose profile actually changed.  Dense
-        changes are in-place row writes through a writable memmap; sparse
-        changes rewrite the item file because profile sizes shift.
+        changes are in-place row writes through a writable memmap (the norm
+        file is kept in sync); sparse changes rewrite the files because
+        profile sizes shift — which also upgrades version-1 layouts.
         """
         self._require_meta()
         if not changes:
@@ -340,6 +576,10 @@ class OnDiskProfileStore:
         dim = self.dim
         path = self._base_dir / self._DENSE_NAME
         mm = np.memmap(path, dtype=np.float64, mode="r+", shape=(self.num_users, dim))
+        norms_path = self._base_dir / self._NORMS_NAME
+        norms_mm = (np.memmap(norms_path, dtype=np.float64, mode="r+",
+                              shape=(self.num_users,))
+                    if self.format_version >= 2 and norms_path.exists() else None)
         touched = set()
         for change in changes:
             if change.kind != "set":
@@ -348,11 +588,20 @@ class OnDiskProfileStore:
             if vector.shape != (dim,):
                 raise ValueError(f"change vector must have shape ({dim},), got {vector.shape}")
             mm[change.user] = vector
+            num_bytes = vector.nbytes
+            if norms_mm is not None:
+                # np.sum reduces pairwise exactly like the axis-1 norm used
+                # at write time, so stored and recomputed norms stay bitwise equal
+                norms_mm[change.user] = np.sqrt(np.sum(vector * vector))
+                num_bytes += 8
             touched.add(change.user)
-            self.io_stats.record_write(vector.nbytes,
-                                       self._disk.write_cost(vector.nbytes, sequential=False))
+            self.io_stats.record_write(num_bytes,
+                                       self._disk.write_cost(num_bytes, sequential=False))
         mm.flush()
         del mm
+        if norms_mm is not None:
+            norms_mm.flush()
+            del norms_mm
         return len(touched)
 
     def _apply_sparse(self, changes: Sequence[ProfileChange]) -> int:

@@ -1,0 +1,47 @@
+"""Tests for the CI perf-regression comparator (benchmarks/check_perf_regression.py)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from check_perf_regression import PHASE4_KEY, compare_fingerprints, compare_phase4
+
+
+def _report(phase4_seconds, fingerprint="abc"):
+    return {"pipeline": {"phase_seconds": {PHASE4_KEY: phase4_seconds},
+                         "graph_fingerprint": fingerprint}}
+
+
+class TestComparePhase4:
+    def test_within_tolerance_passes(self):
+        ok, _ = compare_phase4(_report(1.0), _report(1.15), tolerance=0.20)
+        assert ok
+
+    def test_improvement_passes(self):
+        ok, _ = compare_phase4(_report(1.0), _report(0.4), tolerance=0.20)
+        assert ok
+
+    def test_regression_beyond_tolerance_fails(self):
+        ok, message = compare_phase4(_report(1.0), _report(1.3), tolerance=0.20)
+        assert not ok
+        assert "REGRESSION" in message
+
+    def test_boundary_exactly_at_tolerance_passes(self):
+        ok, _ = compare_phase4(_report(1.0), _report(1.2), tolerance=0.20)
+        assert ok
+
+    def test_zero_baseline_does_not_divide(self):
+        ok, _ = compare_phase4(_report(0.0), _report(1.0), tolerance=0.20)
+        assert ok
+
+
+class TestCompareFingerprints:
+    def test_unchanged(self):
+        same, _ = compare_fingerprints(_report(1.0, "aaa"), _report(1.0, "aaa"))
+        assert same
+
+    def test_changed_is_flagged(self):
+        same, message = compare_fingerprints(_report(1.0, "aaa"), _report(1.0, "bbb"))
+        assert not same
+        assert "CHANGED" in message

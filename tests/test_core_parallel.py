@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.parallel import score_tuples
+from repro.core.parallel import _num_chunks, score_tuples
 from repro.storage.profile_store import OnDiskProfileStore
 
 
@@ -51,3 +51,40 @@ class TestScoreTuples:
     def test_chunking_smaller_than_batch(self, dense_slice, pairs):
         scores = score_tuples(dense_slice, pairs[:10], "cosine", num_threads=4, chunk_size=3)
         assert len(scores) == 10
+
+    def test_serial_backend_ignores_threads(self, dense_slice, pairs):
+        serial = score_tuples(dense_slice, pairs, "cosine", num_threads=8,
+                              chunk_size=16, backend="serial")
+        assert np.array_equal(serial, dense_slice.similarity_pairs(pairs, "cosine"))
+
+
+class TestChunkPlanning:
+    """The chunk count is clamped so no chunk of the thread pool is empty."""
+
+    def test_no_empty_chunks_when_tuples_barely_exceed_chunk_size(self):
+        # 4097 tuples, chunk_size 4096, 8 threads: 8 balanced chunks, not
+        # 8 chunks of which 7 are near-empty
+        assert _num_chunks(4097, 8, 4096) == 8
+
+    def test_clamped_to_tuple_count(self):
+        # fewer tuples than threads: one chunk per tuple at most
+        assert _num_chunks(5, 8, 2) == 5
+
+    def test_at_least_one_chunk_per_thread(self):
+        assert _num_chunks(100000, 4, 4096) == 25
+
+    def test_chunk_size_bound_dominates_when_larger(self):
+        assert _num_chunks(100000, 2, 4096) == 25
+
+    def test_single_tuple(self):
+        assert _num_chunks(1, 8, 4096) == 1
+
+    @pytest.mark.parametrize("n", (2, 3, 4, 5, 9))
+    def test_boundary_sizes_score_correctly(self, dense_slice, pairs, n):
+        got = score_tuples(dense_slice, pairs[:n], "cosine",
+                           num_threads=8, chunk_size=2)
+        expected = dense_slice.similarity_pairs(pairs[:n], "cosine")
+        assert np.allclose(got, expected)
+        # and the plan itself never produces an empty chunk
+        chunks = np.array_split(pairs[:n], _num_chunks(n, 8, 2))
+        assert all(len(chunk) for chunk in chunks)

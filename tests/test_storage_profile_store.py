@@ -144,6 +144,148 @@ class TestProfileSlice:
             piece.similarity_pairs(np.array([[0, 1]]), "jaccard")
 
 
+def _write_v1_sparse(base_dir, profiles):
+    """Handcraft a version-1 sparse layout: raw sorted item ids, no version."""
+    import json
+    num_users = profiles.num_users
+    indptr = np.zeros(num_users + 1, dtype=np.int64)
+    items_list = []
+    for user in range(num_users):
+        items = np.asarray(sorted(profiles.get(user)), dtype=np.int64)
+        items_list.append(items)
+        indptr[user + 1] = indptr[user] + len(items)
+    items = (np.concatenate(items_list) if items_list
+             else np.empty(0, dtype=np.int64))
+    indptr.tofile(base_dir / "profiles_indptr.bin")
+    items.tofile(base_dir / "profiles_items.bin")
+    (base_dir / "profiles_meta.json").write_text(
+        json.dumps({"kind": "sparse", "num_users": num_users}))
+
+
+def _write_v1_dense(base_dir, profiles):
+    """Handcraft a version-1 dense layout: matrix only, no norms, no version."""
+    import json
+    profiles.matrix.astype(np.float64).tofile(base_dir / "profiles_dense.bin")
+    (base_dir / "profiles_meta.json").write_text(
+        json.dumps({"kind": "dense", "num_users": profiles.num_users,
+                    "dim": profiles.dim}))
+
+
+class TestFormatVersions:
+    def test_fresh_stores_are_v2(self, dense_profiles, sparse_profiles, tmp_path):
+        dense = OnDiskProfileStore.create(tmp_path / "d", dense_profiles)
+        sparse = OnDiskProfileStore.create(tmp_path / "s", sparse_profiles)
+        assert dense.format_version == 2
+        assert sparse.format_version == 2
+        assert (tmp_path / "d" / "profiles_norms.bin").exists()
+        assert (tmp_path / "s" / "profiles_item_ids.bin").exists()
+
+    def test_v1_sparse_fallback_loader(self, sparse_profiles, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        _write_v1_sparse(tmp_path, sparse_profiles)
+        store = OnDiskProfileStore(tmp_path, disk_model="instant")
+        assert store.format_version == 1
+        piece = store.load_users([0, 3, 4, 100])
+        for user in (0, 3, 4, 100):
+            assert piece.get(user) == sparse_profiles.get(user)
+        assert store.load_all() == sparse_profiles
+
+    def test_v1_sparse_scores_match_v2(self, sparse_profiles, tmp_path):
+        _write_v1_sparse(tmp_path, sparse_profiles)
+        v1 = OnDiskProfileStore(tmp_path, disk_model="instant")
+        v2 = OnDiskProfileStore.create(tmp_path / "v2", sparse_profiles,
+                                       disk_model="instant")
+        pairs = np.array([[0, 1], [2, 50], [7, 7]], dtype=np.int64)
+        users = range(sparse_profiles.num_users)
+        for measure in ("jaccard", "overlap", "common", "cosine_set"):
+            np.testing.assert_allclose(
+                v1.load_users(users).similarity_pairs(pairs, measure),
+                v2.load_users(users).similarity_pairs(pairs, measure),
+                rtol=0.0, atol=1e-12)
+
+    def test_v1_dense_fallback_loader(self, dense_profiles, tmp_path):
+        _write_v1_dense(tmp_path, dense_profiles)
+        store = OnDiskProfileStore(tmp_path, disk_model="instant")
+        assert store.format_version == 1
+        piece = store.load_users(range(10))
+        for user in range(10):
+            assert np.allclose(piece.get(user), dense_profiles.get(user))
+        pairs = np.array([[0, 1], [2, 9]], dtype=np.int64)
+        np.testing.assert_allclose(
+            piece.similarity_pairs(pairs, "cosine"),
+            dense_profiles.similarity_pairs(pairs, "cosine"),
+            rtol=0.0, atol=1e-12)
+
+    def test_sparse_update_upgrades_v1_to_v2(self, sparse_profiles, tmp_path):
+        _write_v1_sparse(tmp_path, sparse_profiles)
+        store = OnDiskProfileStore(tmp_path, disk_model="instant")
+        store.apply_changes([ProfileChange(user=1, kind="add", item=9999)])
+        assert store.format_version == 2
+        assert 9999 in store.load_users([1]).get(1)
+
+    def test_dense_v1_update_keeps_working(self, dense_profiles, tmp_path):
+        _write_v1_dense(tmp_path, dense_profiles)
+        store = OnDiskProfileStore(tmp_path, disk_model="instant")
+        vector = np.full(dense_profiles.dim, 3.0)
+        store.apply_changes([ProfileChange(user=0, kind="set", vector=vector)])
+        piece = store.load_users([0, 1])
+        assert np.allclose(piece.get(0), vector)
+        # norms recomputed from the matrix on v1 loads
+        assert np.allclose(piece._norms[0], np.linalg.norm(vector))
+
+    def test_dense_norms_stay_in_sync_after_update(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles,
+                                          disk_model="instant")
+        vector = np.arange(dense_profiles.dim, dtype=np.float64)
+        store.apply_changes([ProfileChange(user=5, kind="set", vector=vector)])
+        piece = store.load_users(range(10))
+        np.testing.assert_array_equal(
+            piece._norms, np.linalg.norm(np.array(piece.matrix), axis=1))
+
+
+class TestChargeSliceRead:
+    def test_dense_contiguous_bytes(self, dense_profiles, tmp_path):
+        """Byte math pinned independently: rows × (dim + 1 norm) × 8, one op."""
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles, disk_model="ssd")
+        store.io_stats.reset()
+        store.charge_slice_read(range(20, 60))
+        assert store.io_stats.read_ops == 1
+        assert store.io_stats.bytes_read == 40 * (dense_profiles.dim + 1) * 8
+        assert store.io_stats.simulated_io_seconds > 0
+
+    def test_dense_scattered_charges_per_range(self, dense_profiles, tmp_path):
+        store = OnDiskProfileStore.create(tmp_path, dense_profiles, disk_model="ssd")
+        store.io_stats.reset()
+        store.charge_slice_read([0, 1, 2, 50, 51, 119])  # three ranges
+        row_bytes = (dense_profiles.dim + 1) * 8
+        assert store.io_stats.read_ops == 3
+        assert store.io_stats.bytes_read == 6 * row_bytes
+
+    def test_sparse_contiguous_bytes(self, sparse_profiles, tmp_path):
+        """Bytes = the users' item codes plus the indptr slice, one op."""
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles, disk_model="ssd")
+        num_codes = sum(len(sparse_profiles.get(u)) for u in range(10, 30))
+        store.io_stats.reset()
+        store.charge_slice_read(range(10, 30))
+        assert store.io_stats.read_ops == 1
+        assert store.io_stats.bytes_read == (num_codes + 21) * 8
+
+    def test_charge_equals_load_invariant(self, dense_profiles, sparse_profiles,
+                                          tmp_path):
+        """load_users routes its accounting through charge_slice_read; this
+        pins that invariant so the two can never drift apart silently."""
+        for name, profiles, ids in (("d", dense_profiles, range(20, 60)),
+                                    ("s", sparse_profiles, [0, 1, 2, 50, 51, 119])):
+            store = OnDiskProfileStore.create(tmp_path / name, profiles,
+                                              disk_model="ssd")
+            store.io_stats.reset()
+            store.load_users(ids)
+            loaded = store.io_stats.as_dict()
+            store.io_stats.reset()
+            store.charge_slice_read(ids)
+            assert store.io_stats.as_dict() == loaded
+
+
 class TestErrors:
     def test_open_without_create(self, tmp_path):
         store = OnDiskProfileStore(tmp_path)
