@@ -7,11 +7,13 @@ Usage::
     PYTHONPATH=src python benchmarks/check_perf_regression.py \
         --baseline BENCH_perf.json --fresh /tmp/fresh.json [--tolerance 0.20]
 
-Fails (exit 1) when the fresh phase-4 wall-clock regresses more than
-``tolerance`` (default 20%) against the committed ``BENCH_perf.json``, and
+Fails (exit 1) when the fresh phase-4 wall-clock of the pipeline bench — or
+the combined phase-4 + phase-5 wall-clock of the update-heavy workload —
+regresses more than ``tolerance`` (default 20%) against the baseline, and
 prints a behaviour warning when the graph fingerprint changed (a fingerprint
 change is legitimate when an algorithmic PR intends it — the diff to the
 committed baseline makes it explicit — so it warns rather than fails).
+Baselines predating the update workload simply skip that gate.
 """
 
 from __future__ import annotations
@@ -34,6 +36,33 @@ def compare_phase4(baseline: dict, fresh: dict, tolerance: float) -> "tuple[bool
     ratio = fresh_phase / base_phase
     message = (f"phase-4 wall-clock: baseline {base_phase:.4f}s, "
                f"fresh {fresh_phase:.4f}s ({ratio:.2f}x)")
+    if ratio > 1.0 + tolerance:
+        return False, message + f" — REGRESSION beyond {tolerance:.0%} tolerance"
+    return True, message + " — within tolerance"
+
+
+def compare_phase45(baseline: dict, fresh: dict, tolerance: float) -> "tuple[bool, str]":
+    """Phase-4+5 gate over the update-heavy workload (skipped on old baselines)."""
+    base_section = baseline.get("update_workload")
+    fresh_section = fresh.get("update_workload")
+    if not fresh_section:
+        # HEAD's suite always emits the section; losing it means the bench
+        # itself broke, which must not read as a silent pass
+        return False, ("update_workload section missing from the FRESH report "
+                       "— run_perf_suite no longer emits the phase-4+5 bench")
+    if "phase45_seconds" not in fresh_section:
+        return False, ("phase45_seconds missing from the FRESH update_workload "
+                       "section — run_perf_suite no longer records the gated value")
+    if not base_section:
+        return True, ("phase-4+5 update-workload gate skipped "
+                      "(baseline predates the bench)")
+    base_value = base_section.get("phase45_seconds", 0.0)
+    fresh_value = fresh_section["phase45_seconds"]
+    if base_value <= 0:
+        return True, f"baseline phase-4+5 time is {base_value}s; nothing to gate"
+    ratio = fresh_value / base_value
+    message = (f"update-workload phase-4+5 wall-clock: baseline {base_value:.4f}s, "
+               f"fresh {fresh_value:.4f}s ({ratio:.2f}x)")
     if ratio > 1.0 + tolerance:
         return False, message + f" — REGRESSION beyond {tolerance:.0%} tolerance"
     return True, message + " — within tolerance"
@@ -64,9 +93,11 @@ def main() -> int:
 
     ok, message = compare_phase4(baseline, fresh, args.tolerance)
     print(message)
+    ok45, message45 = compare_phase45(baseline, fresh, args.tolerance)
+    print(message45)
     same, fp_message = compare_fingerprints(baseline, fresh)
     print(("" if same else "WARNING: ") + fp_message)
-    return 0 if ok else 1
+    return 0 if (ok and ok45) else 1
 
 
 if __name__ == "__main__":

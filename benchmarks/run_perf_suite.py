@@ -9,8 +9,9 @@ comparable performance trajectory.
 
 Run with:  PYTHONPATH=src python benchmarks/run_perf_suite.py [--output PATH]
 
-``--quick`` restricts the run to the pipeline bench (the CI regression gate
-compares its phase-4 wall-clock against the committed baseline, see
+``--quick`` restricts the run to the pipeline and update-workload benches
+(the CI regression gate compares their phase-4 and combined phase-4+5
+wall-clock against the committed baseline, see
 ``benchmarks/check_perf_regression.py``).
 
 The quantities recorded:
@@ -19,6 +20,11 @@ The quantities recorded:
   similarity evaluations and evaluations/second of a two-iteration engine
   run (num_users=2000, the workload used by this repo's perf acceptance
   checks);
+* ``update_workload`` — the amortised-iteration-loop benchmark: 4
+  iterations over 10k users, dense and sparse, with profile churn applied
+  through the phase-5 update queue every iteration; records per-iteration
+  phase-4/phase-5 seconds and profile-store write bytes, plus the combined
+  phase-4+5 wall-clock the CI regression gate compares;
 * ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
   4 scoring threads;
 * ``backend_sweep`` — phase-4 seconds of one engine iteration per backend
@@ -38,16 +44,27 @@ import platform
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.config import EngineConfig
 from repro.core.engine import KNNEngine
 from repro.core.iteration import PHASE_NAMES
-from repro.similarity.workloads import generate_dense_profiles
+from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
+                                        generate_sparse_profiles)
 
 SEED = 11
 NUM_USERS = 2000
 K = 10
 NUM_PARTITIONS = 6
 NUM_ITERATIONS = 2
+
+#: Shape of the update-heavy amortisation workload (phase-5 gate): 4
+#: iterations over 10k users with profile churn applied every iteration.
+UPDATE_USERS = 10000
+UPDATE_ITERATIONS = 4
+UPDATE_PARTITIONS = 8
+UPDATE_CHURN = 500          # users whose profile changes per iteration
+UPDATE_ITEMS = 30000        # sparse catalogue size
 
 #: (backend, workers) datapoints of the backend sweep; "workers" means
 #: num_threads for the thread backend and num_workers for the process one.
@@ -105,6 +122,80 @@ def _one_iteration(profiles, **overrides) -> dict:
     }
 
 
+def _run_update_workload(kind: str) -> dict:
+    """One update-heavy engine run: per-iteration phase-4/5 seconds and bytes."""
+    if kind == "dense":
+        profiles = generate_dense_profiles(UPDATE_USERS, dim=16,
+                                           num_communities=8, seed=SEED)
+    else:
+        profiles = generate_sparse_profiles(UPDATE_USERS, UPDATE_ITEMS,
+                                            items_per_user=20,
+                                            num_communities=8, seed=SEED)
+    config = EngineConfig(k=K, num_partitions=UPDATE_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED)
+    rng = np.random.default_rng(7)
+
+    def churn(_iteration: int):
+        users = rng.choice(UPDATE_USERS, size=UPDATE_CHURN, replace=False)
+        if kind == "dense":
+            return [ProfileChange(user=int(u), kind="set", vector=rng.random(16))
+                    for u in users]
+        return [ProfileChange(user=int(u), kind="add",
+                              item=int(rng.integers(0, UPDATE_ITEMS)))
+                for u in users]
+
+    with KNNEngine(profiles, config) as engine:
+        start = time.perf_counter()
+        run = engine.run(num_iterations=UPDATE_ITERATIONS,
+                         profile_change_feed=churn)
+        wall = time.perf_counter() - start
+    per_iteration = []
+    for result in run.iterations:
+        phases = result.phase_timer.as_dict()
+        profile_io = getattr(result, "profile_io_stats", None)
+        per_iteration.append({
+            "phase4_seconds": round(phases[PHASE_NAMES[3]], 4),
+            "phase5_seconds": round(phases[PHASE_NAMES[4]], 4),
+            "updates_applied": result.profile_updates_applied,
+            # phase-5 write traffic; iteration 0 also carries the initial
+            # store write, so the update scaling is read from iterations 1+
+            "profile_bytes_written": (profile_io.bytes_written
+                                      if profile_io is not None else None),
+        })
+    phases = run.summary()["phase_seconds"]
+    return {
+        "kind": kind,
+        "num_users": UPDATE_USERS,
+        "num_iterations": UPDATE_ITERATIONS,
+        "num_partitions": UPDATE_PARTITIONS,
+        "churn_per_iteration": UPDATE_CHURN,
+        "wall_seconds": round(wall, 4),
+        "phase4_seconds": round(phases[PHASE_NAMES[3]], 4),
+        "phase5_seconds": round(phases[PHASE_NAMES[4]], 4),
+        "iterations": per_iteration,
+        "graph_fingerprint": run.final_graph.edge_fingerprint(),
+    }
+
+
+def run_update_workload_bench() -> dict:
+    """The amortised-iteration-loop benchmark: dense + sparse churn runs.
+
+    ``phase45_seconds`` (the combined phase-4 + phase-5 wall-clock across
+    both runs) is what the CI phase-5 regression gate compares.
+    """
+    dense = _run_update_workload("dense")
+    sparse = _run_update_workload("sparse")
+    combined = (dense["phase4_seconds"] + dense["phase5_seconds"]
+                + sparse["phase4_seconds"] + sparse["phase5_seconds"])
+    return {
+        "dense": dense,
+        "sparse": sparse,
+        "phase45_seconds": round(combined, 4),
+        "phase5_seconds": round(dense["phase5_seconds"]
+                                + sparse["phase5_seconds"], 4),
+    }
+
+
 def run_thread_sweep(thread_counts=(1, 2, 4)) -> list:
     rows = []
     profiles = generate_dense_profiles(NUM_USERS, dim=16, num_communities=8,
@@ -142,7 +233,8 @@ def main() -> None:
     parser.add_argument("--skip-backends", action="store_true",
                         help="skip the backend (thread vs. process) sweep")
     parser.add_argument("--quick", action="store_true",
-                        help="pipeline bench only (what the CI gate compares)")
+                        help="pipeline + update-workload benches only "
+                             "(what the CI gate compares)")
     args = parser.parse_args()
     quick = args.quick or args.skip_threads
 
@@ -151,6 +243,8 @@ def main() -> None:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "pipeline": run_pipeline_bench(),
+        # part of --quick: the CI gate compares its combined phase-4+5 time
+        "update_workload": run_update_workload_bench(),
     }
     if not quick:
         report["thread_sweep"] = run_thread_sweep()

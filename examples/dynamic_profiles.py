@@ -10,9 +10,13 @@ This example simulates a stream of profile churn (users consuming new items
 and dropping old ones every iteration), feeds it to the engine through the
 update queue, and shows that
 
-* the queued changes are applied exactly at iteration boundaries, and
+* the queued changes are applied exactly at iteration boundaries,
 * the KNN graph keeps improving against the *current* ground truth even
-  though the target is moving.
+  though the target is moving, and
+* phase 5 is *incremental*: the segmented on-disk layout writes only the
+  touched rows' journal entries each iteration (watch the ``p5 bytes``
+  column stay orders of magnitude below the store size), bumping the store
+  generation that keeps long-lived scoring workers cache-coherent.
 
 Run with:  python examples/dynamic_profiles.py
 """
@@ -37,6 +41,7 @@ def main() -> None:
                           measure="jaccard", seed=3)
 
     print(f"{'iter':>4} {'queued':>7} {'applied':>8} {'changed edges':>14} "
+          f"{'p5 (s)':>8} {'p5 bytes':>9} {'gen':>4} "
           f"{'recall (current truth)':>24}")
 
     with KNNEngine(profiles, config) as engine:
@@ -57,12 +62,21 @@ def main() -> None:
             changed = result.graph.edge_difference(previous_graph)
             previous_graph = result.graph.copy()
 
+            phase5_seconds = result.phase_timer.as_dict()["5-profile-update"]
+            # write side of the profile store's I/O = this iteration's
+            # incremental journal append (iteration 0 includes the initial
+            # store write, so read the scaling from iterations 1+)
+            phase5_bytes = result.profile_io_stats.bytes_written
             print(f"{iteration:>4} {len(churn):>7} {result.profile_updates_applied:>8} "
-                  f"{changed:>14} {recall:>24.3f}")
+                  f"{changed:>14} {phase5_seconds:>8.4f} {phase5_bytes:>9} "
+                  f"{engine.profile_store.generation:>4} {recall:>24.3f}")
 
     print("\nThe recall climbs despite the moving target: the lazily-applied")
     print("profile updates keep each iteration consistent (it always sees the")
     print("profile snapshot P(t)), exactly as the paper's phase 5 prescribes.")
+    print("And applying them stays cheap: each batch journals only the touched")
+    print("rows of the segmented store (p5 bytes ≪ store size) and bumps the")
+    print("generation that keeps persistent scoring workers cache-coherent.")
 
 
 if __name__ == "__main__":

@@ -64,6 +64,13 @@ class EngineConfig:
     num_workers:
         Worker processes for the ``process`` backend; also the shard count
         of the deterministic per-shard top-K merge into ``G(t+1)``.
+        ``num_workers=1`` (or a platform without ``fork``) skips the pool
+        entirely and scores in-process — identical results, no pipe cost.
+    profile_segment_rows:
+        Row count per on-disk sparse profile segment (the unit phase-5
+        incremental updates rewrite).  ``None`` aligns segments with the
+        contiguous partitioner's n/m split (one segment per partition) and
+        falls back to the store's default for scattering partitioners.
     seed:
         Seed for the random initial KNN graph.
     """
@@ -81,6 +88,7 @@ class EngineConfig:
     backend: str = "thread"
     num_threads: int = 1
     num_workers: int = 1
+    profile_segment_rows: Optional[int] = None
     seed: Optional[int] = 0
 
     def __post_init__(self):
@@ -120,6 +128,8 @@ class EngineConfig:
             raise ValueError("memory_budget_bytes must be positive when given")
         if self.max_pairs_per_bridge is not None and self.max_pairs_per_bridge <= 0:
             raise ValueError("max_pairs_per_bridge must be positive when given")
+        if self.profile_segment_rows is not None and self.profile_segment_rows <= 0:
+            raise ValueError("profile_segment_rows must be positive when given")
 
     def with_overrides(self, **kwargs) -> "EngineConfig":
         """Return a copy of this configuration with the given fields replaced."""

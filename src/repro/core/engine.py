@@ -36,7 +36,7 @@ from repro.similarity.profiles import ProfileStoreBase
 from repro.similarity.workloads import ProfileChange
 from repro.storage.io_stats import IOStats
 from repro.storage.partition_store import PartitionStore
-from repro.storage.profile_store import OnDiskProfileStore
+from repro.storage.profile_store import OnDiskProfileStore, partition_aligned_bounds
 from repro.utils.logging import get_logger
 from repro.utils.timer import PhaseTimer
 from repro.utils.validation import check_positive_int
@@ -103,7 +103,8 @@ class KNNEngine:
         self._closed = False
 
         self._profile_store = OnDiskProfileStore.create(
-            self._workdir / "profiles", profiles, disk_model=self._config.disk_model)
+            self._workdir / "profiles", profiles, disk_model=self._config.disk_model,
+            segment_bounds=self._segment_bounds(profiles.num_users))
         self._partition_store = PartitionStore(
             self._workdir / "partitions", disk_model=self._config.disk_model)
         self._iteration_runner = OutOfCoreIteration(
@@ -119,6 +120,25 @@ class KNNEngine:
                 profiles.num_users, self._config.k, seed=self._config.seed)
         self._iterations_run = 0
 
+    def _segment_bounds(self, num_users: int) -> Optional[list]:
+        """Sparse-segment boundaries for the on-disk profile store.
+
+        An explicit ``profile_segment_rows`` wins; otherwise the bounds
+        follow the contiguous partitioner's n/m split so every partition's
+        profile slice maps to exactly one segment (zero-copy loads, and
+        phase-5 segment rewrites stay partition-local).  Scattering
+        partitioners get the store's default uniform segments.
+        """
+        config = self._config
+        if config.profile_segment_rows is not None:
+            step = min(config.profile_segment_rows, num_users)
+            bounds = list(range(0, num_users, step))
+            bounds.append(num_users)
+            return sorted(set(bounds))
+        if config.partitioner == "contiguous":
+            return partition_aligned_bounds(num_users, config.num_partitions)
+        return None
+
     # -- lifecycle ------------------------------------------------------------
 
     def __enter__(self) -> "KNNEngine":
@@ -128,10 +148,11 @@ class KNNEngine:
         self.close()
 
     def close(self) -> None:
-        """Release on-disk scratch space (removes the working directory if owned)."""
+        """Release the scoring pool and on-disk scratch space (if owned)."""
         if self._closed:
             return
         self._closed = True
+        self._iteration_runner.close()
         if self._owns_workdir:
             shutil.rmtree(self._workdir, ignore_errors=True)
 

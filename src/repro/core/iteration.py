@@ -9,9 +9,14 @@ The orchestration follows Figure 1 of the paper exactly:
    and emit ``G(t+1)``,
 5. apply the queued profile changes to produce ``P(t+1)``.
 
-:class:`OutOfCoreIteration` is stateless across iterations — the engine
+:class:`OutOfCoreIteration` carries no per-iteration state — the engine
 (:mod:`repro.core.engine`) owns the loop, the profile store and the update
-queue, and calls :meth:`OutOfCoreIteration.run` once per iteration.
+queue, and calls :meth:`OutOfCoreIteration.run` once per iteration.  The
+one thing it *does* keep across iterations is the phase-4 process scoring
+pool: forking workers every iteration used to dominate short iterations,
+so the pool is created once, reused for the whole run, and its workers
+invalidate their cached mmap slices through the profile store's
+``generation`` counter whenever phase 5 changes the files.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.parallel import ProcessScoringPool, score_tuples
+from repro.core.parallel import ProcessScoringPool, fork_available, score_tuples
 from repro.core.update_queue import ProfileUpdateQueue
 from repro.graph.knn_graph import KNNGraph
 from repro.partition.model import Partition, build_partitions
@@ -68,6 +73,9 @@ class IterationResult:
     profile_updates_applied: int
     phase_timer: PhaseTimer
     io_stats: IOStats
+    #: The profile store's share of ``io_stats`` — its write side is the
+    #: phase-5 update traffic, which the perf suite tracks per iteration.
+    profile_io_stats: IOStats = field(default_factory=IOStats)
 
     @property
     def load_unload_operations(self) -> int:
@@ -95,6 +103,39 @@ class OutOfCoreIteration:
         self._config = config
         self._partition_store = partition_store
         self._profile_store = profile_store
+        self._pool: Optional[ProcessScoringPool] = None
+        self._warned_process_fallback = False
+
+    def close(self) -> None:
+        """Shut down the persistent scoring pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _scoring_pool(self) -> Optional[ProcessScoringPool]:
+        """The run-lifetime process pool, or ``None`` for in-process scoring.
+
+        ``backend="process"`` with a single worker (or on a platform without
+        ``fork``) would pay pool start-up and pipe traffic for zero
+        parallelism, so those configurations fall back to the serial path —
+        which is bit-identical — with a one-time warning.
+        """
+        config = self._config
+        if config.backend != "process":
+            return None
+        if config.num_workers == 1 or not fork_available():
+            if not self._warned_process_fallback:
+                reason = ("num_workers=1" if config.num_workers == 1
+                          else "fork is unavailable on this platform")
+                _logger.warning(
+                    "backend='process' with %s: skipping the worker pool and "
+                    "scoring in-process (results are identical)", reason)
+                self._warned_process_fallback = True
+            return None
+        if self._pool is None:
+            self._pool = ProcessScoringPool(self._profile_store,
+                                            num_workers=config.num_workers)
+        return self._pool
 
     # -- public entry point -------------------------------------------------
 
@@ -121,12 +162,14 @@ class OutOfCoreIteration:
             pi_graph, steps, schedule = self._phase3_pi_graph(table)
 
         with timer.phase(PHASE_NAMES[3]):
-            new_graph, evaluations = self._phase4_knn(graph, table, steps, measure, io_stats)
+            new_graph, evaluations = self._phase4_knn(iteration, graph, table,
+                                                      steps, measure, io_stats)
 
         with timer.phase(PHASE_NAMES[4]):
             updates_applied = self._phase5_profile_update(update_queue)
 
-        io_stats.merge(self._drain_store_stats())
+        store_stats, profile_stats = self._drain_store_stats()
+        io_stats.merge(store_stats)
         result = IterationResult(
             iteration=iteration,
             graph=new_graph,
@@ -137,6 +180,7 @@ class OutOfCoreIteration:
             profile_updates_applied=updates_applied,
             phase_timer=timer,
             io_stats=io_stats,
+            profile_io_stats=profile_stats,
         )
         _logger.info(
             "iteration %d: %d tuples, %d similarity evaluations, %d load/unload ops",
@@ -152,8 +196,8 @@ class OutOfCoreIteration:
         partitioner = get_partitioner(config.partitioner)
         assignment = partitioner.assign(csr, config.num_partitions)
         partitions = build_partitions(csr, assignment, config.num_partitions)
-        self._partition_store.clear()
-        self._partition_store.write_partitions(partitions)
+        # overwrite last iteration's files in place instead of unlink+create
+        self._partition_store.replace_all(partitions)
         return assignment, partitions
 
     # -- phase 2 --------------------------------------------------------------
@@ -186,7 +230,7 @@ class OutOfCoreIteration:
 
     # -- phase 4 --------------------------------------------------------------
 
-    def _phase4_knn(self, graph: KNNGraph, table: TupleHashTable,
+    def _phase4_knn(self, iteration: int, graph: KNNGraph, table: TupleHashTable,
                     steps: Sequence[ResidencyStep], measure: str,
                     io_stats: IOStats) -> Tuple[KNNGraph, int]:
         config = self._config
@@ -199,10 +243,17 @@ class OutOfCoreIteration:
             profile_bytes_per_user=self._profile_store.estimated_bytes_per_user(),
             io_stats=io_stats,
         )
-        use_process = config.backend == "process"
-        pool = (ProcessScoringPool(self._profile_store, num_workers=config.num_workers)
-                if use_process else None)
+        pool = self._scoring_pool()
+        use_process = pool is not None
+        # backend="process" without a pool (single worker / no fork) scores
+        # serially in-process — same results, none of the pipe overhead
+        inprocess_backend = ("serial" if config.backend == "process"
+                             else config.backend)
         merge_shards = config.num_workers if use_process else 1
+        # worker slice caches are keyed by (iteration, partition): partition
+        # ids repeat across iterations with different vertex sets, and the
+        # store generation tells workers when phase 5 replaced the files
+        store_generation = self._profile_store.generation
         resident_profiles: Dict[int, ProfileSlice] = {}
         charged_profiles: Set[int] = set()
         new_graph = KNNGraph(graph.num_vertices, config.k)
@@ -234,45 +285,42 @@ class OutOfCoreIteration:
             scored_values.clear()
             pending_rows = 0
 
-        try:
-            for first, second, edges in steps:
-                partition_a, partition_b = cache.acquire_pair(first, second)
-                needed = {first: partition_a, second: partition_b}
-                if use_process:
-                    # the workers load (mmap, zero-copy) the slices themselves;
-                    # the coordinator only keeps the I/O accounting aligned
-                    self._sync_profile_charges(cache, charged_profiles, needed)
-                else:
-                    self._sync_profile_slices(cache, resident_profiles, needed)
-                    merged = self._merged_slice(resident_profiles, first, second)
-                # concatenate every PI edge of the residency step into one batch
-                # and score it with a single (parallel) scoring call
-                chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
-                chunks = [chunk for chunk in chunks if len(chunk)]
-                if not chunks:
-                    continue
-                tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-                if use_process:
-                    # per-partition id arrays, so workers cache each
-                    # partition's zero-copy slice across residency steps
-                    parts = [(first, partition_a.vertices)]
-                    if second != first:
-                        parts.append((second, partition_b.vertices))
-                    scores = pool.score(None, tuples, measure,
-                                        key=(first, second), parts=parts)
-                else:
-                    scores = score_tuples(merged, tuples, measure,
-                                          num_threads=config.num_threads,
-                                          backend=config.backend)
-                evaluations += len(tuples)
-                scored_tuples.append(tuples)
-                scored_values.append(scores)
-                pending_rows += len(tuples)
-                if pending_rows >= flush_threshold:
-                    flush_scored()
-        finally:
-            if pool is not None:
-                pool.shutdown()
+        for first, second, edges in steps:
+            partition_a, partition_b = cache.acquire_pair(first, second)
+            needed = {first: partition_a, second: partition_b}
+            if use_process:
+                # the workers load (mmap, zero-copy) the slices themselves;
+                # the coordinator only keeps the I/O accounting aligned
+                self._sync_profile_charges(cache, charged_profiles, needed)
+            else:
+                self._sync_profile_slices(cache, resident_profiles, needed)
+                merged = self._merged_slice(resident_profiles, first, second)
+            # concatenate every PI edge of the residency step into one batch
+            # and score it with a single (parallel) scoring call
+            chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
+            chunks = [chunk for chunk in chunks if len(chunk)]
+            if not chunks:
+                continue
+            tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            if use_process:
+                # per-partition id arrays, so workers cache each partition's
+                # zero-copy slice across residency steps (and iterations)
+                parts = [((iteration, first), partition_a.vertices)]
+                if second != first:
+                    parts.append(((iteration, second), partition_b.vertices))
+                scores = pool.score(None, tuples, measure,
+                                    key=(iteration, first, second), parts=parts,
+                                    generation=store_generation)
+            else:
+                scores = score_tuples(merged, tuples, measure,
+                                      num_threads=config.num_threads,
+                                      backend=inprocess_backend)
+            evaluations += len(tuples)
+            scored_tuples.append(tuples)
+            scored_values.append(scores)
+            pending_rows += len(tuples)
+            if pending_rows >= flush_threshold:
+                flush_scored()
         cache.flush()
         resident_profiles.clear()
         flush_scored()
@@ -327,11 +375,18 @@ class OutOfCoreIteration:
     def _profile_store_default_measure(self) -> str:
         return "cosine" if self._profile_store.kind == "dense" else "jaccard"
 
-    def _drain_store_stats(self) -> IOStats:
-        """Collect and reset the stores' own I/O counters into one snapshot."""
+    def _drain_store_stats(self) -> Tuple[IOStats, IOStats]:
+        """Collect and reset the stores' own I/O counters.
+
+        Returns ``(combined, profile_only)`` — the profile store's snapshot is
+        kept separate so callers can watch phase-5 update write-bytes without
+        the partition traffic mixed in.
+        """
+        profile_snapshot = IOStats()
+        profile_snapshot.merge(self._profile_store.io_stats)
         snapshot = IOStats()
         snapshot.merge(self._partition_store.io_stats)
-        snapshot.merge(self._profile_store.io_stats)
+        snapshot.merge(profile_snapshot)
         self._partition_store.io_stats.reset()
         self._profile_store.io_stats.reset()
-        return snapshot
+        return snapshot, profile_snapshot

@@ -47,14 +47,19 @@ def _num_chunks(num_tuples: int, num_threads: int, chunk_size: int) -> int:
 def score_tuples(profile_slice: ProfileSlice, tuples: np.ndarray, measure: str,
                  num_threads: int = 1, chunk_size: int = 4096,
                  backend: str = "thread",
-                 pool: "Optional[ProcessScoringPool]" = None) -> np.ndarray:
+                 pool: "Optional[ProcessScoringPool]" = None,
+                 generation: Optional[int] = None) -> np.ndarray:
     """Similarity scores for an ``(n, 2)`` tuple array, optionally parallel.
 
     The result is aligned with ``tuples`` row for row regardless of the
     backend or worker count, so callers never need to re-associate scores
     with pairs.  ``backend="process"`` requires a :class:`ProcessScoringPool`
     whose workers have the same store open; the slice itself stays in the
-    calling process and only its user ids cross the pipe.
+    calling process and only its user ids cross the pipe.  A pool that is
+    kept alive across profile updates must be told the store's current
+    ``generation`` (:attr:`OnDiskProfileStore.generation`) so workers drop
+    slices cached before the update; with ``None`` the store is assumed
+    unchanged for the pool's lifetime.
     """
     check_positive_int(num_threads, "num_threads")
     check_positive_int(chunk_size, "chunk_size")
@@ -69,12 +74,12 @@ def score_tuples(profile_slice: ProfileSlice, tuples: np.ndarray, measure: str,
         if pool is None:
             raise ValueError("backend='process' requires a ProcessScoringPool")
         # a contiguous slice can be identified by its span — the store is
-        # immutable while the pool is alive — letting workers cache the load
+        # immutable under a given generation — letting workers cache the load
         ids = profile_slice.user_ids
         key = None
         if len(ids) and int(ids[-1]) - int(ids[0]) + 1 == len(ids):
-            key = ("span", int(ids[0]), int(ids[-1]))
-        return pool.score(ids, tuples, measure, key=key)
+            key = ("span", int(ids[0]), int(ids[-1]), generation)
+        return pool.score(ids, tuples, measure, key=key, generation=generation)
     if backend == "serial" or num_threads == 1 or len(tuples) <= chunk_size:
         return profile_slice.similarity_pairs(tuples, measure)
 
@@ -93,6 +98,11 @@ def score_tuples(profile_slice: ProfileSlice, tuples: np.ndarray, measure: str,
     return np.concatenate(results)
 
 
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes (cheap pool start-up)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 # -- process backend ---------------------------------------------------------
 #
 # Worker-side state: one re-opened store per worker process, a small cache
@@ -100,13 +110,19 @@ def score_tuples(profile_slice: ProfileSlice, tuples: np.ndarray, measure: str,
 # the paper's split, so these are zero-copy mmap views — cheap to keep
 # resident across residency steps), and the most recently merged slice,
 # keyed so that the shards of one residency step all reuse a single merge.
-# The store is immutable while a pool is alive (pools live inside one
-# phase 4; profile updates happen in phase 5), so reusing cached slices
-# for a repeated key is always sound.
+# A pool now *outlives* phase 4 — the engine keeps one alive for the whole
+# run — so store immutability is tracked explicitly: every ``score`` call
+# carries the store's generation counter, and a worker seeing a newer
+# generation than its caches were loaded under re-opens the store and drops
+# every cached slice before scoring (phase-5 updates replace journal and
+# segment files, so stale maps must never be read).  Cache keys are scoped
+# by the caller (phase 4 keys them by iteration) so a partition id reused
+# across iterations with different vertices never hits a stale entry.
 
 _WORKER_STORE: Optional[OnDiskProfileStore] = None
 _WORKER_PARTS: "dict[object, ProfileSlice]" = {}
 _WORKER_SLICE: Tuple[Optional[object], Optional[ProfileSlice]] = (None, None)
+_WORKER_GENERATION: Optional[int] = None
 
 #: Per-partition slices a worker keeps resident (mirrors the coordinator's
 #: small partition cache; the slices are views, so this bounds mapping count,
@@ -123,12 +139,13 @@ def _compact_ids(user_ids) -> "Union[range, np.ndarray]":
 
 
 def _init_scoring_worker(store_dir: str) -> None:
-    global _WORKER_STORE, _WORKER_PARTS, _WORKER_SLICE
+    global _WORKER_STORE, _WORKER_PARTS, _WORKER_SLICE, _WORKER_GENERATION
     # the coordinator charges slice reads once for the whole pool, so the
     # worker's own accounting uses the free device model
     _WORKER_STORE = OnDiskProfileStore(store_dir, disk_model="instant")
     _WORKER_PARTS = {}
     _WORKER_SLICE = (None, None)
+    _WORKER_GENERATION = None
 
 
 def _worker_part_slice(part_key: object, user_ids: np.ndarray) -> ProfileSlice:
@@ -144,16 +161,25 @@ def _worker_part_slice(part_key: object, user_ids: np.ndarray) -> ProfileSlice:
 
 
 def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
-                 tuples: np.ndarray, measure: str) -> np.ndarray:
+                 tuples: np.ndarray, measure: str,
+                 generation: Optional[int] = None) -> np.ndarray:
     """Score one tuple shard against the union of the given partition slices.
 
     ``parts`` is ``[(part_key, user_ids), ...]``; each partition is loaded
     (zero-copy for contiguous runs) and cached by key, and the merged slice
     is cached per ``key`` so all shards of one residency step share it.
     Merging per-partition slices is exactly what the in-process backends do,
-    so scores stay bit-identical.
+    so scores stay bit-identical.  A ``generation`` newer than the one the
+    caches were loaded under means the store files changed underneath us
+    (phase-5 updates): the store is re-opened and every cached slice dropped
+    before anything is loaded.
     """
-    global _WORKER_SLICE
+    global _WORKER_SLICE, _WORKER_GENERATION
+    if generation is not None and generation != _WORKER_GENERATION:
+        _WORKER_STORE.reload()
+        _WORKER_PARTS.clear()
+        _WORKER_SLICE = (None, None)
+        _WORKER_GENERATION = generation
     if key is None or _WORKER_SLICE[0] != key:
         merged: Optional[ProfileSlice] = None
         for part_key, user_ids in parts:
@@ -169,7 +195,11 @@ class ProcessScoringPool:
     Tuple shards are split deterministically (``np.array_split`` order) and
     the per-shard score arrays are concatenated in submission order, so the
     assembled result is bit-identical to a serial ``similarity_pairs`` call.
-    Use as a context manager, or call :meth:`shutdown`.
+    The pool is designed to live for a whole engine run — fork start-up is
+    paid once, not once per iteration — with worker caches invalidated
+    through the ``generation`` argument of :meth:`score` whenever phase 5
+    changes the store underneath.  Use as a context manager, or call
+    :meth:`shutdown`.
     """
 
     def __init__(self, store: Union[OnDiskProfileStore, str, os.PathLike],
@@ -194,8 +224,8 @@ class ProcessScoringPool:
 
     def score(self, user_ids: Optional[np.ndarray], tuples: np.ndarray,
               measure: str, key: object = None,
-              parts: "Optional[Sequence[Tuple[object, np.ndarray]]]" = None
-              ) -> np.ndarray:
+              parts: "Optional[Sequence[Tuple[object, np.ndarray]]]" = None,
+              generation: Optional[int] = None) -> np.ndarray:
         """Score ``tuples`` against a set of loaded profiles, sharded.
 
         ``parts`` — ``[(part_key, user_ids), ...]`` — names the resident
@@ -206,6 +236,12 @@ class ProcessScoringPool:
         flat ``user_ids`` array is loaded as one slice (cached under ``key``
         when given).  ``key`` identifies the merged slice across the shards
         of one call — phase 4 passes one key per residency step.
+
+        ``generation`` is the store's update counter: a pool that survives
+        profile updates (the engine keeps one alive across iterations) must
+        pass the current value so workers invalidate their cached slices
+        after every phase-5 batch.  ``None`` keeps the legacy contract (the
+        store never changes while the pool is alive).
         """
         tuples = np.asarray(tuples, dtype=np.int64)
         if tuples.size == 0:
@@ -221,7 +257,8 @@ class ProcessScoringPool:
             parts = [(part_key, _compact_ids(ids)) for part_key, ids in parts]
         shards = np.array_split(tuples, min(self._num_workers, len(tuples)))
         futures = [
-            self._executor.submit(_score_shard, key, parts, shard, measure)
+            self._executor.submit(_score_shard, key, parts, shard, measure,
+                                  generation)
             for shard in shards if len(shard)
         ]
         return np.concatenate([future.result() for future in futures])

@@ -33,12 +33,20 @@ class ProfileUpdateQueue:
             self._total_enqueued += 1
 
     def enqueue_many(self, changes: Iterable[ProfileChange]) -> int:
-        """Buffer many changes; returns how many were enqueued."""
-        count = 0
-        for change in changes:
-            self.enqueue(change)
-            count += 1
-        return count
+        """Buffer many changes; returns how many were enqueued.
+
+        The batch is validated up front and appended under a single lock
+        acquisition, so a high-rate change feed never serialises on
+        per-change locking.
+        """
+        items = list(changes)
+        for change in items:
+            if not isinstance(change, ProfileChange):
+                raise TypeError(f"expected ProfileChange, got {type(change).__name__}")
+        with self._lock:
+            self._changes.extend(items)
+            self._total_enqueued += len(items)
+        return len(items)
 
     def drain(self) -> List[ProfileChange]:
         """Remove and return all buffered changes (applied by phase 5)."""

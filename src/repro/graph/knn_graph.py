@@ -22,6 +22,29 @@ from repro.utils.validation import check_non_negative, check_positive_int
 
 ScoredEdge = Tuple[int, int, float]
 
+#: Digit width of the counting-sort passes used by the bulk top-K merge.
+_RADIX_BITS = 16
+_RADIX_MASK = np.int64((1 << _RADIX_BITS) - 1)
+
+
+def _counting_argsort(keys: np.ndarray, max_key: int) -> np.ndarray:
+    """Stable argsort of non-negative int64 keys via LSD counting-sort passes.
+
+    Each pass bucket-sorts one 16-bit digit (NumPy's stable argsort on
+    ``uint16`` is a counting/radix sort), so the whole permutation costs
+    O(passes · n) rather than a comparison sort's O(n log n) — and keys
+    bounded by the vertex count need a single pass.  Stability of every
+    pass makes the composition stable, so this is a drop-in replacement
+    for ``np.argsort(keys, kind="stable")``.
+    """
+    order = np.argsort((keys & _RADIX_MASK).astype(np.uint16), kind="stable")
+    shift = _RADIX_BITS
+    while (int(max_key) >> shift) > 0:
+        digits = ((keys[order] >> np.int64(shift)) & _RADIX_MASK).astype(np.uint16)
+        order = order[np.argsort(digits, kind="stable")]
+        shift += _RADIX_BITS
+    return order
+
 
 class KNNGraph:
     """Directed K-out-degree graph with per-edge similarity scores.
@@ -201,18 +224,30 @@ class KNNGraph:
         # (-score, tie) ordering without a multi-key lexsort
         order = np.argsort(-c_sc, kind="stable")
         if not (c_tie is None and assume_unique):
-            # keep only each edge's best entry: its first occurrence by key
-            # (with no incumbents and unique pairs this pass is skippable)
+            # keep only each edge's best entry: its first occurrence in the
+            # score ordering.  A stable counting sort groups equal edge keys
+            # with the best entry first; selecting the run heads through a
+            # boolean mask preserves the score ordering without re-sorting
+            # the kept positions (with no incumbents and unique pairs the
+            # whole pass is skippable).
             if c_tie is None:
                 c_tie = np.arange(1, num_new + 1, dtype=np.int64)
             edge_keys = (c_src * self.num_vertices + c_dst)[order]
-            _, first_positions = np.unique(edge_keys, return_index=True)
-            order = order[np.sort(first_positions)]
+            by_key = _counting_argsort(edge_keys,
+                                       self.num_vertices * self.num_vertices)
+            sorted_keys = edge_keys[by_key]
+            run_head = np.empty(len(sorted_keys), dtype=bool)
+            run_head[0] = True
+            np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=run_head[1:])
+            keep_best = np.zeros(len(sorted_keys), dtype=bool)
+            keep_best[by_key[run_head]] = True
+            order = order[keep_best]
 
-        # a stable sort by source within the score ordering lists each
-        # source's candidates in descending-score order; composing the two
-        # permutations first means one gather per payload array
-        order = order[np.argsort(c_src[order], kind="stable")]
+        # per-source counting-sort bucketisation: grouping the score-ordered
+        # rows by source is a bounded-key sort, so a counting pass (two for
+        # graphs past 64Ki vertices) replaces the global comparison sort;
+        # composing the permutations first means one gather per payload array
+        order = order[_counting_argsort(c_src[order], self.num_vertices - 1)]
         s_src, s_dst, s_sc = c_src[order], c_dst[order], c_sc[order]
 
         # rank < K within each contiguous source group selects the new lists

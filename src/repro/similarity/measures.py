@@ -223,7 +223,7 @@ class SetProfileCSR:
     """
 
     def __init__(self, indptr: np.ndarray, codes: np.ndarray, num_items: int,
-                 item_ids: "np.ndarray | None" = None):
+                 item_ids: "np.ndarray | None" = None, rows_sorted: bool = False):
         # np.asarray never copies matching dtypes, so read-only mmap-backed
         # arrays are served through the kernels as-is
         self._indptr = np.asarray(indptr, dtype=np.int64)
@@ -231,6 +231,12 @@ class SetProfileCSR:
         self._num_items = int(num_items)
         self._item_ids = (np.asarray(item_ids, dtype=np.int64)
                           if item_ids is not None else None)
+        # promise that each row's codes are strictly ascending, which lets
+        # pair_counts intersect with a binary search instead of np.isin's
+        # internal sort (a stale promise would silently corrupt counts, so
+        # it is only made by builders that sort, never inferred)
+        self._rows_sorted = bool(rows_sorted)
+        self._tagged_keys: "np.ndarray | None" = None
 
     @classmethod
     def from_sets(cls, profiles: Sequence[Iterable[int]]) -> "SetProfileCSR":
@@ -240,8 +246,11 @@ class SetProfileCSR:
         indptr = np.zeros(len(profiles) + 1, dtype=np.int64)
         np.cumsum(sizes, out=indptr[1:])
         total = int(indptr[-1])
-        flat = np.fromiter((item for profile in profiles for item in profile),
-                           dtype=np.int64, count=total)
+        # each row's items are emitted in ascending id order; codes are item
+        # ranks, so the per-row code runs come out sorted as well
+        flat = np.fromiter(
+            (item for profile in profiles for item in sorted(profile)),
+            dtype=np.int64, count=total)
         if total:
             uniques, codes = np.unique(flat, return_inverse=True)
             num_items = len(uniques)
@@ -249,7 +258,7 @@ class SetProfileCSR:
             uniques = np.empty(0, dtype=np.int64)
             codes = np.empty(0, dtype=np.int64)
             num_items = 0
-        return cls(indptr, codes, num_items, item_ids=uniques)
+        return cls(indptr, codes, num_items, item_ids=uniques, rows_sorted=True)
 
     @property
     def num_rows(self) -> int:
@@ -271,6 +280,11 @@ class SetProfileCSR:
     def item_ids(self) -> "np.ndarray | None":
         """Code→item-id decode table (``None`` when rows hold raw codes)."""
         return self._item_ids
+
+    @property
+    def rows_sorted(self) -> bool:
+        """Whether every row's codes are promised to be strictly ascending."""
+        return self._rows_sorted
 
     def row_codes(self, row: int) -> np.ndarray:
         """Item codes of one row (a view into the codes array)."""
@@ -315,7 +329,9 @@ class SetProfileCSR:
             codes[~item_from_b] = a._codes[src[~item_from_b]]
             codes[item_from_b] = b._codes[src[item_from_b]]
         item_ids = a._item_ids if a._item_ids is not None else b._item_ids
-        return cls(indptr, codes, a._num_items, item_ids=item_ids)
+        # rows are copied verbatim, so the per-row code order survives the merge
+        return cls(indptr, codes, a._num_items, item_ids=item_ids,
+                   rows_sorted=a._rows_sorted and b._rows_sorted)
 
     def row_sizes(self, rows: np.ndarray) -> np.ndarray:
         return self._indptr[rows + 1] - self._indptr[rows]
@@ -329,9 +345,25 @@ class SetProfileCSR:
             return empty, empty
         pair_idx = np.repeat(np.arange(len(rows), dtype=np.int64), sizes)
         starts = np.repeat(self._indptr[rows], sizes)
-        prefix = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        prefix = np.zeros(len(sizes), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=prefix[1:])
         offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, sizes)
         return self._codes[starts + offsets], pair_idx
+
+    def _row_tagged_keys(self) -> np.ndarray:
+        """Every stored item as a sorted ``row * num_items + code`` key.
+
+        Built once per CSR (lazily) and shared by all pair batches scored
+        against it.  With sorted rows the keys ascend globally, so per-pair
+        intersection reduces to binary searches against this array — which
+        is the size of the *slice* (one entry per stored item), not of the
+        expanded pair batch, and therefore cache-resident.
+        """
+        if self._tagged_keys is None:
+            sizes = np.diff(self._indptr)
+            rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), sizes)
+            self._tagged_keys = rows * self._num_items + self._codes
+        return self._tagged_keys
 
     def pair_counts(self, left_rows: np.ndarray, right_rows: np.ndarray
                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -341,7 +373,23 @@ class SetProfileCSR:
         size_a = self.row_sizes(left_rows)
         size_b = self.row_sizes(right_rows)
         common = np.zeros(len(left_rows), dtype=np.float64)
-        if self._num_items:
+        if self._num_items and self._rows_sorted:
+            # tag each right-row item with the pair's LEFT row and test it
+            # against the slice-wide (row, code) key array: only one side is
+            # ever expanded to pair granularity, and the binary-search
+            # haystack is the slice itself (small, hot in cache) instead of
+            # the expanded batch
+            items_b, pairs_b = self._gather(right_rows, size_b)
+            if len(items_b):
+                haystack = self._row_tagged_keys()
+                needles = (np.repeat(left_rows, size_b) * self._num_items
+                           + items_b)
+                positions = np.searchsorted(haystack, needles)
+                positions[positions == len(haystack)] = len(haystack) - 1
+                matched = haystack[positions] == needles
+                counts = np.bincount(pairs_b[matched], minlength=len(left_rows))
+                common = counts.astype(np.float64)
+        elif self._num_items:
             items_a, pairs_a = self._gather(left_rows, size_a)
             items_b, pairs_b = self._gather(right_rows, size_b)
             if len(items_a) and len(items_b):

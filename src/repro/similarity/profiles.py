@@ -60,6 +60,16 @@ class ProfileStoreBase(abc.ABC):
         """The measure used when the engine configuration does not name one."""
         return "jaccard"
 
+    def apply_profile_changes(self, changes: Sequence) -> int:
+        """Apply a batch of :class:`~repro.similarity.workloads.ProfileChange`
+        items in order; returns the number of distinct users touched.
+
+        Concrete stores override this with a batch-aware implementation (a
+        dense store coalesces superseded ``set`` changes, a sparse store
+        defers its incidence-cache invalidation to the end of the batch).
+        """
+        raise NotImplementedError
+
     def _check_user(self, user: int) -> None:
         if not 0 <= user < self.num_users:
             raise IndexError(f"user {user} out of range (store has {self.num_users} users)")
@@ -119,6 +129,29 @@ class SparseProfileStore(ProfileStoreBase):
         self._check_user(user)
         self._profiles[user].discard(item)
         self._csr = None
+
+    def apply_profile_changes(self, changes: Sequence) -> int:
+        """Apply ``add``/``remove`` changes in order (one cache rebuild total).
+
+        The whole batch is validated before anything mutates, so a bad
+        change leaves the store (and its cached incidence matrix) untouched.
+        """
+        for change in changes:
+            if change.kind not in ("add", "remove"):
+                raise ValueError(
+                    "sparse profile stores only accept 'add'/'remove' changes")
+            self._check_user(change.user)
+        touched = set()
+        for change in changes:
+            profile = self._profiles[change.user]
+            if change.kind == "add":
+                profile.add(change.item)
+            else:
+                profile.discard(change.item)
+            touched.add(change.user)
+        if touched:
+            self._csr = None
+        return len(touched)
 
     def similarity(self, user_a: int, user_b: int, measure: str = "jaccard") -> float:
         self._check_user(user_a)
@@ -218,6 +251,38 @@ class DenseProfileStore(ProfileStoreBase):
         if profile.shape != (self.dim,):
             raise ValueError(f"profile must have shape ({self.dim},), got {profile.shape}")
         self._matrix[user] = profile
+
+    @staticmethod
+    def coalesce_set_changes(changes: Sequence, dim: int) -> Dict[int, np.ndarray]:
+        """Validate a batch of ``set`` changes and keep the last vector per user.
+
+        Shared by the in-memory and on-disk dense update paths, so only the
+        final vector of each touched user is ever written — the work scales
+        with touched rows rather than queued changes.
+        """
+        latest: Dict[int, np.ndarray] = {}
+        for change in changes:
+            if change.kind != "set":
+                raise ValueError("dense profile stores only accept 'set' changes")
+            vector = np.asarray(change.vector, dtype=np.float64)
+            if vector.shape != (dim,):
+                raise ValueError(
+                    f"change vector must have shape ({dim},), got {vector.shape}")
+            latest[change.user] = vector
+        return latest
+
+    def apply_profile_changes(self, changes: Sequence) -> int:
+        """Apply ``set`` changes, coalescing superseded rows (last write wins).
+
+        All user ids are validated before the first write, keeping the batch
+        all-or-nothing like the on-disk path.
+        """
+        latest = self.coalesce_set_changes(changes, self.dim)
+        for user in latest:
+            self._check_user(user)
+        for user, vector in latest.items():
+            self._matrix[user] = vector
+        return len(latest)
 
     def similarity(self, user_a: int, user_b: int, measure: str = "cosine") -> float:
         self._check_user(user_a)

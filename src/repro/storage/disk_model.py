@@ -70,6 +70,21 @@ class DiskModel:
         pages = -(-int(num_bytes) // PAGE_SIZE_BYTES)
         return self.read_cost(pages * PAGE_SIZE_BYTES, sequential=sequential)
 
+    def mapped_write_cost(self, num_bytes: int, sequential: bool = True) -> float:
+        """Simulated seconds to write ``num_bytes`` through a memory map.
+
+        The write-side mirror of :meth:`mapped_read_cost`: dirty pages are
+        flushed whole, so the charge is the ordinary write cost of the byte
+        count rounded up to the page size.  In-place row updates and journal
+        appends — the phase-5 incremental paths — are charged through this,
+        keeping their accounting page-granular like the mapped reads.
+        """
+        check_non_negative(num_bytes, "num_bytes")
+        if num_bytes == 0:
+            return 0.0
+        pages = -(-int(num_bytes) // PAGE_SIZE_BYTES)
+        return self.write_cost(pages * PAGE_SIZE_BYTES, sequential=sequential)
+
 
 #: Page granularity used by :meth:`DiskModel.mapped_read_cost`.
 PAGE_SIZE_BYTES = 4096

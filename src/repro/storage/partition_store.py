@@ -80,13 +80,30 @@ class PartitionStore:
             handle.write(vertices.tobytes())
             handle.write(in_edges.tobytes())
             handle.write(out_edges.tobytes())
-        num_bytes = path.stat().st_size
+        num_bytes = (len(_MAGIC) + header.nbytes + vertices.nbytes
+                     + in_edges.nbytes + out_edges.nbytes)
         self.io_stats.record_write(num_bytes, self._disk.write_cost(num_bytes, sequential=True))
         return path
 
     def write_partitions(self, partitions: Sequence[Partition]) -> None:
         for partition in partitions:
             self.write_partition(partition)
+
+    def replace_all(self, partitions: Sequence[Partition]) -> None:
+        """Make ``partitions`` the store's exact contents, overwriting in place.
+
+        Phase 1 calls this once per iteration: existing files are truncated
+        and rewritten rather than unlinked first, and only stale ids (from a
+        run with more partitions) are deleted — no per-iteration directory
+        churn.
+        """
+        keep = set()
+        for partition in partitions:
+            self.write_partition(partition)
+            keep.add(partition.pid)
+        for pid in self.stored_partition_ids():
+            if pid not in keep:
+                self.delete_partition(pid)
 
     def read_partition(self, pid: int) -> Partition:
         """Load one partition from disk (sequential read of the whole file).

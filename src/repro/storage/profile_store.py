@@ -9,15 +9,21 @@ in-memory stores:
   both accessed through ``numpy.memmap``; a contiguous partition's slice is
   served *zero-copy* as a read-only view of the mapped files, and profile
   updates (phase 5) are in-place row writes;
-* sparse — the store's CSR incidence arrays (``indptr``, item *codes* and
-  the code→item-id table) written in row order, so a contiguous partition's
-  slice is a pure slice of the mapped arrays with no per-user set
-  materialisation; updates rewrite the files (sizes change), which matches
-  the paper's lazy batch-update semantics.
+* sparse — the store's CSR incidence arrays split into **row segments**
+  (one ``indptr``/``codes`` file pair per segment, segment boundaries
+  aligned with the paper's contiguous partition split when the engine
+  creates the store) plus a small **row-remap journal**: phase-5 updates
+  append the touched rows' new contents to the journal instead of
+  rewriting the store, and the journal is folded back into the touched
+  segments only when it outgrows a segment.  Update write-bytes therefore
+  scale with the touched rows, not the store size.
 
 The on-disk layout is versioned (``format_version`` in the meta file).
-Version-1 stores — dense without the norm file, sparse with raw item ids
-instead of codes — are still readable through a fallback loader.
+Version-1 stores (dense without the norm file, sparse with raw item ids)
+and version-2 stores (sparse as one monolithic CSR file pair) are still
+readable through fallback loaders.  Every layout rewrite or incremental
+update bumps the store's ``generation`` counter, which worker processes
+holding the store open by path use to invalidate their cached slices.
 
 Every operation is charged to the configured disk model and recorded in
 :class:`~repro.storage.io_stats.IOStats`.  Mapped reads are charged through
@@ -25,12 +31,15 @@ Every operation is charged to the configured disk model and recorded in
 demand paging) at slice-load time, which is also exposed as
 :meth:`OnDiskProfileStore.charge_slice_read` so a coordinating process can
 account for reads its worker processes perform against the same files.
+Incremental updates (dense row writes, journal appends) are charged through
+the symmetric ``mapped_write_cost``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -45,7 +54,26 @@ from repro.storage.io_stats import IOStats
 PathLike = Union[str, os.PathLike]
 
 #: Current on-disk layout version (see module docstring for the history).
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+
+#: Segment size used when the creator supplies no partition-aligned bounds.
+DEFAULT_SEGMENT_ROWS = 4096
+
+
+def partition_aligned_bounds(num_users: int, num_partitions: int) -> List[int]:
+    """Sparse-segment boundaries matching the paper's contiguous n/m split.
+
+    The contiguous partitioner assigns vertex ``v`` to partition ``v*m // n``,
+    so partition ``i`` spans ``[ceil(i*n/m), ceil((i+1)*n/m))``.  Using these
+    boundaries as the segment bounds makes every partition's profile slice a
+    pure view of one mapped segment, and phase-5 segment rewrites line up
+    with partitions.
+    """
+    bounds = sorted({(i * num_users + num_partitions - 1) // num_partitions
+                     for i in range(num_partitions)} | {num_users})
+    if not bounds or bounds[0] != 0:
+        bounds = [0] + bounds
+    return bounds
 
 
 class ProfileSlice:
@@ -59,6 +87,11 @@ class ProfileSlice:
     with no per-pair Python on either profile kind.  Slices served from a
     mapped store hold read-only views of the mapped file; nothing in the
     scoring path writes through them.
+
+    Merging two dense slices with disjoint users produces a **multi-block**
+    slice that addresses rows across the original mapped blocks — no
+    concatenated matrix is ever allocated, so a merged two-partition
+    residency set stays fully zero-copy.
     """
 
     def __init__(self, kind: str, profiles: Optional[Dict[int, object]], dim: int = 0,
@@ -78,23 +111,15 @@ class ProfileSlice:
             self._user_ids = np.asarray(user_ids, dtype=np.int64)
         else:
             raise ValueError("provide a profiles dict, or user_ids plus matrix/csr")
-        users = self._user_ids
-        if len(users) and int(users[-1]) - int(users[0]) + 1 == len(users):
-            # contiguous run: id→row is an offset, no lookup allocation
-            self._row_start: Optional[int] = int(users[0])
-            self._row_of: Optional[np.ndarray] = None
-        else:
-            self._row_start = None
-            if len(users):
-                self._row_of = np.full(int(users[-1]) + 1, -1, dtype=np.int64)
-                self._row_of[users] = np.arange(len(users), dtype=np.int64)
-            else:
-                self._row_of = np.empty(0, dtype=np.int64)
+        self._index_ids()
+        self._blocks: Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = None
+        self._row_block: Optional[np.ndarray] = None
+        self._row_local: Optional[np.ndarray] = None
         if kind == "dense":
             if matrix is not None:
                 self._matrix = matrix
             elif profiles:
-                self._matrix = np.vstack([profiles[int(user)] for user in users])
+                self._matrix = np.vstack([profiles[int(user)] for user in self._user_ids])
             else:
                 self._matrix = np.zeros((0, dim), dtype=np.float64)
             self._dim = self._matrix.shape[1] if self._matrix.size else dim
@@ -111,7 +136,62 @@ class ProfileSlice:
             else:
                 self._profiles = profiles
                 self._csr = _measures.SetProfileCSR.from_sets(
-                    [profiles[int(user)] for user in users])
+                    [profiles[int(user)] for user in self._user_ids])
+
+    def _index_ids(self) -> None:
+        """Precompute the id→row translation for the (sorted) ``_user_ids``."""
+        users = self._user_ids
+        if len(users) and int(users[-1]) - int(users[0]) + 1 == len(users):
+            # contiguous run: id→row is an offset, no lookup allocation
+            self._row_start: Optional[int] = int(users[0])
+            self._row_of: Optional[np.ndarray] = None
+        else:
+            self._row_start = None
+            if len(users):
+                self._row_of = np.full(int(users[-1]) + 1, -1, dtype=np.int64)
+                self._row_of[users] = np.arange(len(users), dtype=np.int64)
+            else:
+                self._row_of = np.empty(0, dtype=np.int64)
+
+    @classmethod
+    def _from_dense_blocks(cls, blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+                           user_ids: np.ndarray, row_block: np.ndarray,
+                           row_local: np.ndarray, dim: int) -> "ProfileSlice":
+        """A multi-block dense slice over existing row blocks (no matrix copy)."""
+        piece = cls.__new__(cls)
+        piece.kind = "dense"
+        piece._dim = dim
+        piece._user_ids = user_ids
+        piece._index_ids()
+        piece._profiles = None
+        piece._csr = None
+        piece._matrix = None
+        piece._norms = None
+        piece._blocks = blocks
+        piece._row_block = row_block
+        piece._row_local = row_local
+        return piece
+
+    def _dense_blocks(self) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """This slice's dense row blocks as ``(user_ids, matrix, norms)`` triples."""
+        if self._blocks is not None:
+            return self._blocks
+        return [(self._user_ids, self._matrix, self._norms)]
+
+    def _take_dense(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather ``(matrix_rows, norm_rows)`` across however many blocks back them."""
+        if self._matrix is not None:
+            return self._matrix[rows], self._norms[rows]
+        out = np.empty((len(rows), self._dim), dtype=np.float64)
+        norms = np.empty(len(rows), dtype=np.float64)
+        block_of = self._row_block[rows]
+        local = self._row_local[rows]
+        for index, (_, block_matrix, block_norms) in enumerate(self._blocks):
+            mask = block_of == index
+            if mask.any():
+                out[mask] = block_matrix[local[mask]]
+                norms[mask] = block_norms[local[mask]]
+        return out, norms
 
     def _rows_for(self, user_ids: np.ndarray) -> np.ndarray:
         """Map loaded user ids to row indices, raising ``KeyError`` on misses."""
@@ -140,8 +220,19 @@ class ProfileSlice:
 
     @property
     def matrix(self) -> Optional[np.ndarray]:
-        """The dense profile matrix (``None`` for sparse slices)."""
+        """The dense profile matrix (``None`` for sparse and multi-block slices)."""
         return self._matrix
+
+    @property
+    def matrix_blocks(self) -> Optional[Tuple[np.ndarray, ...]]:
+        """The dense row blocks backing this slice (``None`` for sparse ones).
+
+        A slice loaded from one partition has a single block; a merged
+        two-partition slice keeps both partitions' mapped blocks as-is.
+        """
+        if self.kind != "dense":
+            return None
+        return tuple(matrix for _, matrix, _ in self._dense_blocks())
 
     def __len__(self) -> int:
         return len(self._user_ids)
@@ -161,8 +252,11 @@ class ProfileSlice:
                         f"user {user} is not loaded in this profile slice") from None
             row = int(self._rows_for(np.asarray([user], dtype=np.int64))[0])
             return set(self._csr.row_items(row).tolist())
-        row = self._rows_for(np.asarray([user], dtype=np.int64))[0]
-        return self._matrix[row]
+        row = int(self._rows_for(np.asarray([user], dtype=np.int64))[0])
+        if self._matrix is not None:
+            return self._matrix[row]
+        block = int(self._row_block[row])
+        return self._blocks[block][1][int(self._row_local[row])]
 
     def _as_profiles_dict(self) -> Dict[int, object]:
         """Sparse slice as a ``user -> item set`` dict (merge fallback)."""
@@ -171,7 +265,14 @@ class ProfileSlice:
         return {int(user): self.get(int(user)) for user in self._user_ids}
 
     def merge(self, other: "ProfileSlice") -> "ProfileSlice":
-        """Union of two slices (used when both partitions' profiles are resident)."""
+        """Union of two slices (used when both partitions' profiles are resident).
+
+        Dense slices with disjoint user sets — always the case for two
+        partitions — merge into a multi-block slice referencing the original
+        row blocks: no matrix is allocated or copied.  Overlapping dense
+        slices fall back to a gathered copy with ``dict.update`` semantics
+        (the other slice's row wins).
+        """
         if other.kind != self.kind:
             raise ValueError("cannot merge slices of different profile kinds")
         if self.kind == "sparse":
@@ -180,11 +281,29 @@ class ProfileSlice:
             combined = self._as_profiles_dict()
             combined.update(other._as_profiles_dict())
             return ProfileSlice(self.kind, combined, dim=self._dim or other._dim)
-        # dense: concatenate the row blocks, keeping the other slice's row for
-        # any user present in both (dict.update semantics)
+        blocks = self._dense_blocks() + other._dense_blocks()
+        users = np.concatenate([ids for ids, _, _ in blocks])
+        order = np.argsort(users, kind="stable")
+        sorted_users = users[order]
+        if len(sorted_users) <= 1 or not bool(
+                (sorted_users[1:] == sorted_users[:-1]).any()):
+            sizes = [len(ids) for ids, _, _ in blocks]
+            row_block = np.repeat(np.arange(len(blocks), dtype=np.int64),
+                                  sizes)[order]
+            row_local = np.concatenate(
+                [np.arange(size, dtype=np.int64) for size in sizes])[order]
+            dim = self._dim or other._dim
+            return ProfileSlice._from_dense_blocks(blocks, sorted_users,
+                                                   row_block, row_local, dim)
+        # overlapping users: gather both sides and keep the other slice's row
+        # for any user present in both (dict.update semantics)
+        self_matrix, self_norms = self._take_dense(
+            np.arange(len(self._user_ids), dtype=np.int64))
+        other_matrix, other_norms = other._take_dense(
+            np.arange(len(other._user_ids), dtype=np.int64))
         users = np.concatenate([self._user_ids, other._user_ids])
-        matrix = np.concatenate([self._matrix, other._matrix], axis=0)
-        norms = np.concatenate([self._norms, other._norms])
+        matrix = np.concatenate([self_matrix, other_matrix], axis=0)
+        norms = np.concatenate([self_norms, other_norms])
         order = np.argsort(users, kind="stable")
         users, matrix, norms = users[order], matrix[order], norms[order]
         if len(users) > 1:
@@ -237,21 +356,56 @@ class ProfileSlice:
         if self.kind == "dense":
             if measure in _measures.SET_MEASURES:
                 raise ValueError(f"measure {measure!r} needs sparse profiles")
-            left_rows = self._rows_for(pairs[:, 0])
-            right_rows = self._rows_for(pairs[:, 1])
+            left, left_norms = self._take_dense(self._rows_for(pairs[:, 0]))
+            right, right_norms = self._take_dense(self._rows_for(pairs[:, 1]))
             if measure == "cosine":
                 # row norms are precomputed once per slice (or read straight
                 # from the store's norm file)
-                return _measures.cosine_from_norms(
-                    self._matrix[left_rows], self._matrix[right_rows],
-                    self._norms[left_rows], self._norms[right_rows])
-            return _measures.vector_measure_batch(
-                measure, self._matrix[left_rows], self._matrix[right_rows])
+                return _measures.cosine_from_norms(left, right,
+                                                   left_norms, right_norms)
+            return _measures.vector_measure_batch(measure, left, right)
         if measure not in _measures.SET_MEASURES:
             raise ValueError(f"measure {measure!r} needs dense profiles")
         left_rows = self._rows_for(pairs[:, 0])
         right_rows = self._rows_for(pairs[:, 1])
         return self._csr.measure_pairs(measure, left_rows, right_rows)
+
+
+@dataclass
+class _SparseV3State:
+    """Lazily-opened mapped state of a segmented (v3) sparse store."""
+
+    bounds: np.ndarray                 # segment boundaries, len num_segments+1
+    seg_indptr: List[np.ndarray]       # per-segment local indptr maps
+    seg_codes: List[np.ndarray]        # per-segment code maps
+    item_ids: np.ndarray               # shared code→item-id table (append-only)
+    j_rows: np.ndarray                 # journal row ids, append order
+    j_indptr: np.ndarray               # journal indptr, len len(j_rows)+1
+    j_codes: np.ndarray                # journal codes
+    j_of: np.ndarray                   # row → latest journal entry (-1 = none)
+    row_sizes: np.ndarray              # current size of every row (journal wins)
+
+
+def _fill_rows(out_codes: np.ndarray, out_indptr: np.ndarray,
+               out_rows: np.ndarray, src_indptr: np.ndarray,
+               src_codes: np.ndarray, src_rows: np.ndarray) -> None:
+    """Copy CSR rows ``src_rows`` into ``out_codes`` at positions ``out_rows``.
+
+    One gather per source array — the same single-copy pattern as
+    :meth:`SetProfileCSR.merged_subset` — so assembling a slice from several
+    segments plus the journal never concatenates intermediate arrays.
+    """
+    src_rows = np.asarray(src_rows, dtype=np.int64)
+    starts = np.asarray(src_indptr, dtype=np.int64)[src_rows]
+    sizes = np.asarray(src_indptr, dtype=np.int64)[src_rows + 1] - starts
+    total = int(sizes.sum())
+    if total == 0:
+        return
+    prefix = np.zeros(len(sizes), dtype=np.int64)
+    np.cumsum(sizes[:-1], out=prefix[1:])
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, sizes)
+    dest = np.repeat(np.asarray(out_indptr, dtype=np.int64)[out_rows], sizes) + offsets
+    out_codes[dest] = np.asarray(src_codes)[np.repeat(starts, sizes) + offsets]
 
 
 class OnDiskProfileStore:
@@ -262,20 +416,38 @@ class OnDiskProfileStore:
     _NORMS_NAME = "profiles_norms.bin"
     _SPARSE_INDPTR = "profiles_indptr.bin"
     _SPARSE_ITEMS = "profiles_items.bin"      # v1: raw item ids; v2: item codes
-    _SPARSE_ITEM_IDS = "profiles_item_ids.bin"  # v2 only: code→item-id table
+    _SPARSE_ITEM_IDS = "profiles_item_ids.bin"  # v2+: code→item-id table
+    _SEG_INDPTR_TMPL = "profiles_seg_{0:05d}_indptr.bin"   # v3 only
+    _SEG_CODES_TMPL = "profiles_seg_{0:05d}_codes.bin"     # v3 only
+    _JOURNAL_ROWS = "profiles_journal_rows.bin"            # v3 only
+    _JOURNAL_INDPTR = "profiles_journal_indptr.bin"        # v3 only
+    _JOURNAL_CODES = "profiles_journal_codes.bin"          # v3 only
 
     def __init__(self, base_dir: PathLike, disk_model: Union[str, DiskModel] = "ssd",
-                 io_stats: Optional[IOStats] = None):
+                 io_stats: Optional[IOStats] = None,
+                 format_version: int = FORMAT_VERSION,
+                 segment_bounds: Optional[Sequence[int]] = None,
+                 journal_limit: Optional[int] = None):
+        # version 1 is read-only legacy (there has never been a v1 writer)
+        if not 2 <= format_version <= FORMAT_VERSION:
+            raise ValueError(f"format_version must be 2..{FORMAT_VERSION}, "
+                             f"got {format_version}")
         self._base_dir = Path(base_dir)
         self._base_dir.mkdir(parents=True, exist_ok=True)
         self._disk = get_disk_model(disk_model)
         self.io_stats = io_stats if io_stats is not None else IOStats()
+        self._target_version = int(format_version)
+        self._segment_bounds_hint = (list(segment_bounds)
+                                     if segment_bounds is not None else None)
+        self._journal_limit_override = journal_limit
         self._meta: Optional[dict] = None
         # lazily-opened memory maps shared by every slice this store serves
         # (invalidated when a rewrite replaces the files)
         self._dense_mapped: Optional[Tuple[np.ndarray, Optional[np.ndarray]]] = None
         self._sparse_mapped: Optional[
             Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]] = None
+        self._v3_state: Optional[_SparseV3State] = None
+        self._item_code_cache: Optional[Dict[int, int]] = None
         meta_path = self._base_dir / self._META_NAME
         if meta_path.exists():
             self._meta = json.loads(meta_path.read_text())
@@ -285,43 +457,135 @@ class OnDiskProfileStore:
     @classmethod
     def create(cls, base_dir: PathLike, store: ProfileStoreBase,
                disk_model: Union[str, DiskModel] = "ssd",
-               io_stats: Optional[IOStats] = None) -> "OnDiskProfileStore":
-        """Persist an in-memory profile store and return the on-disk handle."""
-        on_disk = cls(base_dir, disk_model=disk_model, io_stats=io_stats)
+               io_stats: Optional[IOStats] = None,
+               format_version: int = FORMAT_VERSION,
+               segment_bounds: Optional[Sequence[int]] = None,
+               journal_limit: Optional[int] = None) -> "OnDiskProfileStore":
+        """Persist an in-memory profile store and return the on-disk handle.
+
+        ``format_version`` pins the written layout (v2 is kept writable for
+        compatibility tests and fixtures; v1 is read-only legacy and is
+        rejected here); ``segment_bounds``
+        aligns the v3 sparse segments with the engine's partition split; and
+        ``journal_limit`` caps the v3 row-remap journal before it is folded
+        back into the segments (default: about one segment's rows).
+        """
+        on_disk = cls(base_dir, disk_model=disk_model, io_stats=io_stats,
+                      format_version=format_version,
+                      segment_bounds=segment_bounds, journal_limit=journal_limit)
         on_disk._write_full(store)
         return on_disk
 
+    def _next_generation(self) -> int:
+        return int(self._meta.get("generation", 0)) + 1 if self._meta else 0
+
     def _write_full(self, store: ProfileStoreBase) -> None:
+        generation = self._next_generation()
         if isinstance(store, DenseProfileStore):
             matrix = store.matrix.astype(np.float64)
             matrix.tofile(self._base_dir / self._DENSE_NAME)
             norms = np.linalg.norm(matrix, axis=1)
             norms.tofile(self._base_dir / self._NORMS_NAME)
             self._meta = {"kind": "dense", "num_users": store.num_users,
-                          "dim": store.dim, "format_version": FORMAT_VERSION}
+                          "dim": store.dim,
+                          "format_version": self._target_version,
+                          "generation": generation}
             total = matrix.nbytes + norms.nbytes
             self.io_stats.record_write(total,
                                        self._disk.write_cost(total, sequential=True))
         elif isinstance(store, SparseProfileStore):
-            csr = store.incidence()
-            indptr = np.asarray(csr.indptr, dtype=np.int64)
-            codes = np.asarray(csr.codes, dtype=np.int64)
-            item_ids = (np.asarray(csr.item_ids, dtype=np.int64)
-                        if csr.item_ids is not None else np.empty(0, dtype=np.int64))
-            indptr.tofile(self._base_dir / self._SPARSE_INDPTR)
-            codes.tofile(self._base_dir / self._SPARSE_ITEMS)
-            item_ids.tofile(self._base_dir / self._SPARSE_ITEM_IDS)
-            self._meta = {"kind": "sparse", "num_users": store.num_users,
-                          "num_items": csr.num_items,
-                          "format_version": FORMAT_VERSION}
-            total = indptr.nbytes + codes.nbytes + item_ids.nbytes
-            self.io_stats.record_write(total, self._disk.write_cost(total, sequential=True))
+            if self._target_version >= 3:
+                self._write_sparse_v3(store, generation)
+            else:
+                self._write_sparse_v2(store, generation)
         else:
             raise TypeError(f"unsupported profile store type: {type(store).__name__}")
         (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
         # the rewrite replaced the files; open maps point at dead data
+        self._invalidate_maps()
+
+    def _write_sparse_v2(self, store: SparseProfileStore, generation: int) -> None:
+        csr = store.incidence()
+        indptr = np.asarray(csr.indptr, dtype=np.int64)
+        codes = np.asarray(csr.codes, dtype=np.int64)
+        item_ids = (np.asarray(csr.item_ids, dtype=np.int64)
+                    if csr.item_ids is not None else np.empty(0, dtype=np.int64))
+        indptr.tofile(self._base_dir / self._SPARSE_INDPTR)
+        codes.tofile(self._base_dir / self._SPARSE_ITEMS)
+        item_ids.tofile(self._base_dir / self._SPARSE_ITEM_IDS)
+        self._meta = {"kind": "sparse", "num_users": store.num_users,
+                      "num_items": csr.num_items, "format_version": 2,
+                      "row_codes_sorted": bool(csr.rows_sorted),
+                      "generation": generation}
+        total = indptr.nbytes + codes.nbytes + item_ids.nbytes
+        self.io_stats.record_write(total, self._disk.write_cost(total, sequential=True))
+
+    def _write_sparse_v3(self, store: SparseProfileStore, generation: int) -> None:
+        csr = store.incidence()  # from_sets sorts each row's codes
+        indptr = np.asarray(csr.indptr, dtype=np.int64)
+        codes = np.asarray(csr.codes, dtype=np.int64)
+        item_ids = (np.asarray(csr.item_ids, dtype=np.int64)
+                    if csr.item_ids is not None else np.empty(0, dtype=np.int64))
+        bounds = self._resolve_segment_bounds(store.num_users)
+        total = item_ids.nbytes
+        for index in range(len(bounds) - 1):
+            lo, hi = bounds[index], bounds[index + 1]
+            local = (indptr[lo:hi + 1] - indptr[lo]).astype(np.int64)
+            seg_codes = codes[indptr[lo]:indptr[hi]]
+            local.tofile(self._base_dir / self._SEG_INDPTR_TMPL.format(index))
+            seg_codes.tofile(self._base_dir / self._SEG_CODES_TMPL.format(index))
+            total += local.nbytes + seg_codes.nbytes
+        item_ids.tofile(self._base_dir / self._SPARSE_ITEM_IDS)
+        for name in (self._JOURNAL_ROWS, self._JOURNAL_INDPTR, self._JOURNAL_CODES):
+            (self._base_dir / name).write_bytes(b"")
+        # stale files from other layouts (upgrades) or shrunken segment counts
+        for name in (self._SPARSE_INDPTR, self._SPARSE_ITEMS):
+            path = self._base_dir / name
+            if path.exists():
+                path.unlink()
+        for path in self._base_dir.glob("profiles_seg_*.bin"):
+            index = int(path.stem.split("_")[2])
+            if index >= len(bounds) - 1:
+                path.unlink()
+        self._meta = {"kind": "sparse", "num_users": store.num_users,
+                      "num_items": csr.num_items, "format_version": 3,
+                      "segment_bounds": [int(b) for b in bounds],
+                      "journal_entries": 0, "generation": generation}
+        self.io_stats.record_write(total, self._disk.write_cost(total, sequential=True))
+
+    def _resolve_segment_bounds(self, num_users: int) -> List[int]:
+        if self._segment_bounds_hint is not None:
+            bounds = [int(b) for b in self._segment_bounds_hint]
+            if (bounds[0] != 0 or bounds[-1] != num_users
+                    or any(b >= c for b, c in zip(bounds, bounds[1:]))):
+                raise ValueError(
+                    "segment_bounds must be strictly increasing from 0 to num_users")
+            return bounds
+        if num_users == 0:
+            return [0, 0]
+        bounds = list(range(0, num_users, DEFAULT_SEGMENT_ROWS))
+        bounds.append(num_users)
+        return bounds
+
+    def _invalidate_maps(self) -> None:
         self._dense_mapped = None
         self._sparse_mapped = None
+        self._v3_state = None
+        # full rewrites recode items; journal appends extend the cached map
+        # in place instead (the item table is append-only between rewrites)
+        self._item_code_cache = None
+
+    def reload(self) -> None:
+        """Re-read the meta file and drop every cached memory map.
+
+        Worker processes holding this store open by path call this when the
+        coordinator reports a newer :attr:`generation`: incremental updates
+        replace journal/segment files, so cached maps (and any slices built
+        on them) must be re-opened before the next load.
+        """
+        meta_path = self._base_dir / self._META_NAME
+        self._meta = json.loads(meta_path.read_text()) if meta_path.exists() else None
+        self._invalidate_maps()
 
     # -- queries --------------------------------------------------------------
 
@@ -351,6 +615,16 @@ class OnDiskProfileStore:
         self._require_meta()
         return int(self._meta.get("format_version", 1))
 
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped by every update or rewrite of the files.
+
+        Coordinators pass this to scoring workers, whose cached slices stay
+        valid exactly as long as the generation they were loaded under.
+        """
+        self._require_meta()
+        return int(self._meta.get("generation", 0))
+
     def _require_meta(self) -> None:
         if self._meta is None:
             raise RuntimeError(
@@ -363,8 +637,13 @@ class OnDiskProfileStore:
         self._require_meta()
         if self._meta["kind"] == "dense":
             return self.dim * 8
+        if self.num_users == 0:
+            return 0
+        if self.format_version >= 3:
+            total_items = int(self._v3().row_sizes.sum())
+            return max(8, (total_items * 8) // self.num_users)
         indptr_path = self._base_dir / self._SPARSE_INDPTR
-        if not indptr_path.exists() or self.num_users == 0:
+        if not indptr_path.exists():
             return 0
         indptr = np.fromfile(indptr_path, dtype=np.int64)
         total_items = int(indptr[-1]) if len(indptr) else 0
@@ -385,7 +664,7 @@ class OnDiskProfileStore:
         return self._dense_mapped
 
     def _sparse_maps(self) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
-        """The store's read-only (indptr, codes, item_ids) maps, opened once.
+        """The store's read-only v1/v2 (indptr, codes, item_ids) maps, opened once.
 
         Sharing one ``item_ids`` array across every slice also lets
         :meth:`ProfileSlice.merge` recognise same-store slices by identity
@@ -404,27 +683,78 @@ class OnDiskProfileStore:
             self._sparse_mapped = (indptr_mm, codes_mm, item_ids)
         return self._sparse_mapped
 
+    def _v3(self) -> _SparseV3State:
+        """The segmented store's mapped segments, journal and derived indexes."""
+        if self._v3_state is None:
+            bounds = np.asarray(self._meta["segment_bounds"], dtype=np.int64)
+            seg_indptr: List[np.ndarray] = []
+            seg_codes: List[np.ndarray] = []
+            empty = np.empty(0, dtype=np.int64)
+            for index in range(len(bounds) - 1):
+                ip_path = self._base_dir / self._SEG_INDPTR_TMPL.format(index)
+                seg_indptr.append(np.memmap(ip_path, dtype=np.int64, mode="r"))
+                codes_path = self._base_dir / self._SEG_CODES_TMPL.format(index)
+                seg_codes.append(np.memmap(codes_path, dtype=np.int64, mode="r")
+                                 if codes_path.stat().st_size else empty)
+            items_path = self._base_dir / self._SPARSE_ITEM_IDS
+            item_ids = (np.memmap(items_path, dtype=np.int64, mode="r")
+                        if items_path.exists() and items_path.stat().st_size
+                        else empty)
+            # the journal is small by construction; plain reads keep it simple
+            j_rows = self._read_int64(self._JOURNAL_ROWS)
+            j_indptr = self._read_int64(self._JOURNAL_INDPTR)
+            if not len(j_indptr):
+                j_indptr = np.zeros(1, dtype=np.int64)
+            j_codes = self._read_int64(self._JOURNAL_CODES)
+            j_of = np.full(self.num_users, -1, dtype=np.int64)
+            if len(j_rows):
+                # assignment in append order makes the latest entry win
+                j_of[j_rows] = np.arange(len(j_rows), dtype=np.int64)
+            if seg_indptr:
+                row_sizes = np.concatenate([np.diff(np.asarray(ip))
+                                            for ip in seg_indptr])
+            else:
+                row_sizes = np.zeros(self.num_users, dtype=np.int64)
+            if len(j_rows):
+                row_sizes = row_sizes.copy()
+                row_sizes[j_rows] = np.diff(j_indptr)
+            self._v3_state = _SparseV3State(
+                bounds=bounds, seg_indptr=seg_indptr, seg_codes=seg_codes,
+                item_ids=item_ids, j_rows=j_rows, j_indptr=j_indptr,
+                j_codes=j_codes, j_of=j_of, row_sizes=row_sizes)
+        return self._v3_state
+
+    def _read_int64(self, name: str) -> np.ndarray:
+        path = self._base_dir / name
+        if not path.exists() or not path.stat().st_size:
+            return np.empty(0, dtype=np.int64)
+        return np.fromfile(path, dtype=np.int64)
+
     def load_users(self, user_ids: Iterable[int]) -> ProfileSlice:
         """Load the profiles of ``user_ids`` into a :class:`ProfileSlice`.
 
         A single contiguous id run — the shape of one partition under the
         paper's contiguous split — is served *zero-copy*: the slice holds
-        read-only views of the mapped profile (and norm / CSR) files.
-        Scattered ids fall back to one gathered copy.  Either way the read
+        read-only views of the mapped profile (and norm / CSR segment)
+        files.  Scattered ids, runs spanning several sparse segments and
+        journaled rows fall back to one gathered copy.  Either way the read
         is charged through the disk model's mapped-read cost, per contiguous
         range.
 
         Because a zero-copy slice reads the live files, it is **not a
         snapshot**: a later :meth:`apply_changes` shows through dense
         mapped views (and invalidates sparse slices entirely, since sparse
-        rewrites replace the files).  Phase 4 never holds a slice across a
-        phase-5 update; callers that do must reload after applying changes.
+        updates replace journal/segment files).  Phase 4 never holds a slice
+        across a phase-5 update; callers that do must reload after applying
+        changes — worker processes key this off :attr:`generation`.
         """
         ids = self._validated_ids(user_ids)
         self.charge_slice_read(ids, _validated=True)
         if self._meta["kind"] == "dense":
             return self._load_dense(ids)
-        if self.format_version >= 2:
+        if self.format_version >= 3:
+            return self._load_sparse_v3(ids)
+        if self.format_version == 2:
             return self._load_sparse_v2(ids)
         return self._load_sparse_v1(ids)
 
@@ -455,6 +785,14 @@ class OnDiskProfileStore:
             row_bytes = self.dim * 8 + (8 if self.format_version >= 2 else 0)
             for start, stop in ranges:
                 nbytes = (stop - start) * row_bytes
+                self.io_stats.record_read(
+                    nbytes, self._disk.mapped_read_cost(nbytes, sequential=sequential))
+            return
+        if self.format_version >= 3:
+            row_sizes = self._v3().row_sizes
+            for start, stop in ranges:
+                nbytes = (int(row_sizes[start:stop].sum())
+                          + (stop - start + 1)) * 8
                 self.io_stats.record_read(
                     nbytes, self._disk.mapped_read_cost(nbytes, sequential=sequential))
             return
@@ -489,8 +827,56 @@ class OnDiskProfileStore:
                             user_ids=np.asarray(ids, dtype=np.int64),
                             matrix=matrix, norms=norms)
 
+    def _load_sparse_v3(self, ids: List[int]) -> ProfileSlice:
+        num_items = int(self._meta.get("num_items", 0))
+        state = self._v3()
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        ranges = list(_contiguous_ranges(ids))
+        if len(ranges) == 1:
+            # zero-copy fast path: one id run inside one segment, with no
+            # journaled rows — the common case when segment bounds follow the
+            # engine's partition split and the journal has been compacted
+            start, stop = ranges[0]
+            seg = int(np.searchsorted(state.bounds, start, side="right")) - 1
+            seg_end = int(np.searchsorted(state.bounds, stop - 1, side="right")) - 1
+            if seg == seg_end and not (state.j_of[start:stop] >= 0).any():
+                indptr_map = state.seg_indptr[seg]
+                lo = start - int(state.bounds[seg])
+                hi = stop - int(state.bounds[seg])
+                base = int(indptr_map[lo])
+                indptr = np.asarray(indptr_map[lo:hi + 1]) - base
+                top = int(indptr_map[hi])
+                codes = (state.seg_codes[seg][base:top] if top > base
+                         else np.empty(0, dtype=np.int64))
+                csr = _measures.SetProfileCSR(indptr, codes, num_items,
+                                              item_ids=state.item_ids,
+                                              rows_sorted=True)
+                return ProfileSlice("sparse", None, user_ids=ids_arr, csr=csr)
+        sizes = state.row_sizes[ids_arr]
+        indptr = np.zeros(len(ids_arr) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        codes = np.empty(int(indptr[-1]), dtype=np.int64)
+        journal_entry = state.j_of[ids_arr]
+        journaled = journal_entry >= 0
+        if journaled.any():
+            _fill_rows(codes, indptr, np.flatnonzero(journaled),
+                       state.j_indptr, state.j_codes, journal_entry[journaled])
+        settled = ~journaled
+        if settled.any():
+            segments = np.searchsorted(state.bounds, ids_arr, side="right") - 1
+            for seg in np.unique(segments[settled]):
+                mask = settled & (segments == seg)
+                _fill_rows(codes, indptr, np.flatnonzero(mask),
+                           state.seg_indptr[seg], state.seg_codes[seg],
+                           ids_arr[mask] - int(state.bounds[seg]))
+        codes.flags.writeable = False
+        csr = _measures.SetProfileCSR(indptr, codes, num_items,
+                                      item_ids=state.item_ids, rows_sorted=True)
+        return ProfileSlice("sparse", None, user_ids=ids_arr, csr=csr)
+
     def _load_sparse_v2(self, ids: List[int]) -> ProfileSlice:
         num_items = int(self._meta.get("num_items", 0))
+        rows_sorted = bool(self._meta.get("row_codes_sorted", False))
         indptr_mm, codes_mm, item_ids = self._sparse_maps()
         empty = np.empty(0, dtype=np.int64)
         ranges = list(_contiguous_ranges(ids))
@@ -514,7 +900,8 @@ class OnDiskProfileStore:
             all_sizes = np.concatenate(sizes) if sizes else empty
             indptr = np.zeros(len(ids) + 1, dtype=np.int64)
             np.cumsum(all_sizes, out=indptr[1:])
-        csr = _measures.SetProfileCSR(indptr, codes, num_items, item_ids=item_ids)
+        csr = _measures.SetProfileCSR(indptr, codes, num_items, item_ids=item_ids,
+                                      rows_sorted=rows_sorted)
         return ProfileSlice("sparse", None,
                             user_ids=np.asarray(ids, dtype=np.int64), csr=csr)
 
@@ -534,6 +921,21 @@ class OnDiskProfileStore:
             del mm
         return ProfileSlice("sparse", profiles)
 
+    def _row_items_v3(self, state: _SparseV3State, row: int) -> Set[int]:
+        """Decoded item-id set of one row (journal entry wins over segment)."""
+        entry = int(state.j_of[row])
+        if entry >= 0:
+            codes = state.j_codes[state.j_indptr[entry]:state.j_indptr[entry + 1]]
+        else:
+            seg = int(np.searchsorted(state.bounds, row, side="right")) - 1
+            local = row - int(state.bounds[seg])
+            indptr_map = state.seg_indptr[seg]
+            codes = state.seg_codes[seg][int(indptr_map[local]):
+                                         int(indptr_map[local + 1])]
+        if len(state.item_ids):
+            return set(np.asarray(state.item_ids)[np.asarray(codes)].tolist())
+        return set(np.asarray(codes).tolist())
+
     def load_all(self) -> ProfileStoreBase:
         """Load the entire store back into memory (tests and small runs)."""
         self._require_meta()
@@ -543,6 +945,17 @@ class OnDiskProfileStore:
             self.io_stats.record_read(matrix.nbytes,
                                       self._disk.read_cost(matrix.nbytes, sequential=True))
             return DenseProfileStore(matrix, copy=False)
+        if self.format_version >= 3:
+            state = self._v3()
+            total = (sum(np.asarray(ip).nbytes for ip in state.seg_indptr)
+                     + sum(np.asarray(c).nbytes for c in state.seg_codes)
+                     + np.asarray(state.item_ids).nbytes
+                     + state.j_rows.nbytes + state.j_indptr.nbytes
+                     + state.j_codes.nbytes)
+            self.io_stats.record_read(total,
+                                      self._disk.read_cost(total, sequential=True))
+            return SparseProfileStore([self._row_items_v3(state, row)
+                                       for row in range(self.num_users)])
         indptr = np.fromfile(self._base_dir / self._SPARSE_INDPTR, dtype=np.int64)
         items = np.fromfile(self._base_dir / self._SPARSE_ITEMS, dtype=np.int64)
         total = indptr.nbytes + items.nbytes
@@ -560,63 +973,178 @@ class OnDiskProfileStore:
     def apply_changes(self, changes: Sequence[ProfileChange]) -> int:
         """Apply a batch of queued profile changes (the paper's lazy update).
 
-        Returns the number of users whose profile actually changed.  Dense
+        Returns the number of users whose profile was touched.  Dense
         changes are in-place row writes through a writable memmap (the norm
-        file is kept in sync); sparse changes rewrite the files because
-        profile sizes shift — which also upgrades version-1 layouts.
+        file is kept in sync, superseded ``set`` changes coalesced to the
+        last write).  Segmented (v3) sparse changes append the touched rows
+        to the row-remap journal — write bytes scale with the touched rows —
+        and fold the journal into the affected segments only when it
+        outgrows its cap.  Older sparse layouts rewrite the files, which
+        also upgrades them to the current format.  Every applied batch bumps
+        the store :attr:`generation`.
         """
         self._require_meta()
         if not changes:
             return 0
         if self._meta["kind"] == "dense":
             return self._apply_dense(changes)
-        return self._apply_sparse(changes)
+        if self.format_version >= 3:
+            return self._apply_sparse_v3(changes)
+        return self._apply_sparse_rewrite(changes)
 
     def _apply_dense(self, changes: Sequence[ProfileChange]) -> int:
         dim = self.dim
+        latest = DenseProfileStore.coalesce_set_changes(changes, dim)
+        for user in latest:
+            # a negative id would wrap through the memmap onto another row
+            if not 0 <= user < self.num_users:
+                raise IndexError(f"user {user} out of range (store has {self.num_users})")
         path = self._base_dir / self._DENSE_NAME
         mm = np.memmap(path, dtype=np.float64, mode="r+", shape=(self.num_users, dim))
         norms_path = self._base_dir / self._NORMS_NAME
         norms_mm = (np.memmap(norms_path, dtype=np.float64, mode="r+",
                               shape=(self.num_users,))
                     if self.format_version >= 2 and norms_path.exists() else None)
-        touched = set()
-        for change in changes:
-            if change.kind != "set":
-                raise ValueError("dense profile stores only accept 'set' changes")
-            vector = np.asarray(change.vector, dtype=np.float64)
-            if vector.shape != (dim,):
-                raise ValueError(f"change vector must have shape ({dim},), got {vector.shape}")
-            mm[change.user] = vector
+        for user, vector in latest.items():
+            mm[user] = vector
             num_bytes = vector.nbytes
             if norms_mm is not None:
                 # np.sum reduces pairwise exactly like the axis-1 norm used
                 # at write time, so stored and recomputed norms stay bitwise equal
-                norms_mm[change.user] = np.sqrt(np.sum(vector * vector))
+                norms_mm[user] = np.sqrt(np.sum(vector * vector))
                 num_bytes += 8
-            touched.add(change.user)
-            self.io_stats.record_write(num_bytes,
-                                       self._disk.write_cost(num_bytes, sequential=False))
+            self.io_stats.record_write(
+                num_bytes, self._disk.mapped_write_cost(num_bytes, sequential=False))
         mm.flush()
         del mm
         if norms_mm is not None:
             norms_mm.flush()
             del norms_mm
-        return len(touched)
+        self._bump_generation()
+        return len(latest)
 
-    def _apply_sparse(self, changes: Sequence[ProfileChange]) -> int:
+    def _apply_sparse_rewrite(self, changes: Sequence[ProfileChange]) -> int:
+        """Full-rewrite path for pre-segmented layouts (upgrades them in place)."""
         store = self.load_all()
-        touched = set()
-        for change in changes:
-            if change.kind == "add":
-                store.add_item(change.user, change.item)
-            elif change.kind == "remove":
-                store.remove_item(change.user, change.item)
-            else:
-                raise ValueError("sparse profile stores only accept 'add'/'remove' changes")
-            touched.add(change.user)
+        touched = store.apply_profile_changes(changes)
         self._write_full(store)
-        return len(touched)
+        return touched
+
+    def _apply_sparse_v3(self, changes: Sequence[ProfileChange]) -> int:
+        state = self._v3()
+        # decode the touched rows once, then replay the changes in order
+        sets: Dict[int, Set[int]] = {}
+        for change in changes:
+            if change.kind not in ("add", "remove"):
+                raise ValueError("sparse profile stores only accept 'add'/'remove' changes")
+            user = int(change.user)
+            if not 0 <= user < self.num_users:
+                raise IndexError(f"user {user} out of range (store has {self.num_users})")
+            if user not in sets:
+                sets[user] = self._row_items_v3(state, user)
+            if change.kind == "add":
+                sets[user].add(change.item)
+            else:
+                sets[user].discard(change.item)
+        # extend the append-only item table with any never-seen items; codes
+        # of existing rows stay valid, so no segment needs recoding.  The
+        # id→code map is cached across batches (and extended in place on
+        # append), so a small batch never pays an O(catalogue) rebuild.
+        code_of = self._item_code_map(state)
+        new_items = sorted({item for items in sets.values() for item in items
+                            if item not in code_of})
+        appended_bytes = 0
+        if new_items:
+            arr = np.asarray(new_items, dtype=np.int64)
+            with (self._base_dir / self._SPARSE_ITEM_IDS).open("ab") as handle:
+                handle.write(arr.tobytes())
+            for item in new_items:
+                code_of[item] = len(code_of)
+            appended_bytes += arr.nbytes
+            self._meta["num_items"] = len(code_of)
+        # append the touched rows' new contents to the journal (latest wins)
+        rows = np.asarray(sorted(sets), dtype=np.int64)
+        row_codes = [np.sort(np.fromiter((code_of[item] for item in sets[int(row)]),
+                                         dtype=np.int64, count=len(sets[int(row)])))
+                     for row in rows]
+        new_codes = (np.concatenate(row_codes) if row_codes
+                     else np.empty(0, dtype=np.int64))
+        sizes = np.fromiter((len(c) for c in row_codes), dtype=np.int64,
+                            count=len(row_codes))
+        journal_indptr = np.concatenate(
+            [state.j_indptr, int(state.j_indptr[-1]) + np.cumsum(sizes)])
+        with (self._base_dir / self._JOURNAL_ROWS).open("ab") as handle:
+            handle.write(rows.tobytes())
+        with (self._base_dir / self._JOURNAL_CODES).open("ab") as handle:
+            handle.write(new_codes.tobytes())
+        journal_indptr.tofile(self._base_dir / self._JOURNAL_INDPTR)
+        self._meta["journal_entries"] = len(state.j_rows) + len(rows)
+        written = rows.nbytes + new_codes.nbytes + journal_indptr.nbytes + appended_bytes
+        self.io_stats.record_write(
+            written, self._disk.mapped_write_cost(written, sequential=True))
+        self._v3_state = None
+        if self._meta["journal_entries"] > self._journal_limit():
+            self._compact_v3()
+        self._bump_generation()
+        return len(sets)
+
+    def _item_code_map(self, state: _SparseV3State) -> Dict[int, int]:
+        """The item-id→code dict, built once per (re)coding of the table."""
+        if self._item_code_cache is None:
+            item_table = np.asarray(state.item_ids, dtype=np.int64)
+            self._item_code_cache = {int(item): code
+                                     for code, item in enumerate(item_table.tolist())}
+        return self._item_code_cache
+
+    def _journal_limit(self) -> int:
+        if self._journal_limit_override is not None:
+            return int(self._journal_limit_override)
+        num_segments = max(1, len(self._meta["segment_bounds"]) - 1)
+        return max(64, -(-self.num_users // num_segments))
+
+    def _compact_v3(self) -> None:
+        """Fold the journal back into the segments holding journaled rows.
+
+        Only the touched segments are rewritten — the amortised write cost of
+        an update stream stays proportional to the rows it changed, never the
+        store size.
+        """
+        state = self._v3()
+        if not len(state.j_rows):
+            return
+        journaled_rows = np.unique(state.j_rows)
+        segments = np.unique(
+            np.searchsorted(state.bounds, journaled_rows, side="right") - 1)
+        total = 0
+        for seg in segments:
+            lo, hi = int(state.bounds[seg]), int(state.bounds[seg + 1])
+            sizes = state.row_sizes[lo:hi]
+            indptr = np.zeros(hi - lo + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            codes = np.empty(int(indptr[-1]), dtype=np.int64)
+            entry = state.j_of[lo:hi]
+            journaled = entry >= 0
+            _fill_rows(codes, indptr, np.flatnonzero(journaled),
+                       state.j_indptr, state.j_codes, entry[journaled])
+            settled = np.flatnonzero(~journaled)
+            _fill_rows(codes, indptr, settled,
+                       state.seg_indptr[seg], state.seg_codes[seg], settled)
+            # release the mapped views of this segment before replacing it
+            state.seg_indptr[seg] = indptr
+            state.seg_codes[seg] = codes
+            indptr.tofile(self._base_dir / self._SEG_INDPTR_TMPL.format(int(seg)))
+            codes.tofile(self._base_dir / self._SEG_CODES_TMPL.format(int(seg)))
+            total += indptr.nbytes + codes.nbytes
+        for name in (self._JOURNAL_ROWS, self._JOURNAL_INDPTR, self._JOURNAL_CODES):
+            (self._base_dir / name).write_bytes(b"")
+        self._meta["journal_entries"] = 0
+        self.io_stats.record_write(total,
+                                   self._disk.write_cost(total, sequential=True))
+        self._v3_state = None
+
+    def _bump_generation(self) -> None:
+        self._meta["generation"] = int(self._meta.get("generation", 0)) + 1
+        (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
 
 
 def _contiguous_ranges(sorted_ids: Sequence[int]):

@@ -5,12 +5,16 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from check_perf_regression import PHASE4_KEY, compare_fingerprints, compare_phase4
+from check_perf_regression import (PHASE4_KEY, compare_fingerprints,
+                                   compare_phase4, compare_phase45)
 
 
-def _report(phase4_seconds, fingerprint="abc"):
-    return {"pipeline": {"phase_seconds": {PHASE4_KEY: phase4_seconds},
-                         "graph_fingerprint": fingerprint}}
+def _report(phase4_seconds, fingerprint="abc", phase45_seconds=None):
+    report = {"pipeline": {"phase_seconds": {PHASE4_KEY: phase4_seconds},
+                           "graph_fingerprint": fingerprint}}
+    if phase45_seconds is not None:
+        report["update_workload"] = {"phase45_seconds": phase45_seconds}
+    return report
 
 
 class TestComparePhase4:
@@ -33,6 +37,49 @@ class TestComparePhase4:
 
     def test_zero_baseline_does_not_divide(self):
         ok, _ = compare_phase4(_report(0.0), _report(1.0), tolerance=0.20)
+        assert ok
+
+
+class TestComparePhase45:
+    def test_within_tolerance_passes(self):
+        ok, _ = compare_phase45(_report(1.0, phase45_seconds=5.0),
+                                _report(1.0, phase45_seconds=5.5), tolerance=0.20)
+        assert ok
+
+    def test_regression_beyond_tolerance_fails(self):
+        ok, message = compare_phase45(_report(1.0, phase45_seconds=5.0),
+                                      _report(1.0, phase45_seconds=6.5),
+                                      tolerance=0.20)
+        assert not ok
+        assert "REGRESSION" in message
+
+    def test_missing_baseline_section_skips(self):
+        """Old baselines (pre-update-workload) must not fail the gate."""
+        ok, message = compare_phase45(_report(1.0),
+                                      _report(1.0, phase45_seconds=6.5),
+                                      tolerance=0.20)
+        assert ok
+        assert "skipped" in message
+
+    def test_missing_fresh_section_fails(self):
+        """HEAD always emits the section; a missing one means the bench broke."""
+        ok, message = compare_phase45(_report(1.0, phase45_seconds=5.0),
+                                      _report(1.0), tolerance=0.20)
+        assert not ok
+        assert "FRESH" in message
+
+    def test_missing_fresh_key_fails(self):
+        """A present section without the gated key must not read as a pass."""
+        baseline = _report(1.0, phase45_seconds=5.0)
+        fresh = _report(1.0)
+        fresh["update_workload"] = {"dense": {}, "sparse": {}}
+        ok, message = compare_phase45(baseline, fresh, tolerance=0.20)
+        assert not ok
+        assert "phase45_seconds" in message
+
+    def test_zero_baseline_does_not_divide(self):
+        ok, _ = compare_phase45(_report(1.0, phase45_seconds=0.0),
+                                _report(1.0, phase45_seconds=1.0), tolerance=0.20)
         assert ok
 
 

@@ -1,0 +1,150 @@
+"""Persistent scoring pool: reuse across iterations, parity across updates.
+
+The engine now keeps one :class:`ProcessScoringPool` alive for a whole run;
+workers invalidate their cached mmap slices through the profile store's
+``generation`` counter after every phase-5 update batch.  These tests pin
+
+* that the pool object really is reused across iterations (the amortisation
+  the ISSUE asks for),
+* that graph fingerprints stay identical across serial / thread / process
+  backends *while profiles change between iterations* — stale worker caches
+  would break this instantly,
+* the single-worker and no-fork fallbacks to in-process scoring.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.core.parallel import ProcessScoringPool, score_tuples
+from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
+                                        generate_sparse_profiles)
+from repro.storage.profile_store import OnDiskProfileStore
+
+NUM_USERS = 150
+
+
+def _dense_feed(rng, dim=8, num_users=NUM_USERS):
+    def feed(_iteration):
+        users = rng.choice(num_users, size=12, replace=False)
+        return [ProfileChange(user=int(u), kind="set", vector=rng.random(dim))
+                for u in users]
+    return feed
+
+
+def _sparse_feed(rng):
+    def feed(_iteration):
+        users = rng.choice(NUM_USERS, size=12, replace=False)
+        return [ProfileChange(user=int(u), kind="add",
+                              item=int(rng.integers(0, 200)))
+                for u in users]
+    return feed
+
+
+def _run_fingerprints(profiles, feed_factory, **overrides):
+    config = EngineConfig(k=5, num_partitions=4, heuristic="degree-low-high",
+                          seed=17, **overrides)
+    rng = np.random.default_rng(99)
+    with KNNEngine(profiles, config) as engine:
+        run = engine.run(num_iterations=3, profile_change_feed=feed_factory(rng))
+    return [result.graph.edge_fingerprint() for result in run.iterations]
+
+
+class TestPoolReuseParityAcrossUpdates:
+    def test_dense_backends_identical_under_churn(self):
+        profiles = generate_dense_profiles(NUM_USERS, dim=8, num_communities=4,
+                                           seed=23)
+        serial = _run_fingerprints(profiles, _dense_feed, backend="serial")
+        threaded = _run_fingerprints(profiles, _dense_feed, backend="thread",
+                                     num_threads=3)
+        process = _run_fingerprints(profiles, _dense_feed, backend="process",
+                                    num_workers=3)
+        assert serial == threaded == process
+
+    def test_sparse_backends_identical_under_churn(self):
+        """Sparse updates replace journal/segment files — the hard case for
+        worker caches: a stale mmap would change scores or crash."""
+        profiles = generate_sparse_profiles(NUM_USERS, 200, items_per_user=10,
+                                            num_communities=4, seed=23)
+        serial = _run_fingerprints(profiles, _sparse_feed, backend="serial")
+        process = _run_fingerprints(profiles, _sparse_feed, backend="process",
+                                    num_workers=3)
+        assert serial == process
+
+    def test_pool_object_survives_iterations(self):
+        profiles = generate_dense_profiles(80, dim=6, num_communities=3, seed=29)
+        config = EngineConfig(k=4, num_partitions=4, backend="process",
+                              num_workers=2, seed=5)
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            pool_first = engine._iteration_runner._pool
+            assert pool_first is not None
+            engine.enqueue_profile_changes(
+                [ProfileChange(user=0, kind="set", vector=np.ones(6))])
+            engine.run_iteration()
+            assert engine._iteration_runner._pool is pool_first
+        # close() shut the pool down and dropped it
+        assert engine._iteration_runner._pool is None
+
+    def test_single_worker_skips_pool_with_warning(self, caplog):
+        profiles = generate_dense_profiles(80, dim=6, num_communities=3, seed=31)
+        config = EngineConfig(k=4, num_partitions=4, backend="process",
+                              num_workers=1, seed=5)
+        with caplog.at_level(logging.WARNING, logger="repro.core.iteration"):
+            with KNNEngine(profiles, config) as engine:
+                engine.run_iteration()
+                assert engine._iteration_runner._pool is None
+                engine.run_iteration()
+        warnings = [record for record in caplog.records
+                    if "skipping the worker pool" in record.message]
+        assert len(warnings) == 1  # warned once, not per iteration
+
+    def test_single_worker_fallback_matches_serial(self):
+        profiles = generate_dense_profiles(80, dim=6, num_communities=3, seed=31)
+        feed = lambda rng: _dense_feed(rng, dim=6, num_users=80)
+        serial = _run_fingerprints(profiles, feed, backend="serial")
+        fallback = _run_fingerprints(profiles, feed, backend="process",
+                                     num_workers=1)
+        assert serial == fallback
+
+    def test_score_tuples_generation_invalidates_worker_cache(self, tmp_path):
+        """The public score_tuples process path must not serve pre-update
+        scores from a worker's span-keyed slice cache after apply_changes."""
+        profiles = generate_dense_profiles(40, dim=6, num_communities=2, seed=3)
+        store = OnDiskProfileStore.create(tmp_path, profiles,
+                                          disk_model="instant")
+        pairs = np.array([[0, 1], [2, 3], [0, 3]], dtype=np.int64)
+        with ProcessScoringPool(store, num_workers=2) as pool:
+            piece = store.load_users(range(40))
+            before = score_tuples(piece, pairs, "cosine", backend="process",
+                                  pool=pool, generation=store.generation)
+            np.testing.assert_array_equal(
+                before, piece.similarity_pairs(pairs, "cosine"))
+            store.apply_changes([ProfileChange(user=0, kind="set",
+                                               vector=np.ones(6))])
+            reloaded = store.load_users(range(40))
+            after = score_tuples(reloaded, pairs, "cosine", backend="process",
+                                 pool=pool, generation=store.generation)
+            np.testing.assert_array_equal(
+                after, reloaded.similarity_pairs(pairs, "cosine"))
+            assert not np.array_equal(before, after)
+
+    def test_no_fork_platform_falls_back(self, monkeypatch):
+        import repro.core.iteration as iteration_module
+        monkeypatch.setattr(iteration_module, "fork_available", lambda: False)
+        profiles = generate_dense_profiles(80, dim=6, num_communities=3, seed=37)
+        config = EngineConfig(k=4, num_partitions=4, backend="process",
+                              num_workers=4, seed=5)
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            assert engine._iteration_runner._pool is None
+        feed = lambda rng: _dense_feed(rng, dim=6, num_users=80)
+        serial = _run_fingerprints(profiles, feed, backend="serial")
+        fallback = _run_fingerprints(profiles, feed,
+                                     backend="process", num_workers=4)
+        assert serial == fallback

@@ -126,3 +126,38 @@ class TestDenseProfileStore:
 
     def test_default_measure(self):
         assert DenseProfileStore.empty(1, 1).default_measure() == "cosine"
+
+
+class TestApplyProfileChangesBatches:
+    def test_sparse_batch_is_all_or_nothing(self):
+        from repro.similarity.workloads import ProfileChange
+        store = SparseProfileStore([{1, 2}, {3}])
+        store.incidence()  # warm the cached CSR
+        with pytest.raises(ValueError):
+            store.apply_profile_changes([
+                ProfileChange(user=0, kind="add", item=99),
+                ProfileChange(user=0, kind="set", vector=np.zeros(2)),
+            ])
+        # nothing applied, and the cached incidence matrix stayed consistent
+        assert store.get(0) == {1, 2}
+        assert set(store.incidence().row_items(0).tolist()) == {1, 2}
+
+    def test_dense_batch_is_all_or_nothing(self):
+        from repro.similarity.workloads import ProfileChange
+        store = DenseProfileStore(np.ones((3, 2)))
+        with pytest.raises(IndexError):
+            store.apply_profile_changes([
+                ProfileChange(user=0, kind="set", vector=np.zeros(2)),
+                ProfileChange(user=99, kind="set", vector=np.zeros(2)),
+            ])
+        np.testing.assert_array_equal(store.get(0), np.ones(2))
+
+    def test_sparse_batch_applies_in_order(self):
+        from repro.similarity.workloads import ProfileChange
+        store = SparseProfileStore([{1}])
+        touched = store.apply_profile_changes([
+            ProfileChange(user=0, kind="add", item=5),
+            ProfileChange(user=0, kind="remove", item=1),
+        ])
+        assert touched == 1
+        assert store.get(0) == {5}

@@ -172,13 +172,27 @@ def _write_v1_dense(base_dir, profiles):
 
 
 class TestFormatVersions:
-    def test_fresh_stores_are_v2(self, dense_profiles, sparse_profiles, tmp_path):
+    def test_fresh_stores_are_v3(self, dense_profiles, sparse_profiles, tmp_path):
         dense = OnDiskProfileStore.create(tmp_path / "d", dense_profiles)
         sparse = OnDiskProfileStore.create(tmp_path / "s", sparse_profiles)
-        assert dense.format_version == 2
-        assert sparse.format_version == 2
+        assert dense.format_version == 3
+        assert sparse.format_version == 3
         assert (tmp_path / "d" / "profiles_norms.bin").exists()
         assert (tmp_path / "s" / "profiles_item_ids.bin").exists()
+        assert (tmp_path / "s" / "profiles_seg_00000_indptr.bin").exists()
+        assert (tmp_path / "s" / "profiles_seg_00000_codes.bin").exists()
+
+    def test_v2_target_still_writable(self, sparse_profiles, tmp_path):
+        """The previous monolithic CSR layout stays writable (and readable)."""
+        store = OnDiskProfileStore.create(tmp_path, sparse_profiles,
+                                          disk_model="instant", format_version=2)
+        assert store.format_version == 2
+        assert (tmp_path / "profiles_indptr.bin").exists()
+        reopened = OnDiskProfileStore(tmp_path, disk_model="instant")
+        assert reopened.load_all() == sparse_profiles
+        piece = reopened.load_users([0, 3, 100])
+        for user in (0, 3, 100):
+            assert piece.get(user) == sparse_profiles.get(user)
 
     def test_v1_sparse_fallback_loader(self, sparse_profiles, tmp_path):
         tmp_path.mkdir(exist_ok=True)
@@ -216,11 +230,11 @@ class TestFormatVersions:
             dense_profiles.similarity_pairs(pairs, "cosine"),
             rtol=0.0, atol=1e-12)
 
-    def test_sparse_update_upgrades_v1_to_v2(self, sparse_profiles, tmp_path):
+    def test_sparse_update_upgrades_v1_to_current(self, sparse_profiles, tmp_path):
         _write_v1_sparse(tmp_path, sparse_profiles)
         store = OnDiskProfileStore(tmp_path, disk_model="instant")
         store.apply_changes([ProfileChange(user=1, kind="add", item=9999)])
-        assert store.format_version == 2
+        assert store.format_version == 3
         assert 9999 in store.load_users([1]).get(1)
 
     def test_dense_v1_update_keeps_working(self, dense_profiles, tmp_path):
