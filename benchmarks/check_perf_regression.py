@@ -9,11 +9,21 @@ Usage::
 
 Fails (exit 1) when the fresh phase-4 wall-clock of the pipeline bench — or
 the combined phase-4 + phase-5 wall-clock of the update-heavy workload —
-regresses more than ``tolerance`` (default 20%) against the baseline, and
-prints a behaviour warning when the graph fingerprint changed (a fingerprint
-change is legitimate when an algorithmic PR intends it — the diff to the
-committed baseline makes it explicit — so it warns rather than fails).
-Baselines predating the update workload simply skip that gate.
+regresses more than ``tolerance`` (default 20%) against the baseline, or
+when the update workload's incremental-phase-4 run no longer produces the
+same fingerprint as its full-rescore run (the score cache must be
+bit-transparent).  It prints a behaviour warning when the graph fingerprint
+changed between baseline and fresh (a fingerprint change is legitimate when
+an algorithmic PR intends it — the diff to the committed baseline makes it
+explicit — so it warns rather than fails).  Baselines predating the update
+workload simply skip that gate.
+
+Backend-sweep rows are compared per ``(num_users, backend, workers)`` when
+both reports carry the sweep; **multi-worker rows (process and thread
+pools) are skipped when the two reports' ``cpu_count`` differ** — a 1-core
+container can only measure a parallel backend's overhead, so comparing it
+against a multi-core baseline (or vice versa) would mask or fake the ≥2x
+multicore target.
 """
 
 from __future__ import annotations
@@ -68,6 +78,95 @@ def compare_phase45(baseline: dict, fresh: dict, tolerance: float) -> "tuple[boo
     return True, message + " — within tolerance"
 
 
+def compare_phase24(baseline: dict, fresh: dict, tolerance: float) -> "tuple[bool, str]":
+    """Combined phase-2 + phase-4 gate over the update-heavy workload.
+
+    Phase 2 (bridge-tuple generation) rivals the amortised phase 4 on
+    sparse workloads, so the two are gated together; skipped on baselines
+    predating the combined record.
+    """
+    base_value = (baseline.get("update_workload") or {}).get("phase24_seconds")
+    fresh_value = (fresh.get("update_workload") or {}).get("phase24_seconds")
+    if fresh_value is None:
+        return True, ("phase-2+4 update-workload gate skipped "
+                      "(fresh report predates the combined record)")
+    if base_value is None:
+        return True, ("phase-2+4 update-workload gate skipped "
+                      "(baseline predates the combined record)")
+    if base_value <= 0:
+        return True, f"baseline phase-2+4 time is {base_value}s; nothing to gate"
+    ratio = fresh_value / base_value
+    message = (f"update-workload phase-2+4 wall-clock: baseline {base_value:.4f}s, "
+               f"fresh {fresh_value:.4f}s ({ratio:.2f}x)")
+    if ratio > 1.0 + tolerance:
+        return False, message + f" — REGRESSION beyond {tolerance:.0%} tolerance"
+    return True, message + " — within tolerance"
+
+
+def compare_incremental_parity(fresh: dict) -> "tuple[bool, str]":
+    """Fail when the fresh incremental run diverges from its full-rescore run.
+
+    The phase-4 score cache promises bit-identical graphs; the suite runs
+    the update workload with the cache on and off and records whether the
+    fingerprints agree.  Reports predating the incremental bench skip.
+    """
+    section = fresh.get("update_workload") or {}
+    verdict = section.get("incremental_fingerprints_match")
+    if verdict is None:
+        return True, ("incremental-vs-full parity gate skipped "
+                      "(report predates the incremental phase-4 bench)")
+    if verdict:
+        return True, "incremental phase-4 fingerprints match the full rescore"
+    return False, ("incremental phase-4 fingerprints DIVERGE from the full "
+                   "rescore — the score cache changed a result bit")
+
+
+def compare_backend_sweep(baseline: dict, fresh: dict,
+                          tolerance: float) -> "tuple[bool, list]":
+    """Per-row backend-sweep gate, cpu-count-aware for parallel rows.
+
+    Serial rows regress like any other timing.  Multi-worker rows — the
+    process pool *and* GIL-releasing thread pools alike — only mean
+    something when both runs saw the same core count: on mismatch the row
+    is skipped (reported, not silently dropped), because a 1-core run's
+    parallel timings measure overhead, not speedup.  Reports without a
+    sweep (``--quick`` runs) skip entirely.
+    """
+    base_rows = baseline.get("backend_sweep")
+    fresh_rows = fresh.get("backend_sweep")
+    if not base_rows or not fresh_rows:
+        return True, ["backend-sweep gate skipped (no sweep in one of the reports)"]
+    base_cpu = baseline.get("cpu_count")
+    fresh_cpu = fresh.get("cpu_count")
+    base_by_key = {(row["num_users"], row["backend"], row["workers"]): row
+                   for row in base_rows}
+    ok = True
+    messages = []
+    for row in fresh_rows:
+        key = (row["num_users"], row["backend"], row["workers"])
+        base_row = base_by_key.get(key)
+        if base_row is None:
+            continue
+        label = f"{key[1]} x{key[2]} @ {key[0]} users"
+        parallel_row = row["backend"] != "serial" and row["workers"] > 1
+        if parallel_row and base_cpu != fresh_cpu:
+            messages.append(
+                f"backend-sweep {label}: skipped (baseline cpu_count="
+                f"{base_cpu}, fresh cpu_count={fresh_cpu})")
+            continue
+        base_value = base_row.get("phase4_seconds", 0.0)
+        if not base_value or base_value <= 0:
+            continue
+        ratio = row["phase4_seconds"] / base_value
+        message = (f"backend-sweep {label}: baseline {base_value:.4f}s, "
+                   f"fresh {row['phase4_seconds']:.4f}s ({ratio:.2f}x)")
+        if ratio > 1.0 + tolerance:
+            ok = False
+            message += f" — REGRESSION beyond {tolerance:.0%} tolerance"
+        messages.append(message)
+    return ok, messages
+
+
 def compare_fingerprints(baseline: dict, fresh: dict) -> "tuple[bool, str]":
     """Return ``(same, message)`` for the behaviour fingerprint."""
     base_fp = baseline["pipeline"].get("graph_fingerprint")
@@ -95,9 +194,17 @@ def main() -> int:
     print(message)
     ok45, message45 = compare_phase45(baseline, fresh, args.tolerance)
     print(message45)
+    ok24, message24 = compare_phase24(baseline, fresh, args.tolerance)
+    print(message24)
+    ok_parity, parity_message = compare_incremental_parity(fresh)
+    print(parity_message)
+    ok_sweep, sweep_messages = compare_backend_sweep(baseline, fresh,
+                                                     args.tolerance)
+    for sweep_message in sweep_messages:
+        print(sweep_message)
     same, fp_message = compare_fingerprints(baseline, fresh)
     print(("" if same else "WARNING: ") + fp_message)
-    return 0 if (ok and ok45) else 1
+    return 0 if (ok and ok45 and ok24 and ok_parity and ok_sweep) else 1
 
 
 if __name__ == "__main__":

@@ -23,8 +23,12 @@ The quantities recorded:
 * ``update_workload`` — the amortised-iteration-loop benchmark: 4
   iterations over 10k users, dense and sparse, with profile churn applied
   through the phase-5 update queue every iteration; records per-iteration
-  phase-4/phase-5 seconds and profile-store write bytes, plus the combined
-  phase-4+5 wall-clock the CI regression gate compares;
+  phase-4/phase-5 seconds, profile-store write bytes and incremental
+  phase-4 counters (rescored vs cache-reused tuples), plus the combined
+  phase-4+5 wall-clock the CI regression gate compares.  Each workload is
+  run with the score cache on *and* off (``full_rescore`` section), and
+  the report records whether the two fingerprints match — the CI gate
+  fails when they do not;
 * ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
   4 scoring threads;
 * ``backend_sweep`` — phase-4 seconds of one engine iteration per backend
@@ -122,8 +126,14 @@ def _one_iteration(profiles, **overrides) -> dict:
     }
 
 
-def _run_update_workload(kind: str) -> dict:
-    """One update-heavy engine run: per-iteration phase-4/5 seconds and bytes."""
+def _run_update_workload(kind: str, incremental: bool = True) -> dict:
+    """One update-heavy engine run: per-iteration phase-4/5 seconds and bytes.
+
+    ``incremental=False`` disables the phase-4 score cache (full rescore
+    every iteration); the suite runs both so the report carries the
+    incremental-vs-full timing delta and CI can assert the fingerprints
+    stay bit-identical.
+    """
     if kind == "dense":
         profiles = generate_dense_profiles(UPDATE_USERS, dim=16,
                                            num_communities=8, seed=SEED)
@@ -132,7 +142,8 @@ def _run_update_workload(kind: str) -> dict:
                                             items_per_user=20,
                                             num_communities=8, seed=SEED)
     config = EngineConfig(k=K, num_partitions=UPDATE_PARTITIONS,
-                          heuristic="degree-low-high", seed=SEED)
+                          heuristic="degree-low-high", seed=SEED,
+                          incremental_phase4=incremental)
     rng = np.random.default_rng(7)
 
     def churn(_iteration: int):
@@ -157,6 +168,10 @@ def _run_update_workload(kind: str) -> dict:
             "phase4_seconds": round(phases[PHASE_NAMES[3]], 4),
             "phase5_seconds": round(phases[PHASE_NAMES[4]], 4),
             "updates_applied": result.profile_updates_applied,
+            # incremental phase 4: kernel work vs cache reuse per iteration
+            "rescored_tuples": result.rescored_tuples,
+            "reused_scores": result.reused_scores,
+            "full_rescore": result.full_rescore,
             # phase-5 write traffic; iteration 0 also carries the initial
             # store write, so the update scaling is read from iterations 1+
             "profile_bytes_written": (profile_io.bytes_written
@@ -165,6 +180,7 @@ def _run_update_workload(kind: str) -> dict:
     phases = run.summary()["phase_seconds"]
     return {
         "kind": kind,
+        "incremental_phase4": incremental,
         "num_users": UPDATE_USERS,
         "num_iterations": UPDATE_ITERATIONS,
         "num_partitions": UPDATE_PARTITIONS,
@@ -172,6 +188,9 @@ def _run_update_workload(kind: str) -> dict:
         "wall_seconds": round(wall, 4),
         "phase4_seconds": round(phases[PHASE_NAMES[3]], 4),
         "phase5_seconds": round(phases[PHASE_NAMES[4]], 4),
+        "phase2_seconds": round(phases[PHASE_NAMES[1]], 4),
+        "rescored_tuples": sum(row["rescored_tuples"] for row in per_iteration),
+        "reused_scores": sum(row["reused_scores"] for row in per_iteration),
         "iterations": per_iteration,
         "graph_fingerprint": run.final_graph.edge_fingerprint(),
     }
@@ -181,18 +200,34 @@ def run_update_workload_bench() -> dict:
     """The amortised-iteration-loop benchmark: dense + sparse churn runs.
 
     ``phase45_seconds`` (the combined phase-4 + phase-5 wall-clock across
-    both runs) is what the CI phase-5 regression gate compares.
+    both runs, score cache on) is what the CI phase-5 regression gate
+    compares.  Each workload is also re-run with ``incremental_phase4``
+    disabled so the report carries the incremental-vs-full wall-clock
+    delta, and ``incremental_fingerprints_match`` lets the CI gate fail
+    hard if the cache ever changes a result bit.
     """
     dense = _run_update_workload("dense")
     sparse = _run_update_workload("sparse")
+    dense_full = _run_update_workload("dense", incremental=False)
+    sparse_full = _run_update_workload("sparse", incremental=False)
     combined = (dense["phase4_seconds"] + dense["phase5_seconds"]
                 + sparse["phase4_seconds"] + sparse["phase5_seconds"])
+    combined_full = (dense_full["phase4_seconds"] + dense_full["phase5_seconds"]
+                     + sparse_full["phase4_seconds"] + sparse_full["phase5_seconds"])
+    combined24 = (dense["phase2_seconds"] + dense["phase4_seconds"]
+                  + sparse["phase2_seconds"] + sparse["phase4_seconds"])
     return {
         "dense": dense,
         "sparse": sparse,
+        "full_rescore": {"dense": dense_full, "sparse": sparse_full},
         "phase45_seconds": round(combined, 4),
+        "phase45_seconds_full": round(combined_full, 4),
+        "phase24_seconds": round(combined24, 4),
         "phase5_seconds": round(dense["phase5_seconds"]
                                 + sparse["phase5_seconds"], 4),
+        "incremental_fingerprints_match": (
+            dense["graph_fingerprint"] == dense_full["graph_fingerprint"]
+            and sparse["graph_fingerprint"] == sparse_full["graph_fingerprint"]),
     }
 
 

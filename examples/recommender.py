@@ -56,6 +56,11 @@ def main() -> None:
         heuristic="degree-low-high",
         measure="jaccard",
         seed=2,
+        # the evaluation counts below are compared against NN-Descent and
+        # brute force, which have no score cache; count every candidate
+        # pair the way the paper does (see examples/dynamic_profiles.py
+        # for the cache's rescored/reused accounting instead)
+        incremental_phase4=False,
     )
     with KNNEngine(profiles, config) as engine:
         run = engine.run(num_iterations=6, convergence_threshold=0.02)

@@ -12,22 +12,38 @@ while the profiles ``P(t)`` already live on disk in the engine's working
 directory.  ``save_checkpoint``/``load_checkpoint`` work on any
 :class:`~repro.graph.knn_graph.KNNGraph`, so they are also handy for caching
 expensive brute-force ground truths in benchmarks.
+
+A **portable** checkpoint (:func:`save_portable_checkpoint`) additionally
+captures ``P(t)`` itself and the phase-4 score cache, so the checkpoint
+directory is self-contained (survives the engine's scratch workdir being
+deleted).  The profile snapshot **hard-links** the store's immutable files
+— the segmented sparse layout only ever *replaces* segment files via
+rename, never rewrites them in place — so snapshotting a multi-gigabyte
+store costs a directory entry per segment, not a copy; only the small
+mutable files (meta, journal, item table) and in-place-updated dense
+matrices are copied.  The score cache rides along as a compact binary of
+``(pair key, score)`` arrays keyed by the store generation: a resumed run
+that cannot vouch for that generation simply pays one full rescore.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.iteration import Phase4ScoreCache
 from repro.graph.knn_graph import KNNGraph
+from repro.storage.profile_store import OnDiskProfileStore
 
 PathLike = Union[str, os.PathLike]
 
 _MAGIC = b"RPCK0001"
+_CACHE_MAGIC = b"RPSC0001"
 
 
 def save_knn_graph(path: PathLike, graph: KNNGraph) -> None:
@@ -118,3 +134,149 @@ def load_checkpoint(directory: PathLike) -> Tuple[KNNGraph, int, Dict[str, objec
 def has_checkpoint(directory: PathLike) -> bool:
     """True when ``directory`` holds a loadable checkpoint manifest."""
     return (Path(directory) / "checkpoint.json").exists()
+
+
+# -- portable checkpoints ----------------------------------------------------
+
+
+def save_score_cache(path: PathLike, cache: Phase4ScoreCache) -> None:
+    """Serialise a phase-4 score cache (possibly empty) to a binary file."""
+    path = Path(path)
+    measure = (cache.measure or "").encode("utf-8")
+    empty = cache.keys is None or cache.generation is None
+    header = np.asarray([
+        -1 if empty else int(cache.generation),
+        int(cache.num_vertices),
+        0 if empty else len(cache.keys),
+        len(measure),
+        int(cache.max_entries),
+    ], dtype=np.int64)
+    with path.open("wb") as handle:
+        handle.write(_CACHE_MAGIC)
+        handle.write(header.tobytes())
+        handle.write(measure)
+        if not empty:
+            handle.write(np.asarray(cache.keys, dtype=np.int64).tobytes())
+            handle.write(np.asarray(cache.values, dtype=np.float64).tobytes())
+
+
+def load_score_cache(path: PathLike) -> Phase4ScoreCache:
+    """Restore a score cache written by :func:`save_score_cache`."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if raw[:len(_CACHE_MAGIC)] != _CACHE_MAGIC:
+        raise ValueError(f"{path} is not a repro score-cache file (bad magic)")
+    offset = len(_CACHE_MAGIC)
+    header = np.frombuffer(raw, dtype=np.int64, count=5, offset=offset)
+    offset += 5 * 8
+    generation, num_vertices, num_entries, measure_len, max_entries = (
+        int(x) for x in header)
+    if num_entries < 0 or measure_len < 0 or num_vertices < 0:
+        raise ValueError(f"{path} has a corrupt header (negative counts)")
+    measure = raw[offset:offset + measure_len].decode("utf-8")
+    offset += measure_len
+    cache = Phase4ScoreCache(max_entries=max(1, max_entries))
+    if generation < 0:
+        return cache
+    expected = offset + num_entries * 16
+    if len(raw) < expected:
+        raise ValueError(
+            f"{path} is truncated: expected {expected} bytes, found {len(raw)}")
+    keys = np.frombuffer(raw, dtype=np.int64, count=num_entries, offset=offset)
+    offset += num_entries * 8
+    values = np.frombuffer(raw, dtype=np.float64, count=num_entries, offset=offset)
+    cache.keys = keys.copy()
+    cache.values = values.copy()
+    cache.measure = measure or None
+    cache.generation = generation
+    cache.num_vertices = num_vertices
+    return cache
+
+
+def snapshot_profile_store(store: OnDiskProfileStore, directory: PathLike) -> Path:
+    """Snapshot the on-disk profiles into ``directory`` (hard-link + copy).
+
+    Files the store only ever replaces atomically are hard-linked; files it
+    mutates in place are copied — the split is the store's own contract
+    (:meth:`OnDiskProfileStore.linkable_snapshot_file`, kept next to the
+    write paths it describes).  Returns the snapshot directory, itself a
+    valid :class:`~repro.storage.profile_store.OnDiskProfileStore` base dir.
+    """
+    dest = Path(directory)
+    dest.mkdir(parents=True, exist_ok=True)
+    if dest.resolve() == store.base_dir.resolve():
+        # the copy loop unlinks each target first — snapshotting a store
+        # onto itself would delete the live files before reading them
+        raise ValueError(
+            f"snapshot destination {dest} is the live store directory; "
+            "choose a checkpoint directory outside the store")
+    for path in sorted(store.base_dir.glob("profiles_*")):
+        if path.name.endswith(".tmp"):
+            continue
+        target = dest / path.name
+        if target.exists():
+            target.unlink()
+        if OnDiskProfileStore.linkable_snapshot_file(path.name):
+            try:
+                os.link(path, target)
+                continue
+            except OSError:
+                pass  # cross-device or unsupported: fall through to a copy
+        shutil.copy2(path, target)
+    # drop stale files from an older snapshot of a store whose segment
+    # count shrank in between
+    current = {path.name for path in store.base_dir.glob("profiles_*")}
+    for path in dest.glob("profiles_*"):
+        if path.name not in current:
+            path.unlink()
+    return dest
+
+
+def save_portable_checkpoint(directory: PathLike, graph: KNNGraph, iteration: int,
+                             profile_store: Optional[OnDiskProfileStore] = None,
+                             score_cache: Optional[Phase4ScoreCache] = None,
+                             metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Write a self-contained checkpoint: graph + profiles ``P(t)`` + cache.
+
+    Extends :func:`save_checkpoint` with a hard-linked snapshot of the
+    profile store and the phase-4 score cache, so resuming does not depend
+    on the engine's (usually temporary) working directory.  Returns the
+    manifest path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = save_checkpoint(directory, graph, iteration, metadata=metadata)
+    manifest = json.loads(manifest_path.read_text())
+    if profile_store is not None:
+        snapshot_profile_store(profile_store, directory / "profiles")
+        manifest["profiles_dir"] = "profiles"
+    if score_cache is not None:
+        cache_name = "score_cache.bin"
+        save_score_cache(directory / cache_name, score_cache)
+        manifest["score_cache_file"] = cache_name
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def load_portable_checkpoint(directory: PathLike) -> Tuple[
+        KNNGraph, int, Dict[str, object],
+        Optional[OnDiskProfileStore], Optional[Phase4ScoreCache]]:
+    """Load a portable checkpoint written by :func:`save_portable_checkpoint`.
+
+    Returns ``(graph, iteration, metadata, profile_store, score_cache)``;
+    the last two are ``None`` when the checkpoint was saved without them.
+    The returned store handle reads the snapshot in place — callers that
+    want to mutate profiles should copy it into a fresh working directory
+    first (the engine's resume path loads it fully into memory instead).
+    """
+    directory = Path(directory)
+    graph, iteration, metadata = load_checkpoint(directory)
+    manifest = json.loads((directory / "checkpoint.json").read_text())
+    store = None
+    if manifest.get("profiles_dir"):
+        store = OnDiskProfileStore(directory / manifest["profiles_dir"],
+                                   disk_model="instant")
+    cache = None
+    if manifest.get("score_cache_file"):
+        cache = load_score_cache(directory / manifest["score_cache_file"])
+    return graph, iteration, metadata, store, cache

@@ -71,6 +71,18 @@ class EngineConfig:
         incremental updates rewrite).  ``None`` aligns segments with the
         contiguous partitioner's n/m split (one segment per partition) and
         falls back to the store's default for scattering partitioners.
+    incremental_phase4:
+        Reuse the previous iteration's similarity scores for candidate
+        tuples whose endpoints' profiles are unchanged (tracked through the
+        profile store's touched-row deltas).  Scores are deterministic per
+        pair, so the produced graphs are **bit-identical** with the toggle
+        on or off; iterations after the first just rescore only tuples with
+        at least one touched endpoint (plus never-seen pairs).
+    score_cache_entries:
+        Capacity of the phase-4 score cache in (pair, score) entries
+        (16 bytes each).  An iteration whose scored tuple set exceeds the
+        cap leaves the cache empty — the next iteration then rescores
+        everything — so memory stays bounded on huge candidate sets.
     seed:
         Seed for the random initial KNN graph.
     """
@@ -89,6 +101,8 @@ class EngineConfig:
     num_threads: int = 1
     num_workers: int = 1
     profile_segment_rows: Optional[int] = None
+    incremental_phase4: bool = True
+    score_cache_entries: int = 4_000_000
     seed: Optional[int] = 0
 
     def __post_init__(self):
@@ -130,6 +144,7 @@ class EngineConfig:
             raise ValueError("max_pairs_per_bridge must be positive when given")
         if self.profile_segment_rows is not None and self.profile_segment_rows <= 0:
             raise ValueError("profile_segment_rows must be positive when given")
+        check_positive_int(self.score_cache_entries, "score_cache_entries")
 
     def with_overrides(self, **kwargs) -> "EngineConfig":
         """Return a copy of this configuration with the given fields replaced."""

@@ -23,13 +23,16 @@ from __future__ import annotations
 
 import shutil
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
+import numpy as np
+
+from repro.core.checkpoint import load_portable_checkpoint, save_portable_checkpoint
 from repro.core.config import EngineConfig
 from repro.core.convergence import ConvergenceTracker
-from repro.core.iteration import IterationResult, OutOfCoreIteration
+from repro.core.iteration import IterationResult, OutOfCoreIteration, Phase4ScoreCache
 from repro.core.update_queue import ProfileUpdateQueue
 from repro.graph.knn_graph import KNNGraph
 from repro.similarity.profiles import ProfileStoreBase
@@ -42,6 +45,24 @@ from repro.utils.timer import PhaseTimer
 from repro.utils.validation import check_positive_int
 
 _logger = get_logger("core.engine")
+
+
+def _change_to_manifest(change: ProfileChange) -> dict:
+    """A :class:`ProfileChange` as a JSON-serialisable dict (checkpointing)."""
+    return {
+        "user": int(change.user),
+        "kind": change.kind,
+        "item": None if change.item is None else int(change.item),
+        "vector": (None if change.vector is None
+                   else np.asarray(change.vector, dtype=np.float64).tolist()),
+    }
+
+
+def _change_from_manifest(data: dict) -> ProfileChange:
+    vector = data.get("vector")
+    return ProfileChange(
+        user=int(data["user"]), kind=data["kind"], item=data.get("item"),
+        vector=None if vector is None else np.asarray(vector, dtype=np.float64))
 
 
 @dataclass
@@ -191,6 +212,151 @@ class KNNEngine:
 
     def enqueue_profile_changes(self, changes: Iterable[ProfileChange]) -> int:
         return self._update_queue.enqueue_many(changes)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def save_checkpoint(self, directory: Union[str, Path],
+                        metadata: Optional[dict] = None) -> Path:
+        """Write a self-contained (portable) checkpoint of the current state.
+
+        Captures ``G(t)``, the iteration counter, the engine configuration,
+        a hard-linked snapshot of the on-disk profiles ``P(t)``, the
+        phase-4 score cache and any profile changes still buffered in the
+        update queue, so the run can resume (:meth:`from_checkpoint`) even
+        after this engine's scratch workdir is gone.  Returns the manifest
+        path.
+        """
+        self._ensure_open()
+        combined = dict(metadata or {})
+        reserved = {"engine_config", "pending_updates"} & combined.keys()
+        if reserved:
+            # letting caller metadata shadow these would silently resume
+            # with the wrong config or lose queued updates
+            raise ValueError(
+                f"metadata keys {sorted(reserved)} are reserved for the "
+                "engine's own checkpoint state")
+        combined["engine_config"] = self._config_manifest()
+        combined["pending_updates"] = [_change_to_manifest(change)
+                                       for change in self._update_queue.peek()]
+        return save_portable_checkpoint(
+            directory, self._graph, self._iterations_run,
+            profile_store=self._profile_store,
+            score_cache=self._checkpointable_cache(),
+            metadata=combined)
+
+    def _checkpointable_cache(self) -> Phase4ScoreCache:
+        """The score cache advanced to the snapshot generation for saving.
+
+        The cache is tagged with the generation read at phase-4 time, but
+        phase 5 of the same iteration usually bumps the store — so a cache
+        saved verbatim would never match the snapshot and every resume of
+        an update-stream run would pay a needless full rescore.  While the
+        live store can still enumerate the rows touched since scoring, the
+        stale entries are pruned (they would be dirty next iteration
+        anyway) and the remainder re-tagged with the snapshot generation,
+        which :meth:`from_checkpoint` rebases onto the fresh store.  When
+        the deltas are unknown the cache is saved as-is and the resume
+        path's generation check drops it — correct either way.
+        """
+        cache = self._iteration_runner.score_cache
+        current = self._profile_store.generation
+        if (cache.generation is None or cache.keys is None
+                or cache.generation == current):
+            return cache
+        touched = self._profile_store.touched_rows_since(cache.generation)
+        if touched is None:
+            return cache
+        return cache.advanced_to(touched, current)
+
+    def _config_manifest(self) -> dict:
+        """The engine configuration as a JSON-serialisable dict.
+
+        A custom :class:`DiskModel` object cannot be serialised; the field
+        is dropped and the resumer falls back to the default (the disk
+        model only shapes the simulated I/O accounting, never results).
+        """
+        data = asdict(self._config)
+        if not isinstance(self._config.disk_model, str):
+            data.pop("disk_model")
+        return data
+
+    @classmethod
+    def from_checkpoint(cls, directory: Union[str, Path],
+                        config: Optional[EngineConfig] = None,
+                        workdir: Optional[Union[str, Path]] = None) -> "KNNEngine":
+        """Build an engine resuming a :meth:`save_checkpoint` checkpoint.
+
+        The snapshot profiles become the engine's ``P(t)``, the checkpointed
+        graph its ``G(t)``, and the iteration counter continues where the
+        saved run stopped.  With ``config=None`` the configuration saved in
+        the checkpoint manifest is restored, so the resumed run computes the
+        same KNN problem (same ``k``, measure, partitioning); passing a
+        config explicitly overrides it.
+
+        The score cache is restored only when its generation matches the
+        snapshot store's — i.e. the cached scores describe exactly the
+        profiles ``P(t)`` being resumed — in which case it is re-keyed to
+        the fresh working store and reuse continues seamlessly.
+        :meth:`save_checkpoint` arranges for this to be the common case by
+        pruning churn-touched entries and advancing the cache to the
+        snapshot generation; a cache it could not advance (unknown deltas)
+        is dropped here instead (generation counters are per-store, so
+        keeping it could collide with the fresh store's numbering and
+        reuse stale scores), and the first resumed iteration performs one
+        full rescore.  Resumed results are bit-identical to an
+        uninterrupted run either way.
+        """
+        if (workdir is not None
+                and Path(workdir).resolve() == Path(directory).resolve()):
+            # the engine would create its working profile store at
+            # workdir/profiles — the snapshot itself — silently rewriting
+            # the checkpoint it is resuming from
+            raise ValueError(
+                f"workdir {workdir} is the checkpoint directory; resuming "
+                "would overwrite the snapshot profiles — pass a different "
+                "workdir (or None for a scratch directory)")
+        checkpoint = load_portable_checkpoint(directory)
+        graph, iteration, metadata, snapshot_store, score_cache = checkpoint
+        if snapshot_store is None:
+            raise ValueError(
+                f"checkpoint under {directory} has no profile snapshot; "
+                "use load_checkpoint() and construct the engine explicitly")
+        if config is None:
+            saved = metadata.get("engine_config")
+            if saved is None:
+                raise ValueError(
+                    f"checkpoint under {directory} carries no engine_config "
+                    "(pre-config checkpoint?); pass config= explicitly")
+            config = EngineConfig(**saved)
+        engine = cls(snapshot_store.load_all(), config=config, workdir=workdir,
+                     initial_graph=graph)
+        engine._iterations_run = iteration
+        pending = metadata.get("pending_updates") or []
+        if pending:
+            # changes buffered but not yet applied when the checkpoint was
+            # taken resume their place in the queue, so the next iteration's
+            # phase 5 applies exactly what an uninterrupted run would have
+            engine.enqueue_profile_changes(
+                _change_from_manifest(item) for item in pending)
+        if (score_cache is not None and score_cache.generation is not None
+                and score_cache.generation == snapshot_store.generation):
+            # the cached scores describe exactly the snapshot profiles the
+            # new store was just created from: rebase them onto its counter
+            score_cache.generation = engine._profile_store.generation
+            engine.restore_score_cache(score_cache)
+        return engine
+
+    def restore_score_cache(self, cache: Phase4ScoreCache) -> None:
+        """Adopt a phase-4 score cache (see ``from_checkpoint``).
+
+        ``cache.generation`` must refer to *this* engine's profile store —
+        its counter and its contents.  Generation counters are not a shared
+        namespace across stores, so adopting a cache keyed to another
+        store's counter can silently reuse stale scores;
+        :meth:`from_checkpoint` re-keys or drops the restored cache for
+        exactly that reason.
+        """
+        self._iteration_runner.restore_score_cache(cache)
 
     # -- execution -------------------------------------------------------------------
 

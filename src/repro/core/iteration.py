@@ -11,12 +11,21 @@ The orchestration follows Figure 1 of the paper exactly:
 
 :class:`OutOfCoreIteration` carries no per-iteration state — the engine
 (:mod:`repro.core.engine`) owns the loop, the profile store and the update
-queue, and calls :meth:`OutOfCoreIteration.run` once per iteration.  The
-one thing it *does* keep across iterations is the phase-4 process scoring
-pool: forking workers every iteration used to dominate short iterations,
-so the pool is created once, reused for the whole run, and its workers
-invalidate their cached mmap slices through the profile store's
-``generation`` counter whenever phase 5 changes the files.
+queue, and calls :meth:`OutOfCoreIteration.run` once per iteration.  Two
+things *do* survive across iterations:
+
+* the phase-4 process scoring pool — forking workers every iteration used
+  to dominate short iterations, so the pool is created once, reused for
+  the whole run, and its workers invalidate their cached mmap slices
+  through the profile store's ``generation`` counter whenever phase 5
+  changes the files; and
+* the phase-4 **score cache** (:class:`Phase4ScoreCache`) — the previous
+  scored generation's pair → score map.  Each iteration asks the store
+  which rows changed since that generation and rescores only the candidate
+  tuples with at least one touched endpoint (plus pairs never scored
+  before); every clean tuple reuses its cached score bit-for-bit, so the
+  produced ``G(t+1)`` is identical to a full rescore while the kernel work
+  scales with the churn, not the candidate volume.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from repro.core.config import EngineConfig
 from repro.core.parallel import ProcessScoringPool, fork_available, score_tuples
 from repro.core.update_queue import ProfileUpdateQueue
 from repro.graph.knn_graph import KNNGraph
+from repro.utils.arrays import counting_argsort
 from repro.partition.model import Partition, build_partitions
 from repro.partition.partitioners import get_partitioner
 from repro.pigraph.pi_graph import PIGraph
@@ -60,6 +70,143 @@ PHASE_NAMES = (
 )
 
 
+class Phase4ScoreCache:
+    """Generation-keyed cache of phase-4 similarity scores.
+
+    Holds the previous scored iteration's ``(source, destination) → score``
+    map as a sorted int64 pair-key array plus an aligned score array, tagged
+    with the ``(measure, store generation, vertex count)`` it was computed
+    under.  A similarity score depends only on the two endpoint profiles,
+    so a cached entry may be reused **bit-for-bit** as long as neither
+    endpoint's profile changed since the cached generation — exactly what
+    the profile store's touched-row deltas
+    (:meth:`~repro.storage.profile_store.OnDiskProfileStore.touched_rows_since`)
+    report.  Anything the deltas cannot vouch for (unknown history, measure
+    or vertex-count mismatch, empty cache) falls back to a full rescore,
+    which is always correct.
+
+    Capacity is bounded by ``max_entries`` (16 bytes per entry): an
+    iteration whose scored set exceeds the cap leaves the cache empty
+    (recorded in :attr:`evictions`) rather than keeping a partial map.
+    """
+
+    def __init__(self, max_entries: int = 4_000_000):
+        self.max_entries = int(max_entries)
+        self.measure: Optional[str] = None
+        self.generation: Optional[int] = None
+        self.num_vertices: int = 0
+        self.keys: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+        self.evictions: int = 0
+
+    def clear(self) -> None:
+        self.measure = None
+        self.generation = None
+        self.num_vertices = 0
+        self.keys = None
+        self.values = None
+
+    @property
+    def num_entries(self) -> int:
+        return 0 if self.keys is None else len(self.keys)
+
+    def matches(self, measure: str, num_vertices: int) -> bool:
+        """Whether the cached scores speak about this measure and graph."""
+        return (self.keys is not None and self.generation is not None
+                and self.measure == measure and self.num_vertices == num_vertices)
+
+    def lookup(self, tuples: np.ndarray, touched_mask: np.ndarray,
+               pair_keys: Optional[np.ndarray] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Partition a candidate batch into cached-clean and dirty tuples.
+
+        Returns ``(scores, hit_mask)``: ``hit_mask[i]`` is ``True`` exactly
+        when both endpoints of ``tuples[i]`` are untouched since the cached
+        generation *and* the pair was scored then; ``scores[i]`` carries the
+        cached score for those rows (and ``0.0`` — to be overwritten by the
+        caller — for dirty rows).  ``pair_keys`` optionally supplies the
+        rows' ``src * num_vertices + dst`` keys when the caller already
+        computed them (phase 4 needs them again to refill the cache).
+        """
+        scores = np.zeros(len(tuples), dtype=np.float64)
+        hit_mask = np.zeros(len(tuples), dtype=bool)
+        if self.keys is None or not len(self.keys) or not len(tuples):
+            return scores, hit_mask
+        clean = ~(touched_mask[tuples[:, 0]] | touched_mask[tuples[:, 1]])
+        if not clean.any():
+            return scores, hit_mask
+        clean_rows = np.flatnonzero(clean)
+        if pair_keys is not None:
+            clean_keys = pair_keys[clean_rows]
+        else:
+            clean_keys = (tuples[clean_rows, 0] * np.int64(self.num_vertices)
+                          + tuples[clean_rows, 1])
+        pos = np.searchsorted(self.keys, clean_keys)
+        pos = np.minimum(pos, len(self.keys) - 1)
+        found = self.keys[pos] == clean_keys
+        hit_rows = clean_rows[found]
+        hit_mask[hit_rows] = True
+        scores[hit_rows] = self.values[pos[found]]
+        return scores, hit_mask
+
+    def advanced_to(self, touched_rows: np.ndarray,
+                    generation: int) -> "Phase4ScoreCache":
+        """A copy of this cache advanced past the given touched rows.
+
+        Entries with a touched endpoint are pruned (they would be dirty
+        anyway) and the remainder re-tagged with ``generation`` — the
+        store state the pruned map now describes exactly.  Keeps the pair
+        key encoding in one place for checkpointing
+        (:meth:`KNNEngine.save_checkpoint` advances the cache to the
+        snapshot generation this way).
+        """
+        advanced = Phase4ScoreCache(max_entries=self.max_entries)
+        if self.keys is None:
+            return advanced
+        n = np.int64(self.num_vertices)
+        mask = np.zeros(self.num_vertices, dtype=bool)
+        touched_rows = np.asarray(touched_rows, dtype=np.int64)
+        mask[touched_rows[touched_rows < self.num_vertices]] = True
+        keep = ~(mask[self.keys // n] | mask[self.keys % n])
+        advanced.keys = self.keys[keep]
+        advanced.values = self.values[keep]
+        advanced.measure = self.measure
+        advanced.generation = int(generation)
+        advanced.num_vertices = self.num_vertices
+        return advanced
+
+    def replace(self, key_chunks: Sequence[np.ndarray],
+                score_chunks: Sequence[np.ndarray], measure: str,
+                generation: int, num_vertices: int) -> None:
+        """Install one iteration's scored pairs as the new cache contents.
+
+        ``key_chunks`` hold ``src * num_vertices + dst`` pair keys, unique
+        across chunks (the dedup hash table scores each pair once per
+        iteration).  Over-capacity iterations clear the cache instead of
+        keeping an arbitrary subset.
+        """
+        total = sum(len(chunk) for chunk in key_chunks)
+        if total > self.max_entries:
+            self.clear()
+            self.evictions += 1
+            return
+        keys = (key_chunks[0] if len(key_chunks) == 1
+                else np.concatenate(key_chunks)) if key_chunks else np.empty(
+                    0, dtype=np.int64)
+        values = (score_chunks[0] if len(score_chunks) == 1
+                  else np.concatenate(score_chunks)) if score_chunks else np.empty(
+                      0, dtype=np.float64)
+        # pair keys are bounded by num_vertices², so the 16-bit LSD counting
+        # passes sort them in O(passes·n) — this runs once per iteration
+        # over every scored pair, where a comparison sort was measurable
+        order = counting_argsort(keys, int(num_vertices) * int(num_vertices))
+        self.keys = keys[order]
+        self.values = values[order]
+        self.measure = measure
+        self.generation = int(generation)
+        self.num_vertices = int(num_vertices)
+
+
 @dataclass
 class IterationResult:
     """Everything produced and measured by one out-of-core KNN iteration."""
@@ -76,6 +223,14 @@ class IterationResult:
     #: The profile store's share of ``io_stats`` — its write side is the
     #: phase-5 update traffic, which the perf suite tracks per iteration.
     profile_io_stats: IOStats = field(default_factory=IOStats)
+    #: Tuples actually pushed through a similarity kernel this iteration
+    #: (equals ``similarity_evaluations``; named for the bench reports).
+    rescored_tuples: int = 0
+    #: Tuples whose score was reused verbatim from the phase-4 score cache.
+    reused_scores: int = 0
+    #: ``True`` when no cached score was usable this iteration (cold cache,
+    #: unknown delta history, or ``incremental_phase4`` disabled).
+    full_rescore: bool = True
 
     @property
     def load_unload_operations(self) -> int:
@@ -87,6 +242,9 @@ class IterationResult:
             "iteration": self.iteration,
             "num_candidate_tuples": self.num_candidate_tuples,
             "similarity_evaluations": self.similarity_evaluations,
+            "rescored_tuples": self.rescored_tuples,
+            "reused_scores": self.reused_scores,
+            "full_rescore": self.full_rescore,
             "load_unload_operations": self.load_unload_operations,
             "scheduled_load_unload_operations": self.schedule.load_unload_operations,
             "profile_updates_applied": self.profile_updates_applied,
@@ -105,6 +263,30 @@ class OutOfCoreIteration:
         self._profile_store = profile_store
         self._pool: Optional[ProcessScoringPool] = None
         self._warned_process_fallback = False
+        # survives across iterations, exactly like the scoring pool: the
+        # cache holds the last scored generation's pair → score map
+        self._score_cache = Phase4ScoreCache(config.score_cache_entries)
+
+    @property
+    def score_cache(self) -> Phase4ScoreCache:
+        """The run-lifetime phase-4 score cache (checkpointing reads it)."""
+        return self._score_cache
+
+    def restore_score_cache(self, cache: Phase4ScoreCache) -> None:
+        """Adopt a (checkpoint-loaded) score cache.
+
+        Safe by construction: reuse only happens when the profile store can
+        vouch for the row deltas since ``cache.generation``; a generation
+        the store has no history for costs exactly one full rescore.  The
+        engine-configured capacity wins over the serialised one — a cache
+        larger than this run's ``score_cache_entries`` is dropped outright
+        so the configured memory bound holds from the first iteration.
+        """
+        cache.max_entries = self._config.score_cache_entries
+        if cache.num_entries > cache.max_entries:
+            cache.clear()
+            cache.evictions += 1
+        self._score_cache = cache
 
     def close(self) -> None:
         """Shut down the persistent scoring pool (idempotent)."""
@@ -162,8 +344,8 @@ class OutOfCoreIteration:
             pi_graph, steps, schedule = self._phase3_pi_graph(table)
 
         with timer.phase(PHASE_NAMES[3]):
-            new_graph, evaluations = self._phase4_knn(iteration, graph, table,
-                                                      steps, measure, io_stats)
+            new_graph, evaluations, reused, full_rescore = self._phase4_knn(
+                iteration, graph, table, steps, measure, io_stats)
 
         with timer.phase(PHASE_NAMES[4]):
             updates_applied = self._phase5_profile_update(update_queue)
@@ -181,10 +363,14 @@ class OutOfCoreIteration:
             phase_timer=timer,
             io_stats=io_stats,
             profile_io_stats=profile_stats,
+            rescored_tuples=evaluations,
+            reused_scores=reused,
+            full_rescore=full_rescore,
         )
         _logger.info(
-            "iteration %d: %d tuples, %d similarity evaluations, %d load/unload ops",
-            iteration, result.num_candidate_tuples, evaluations,
+            "iteration %d: %d tuples, %d similarity evaluations "
+            "(%d reused from cache), %d load/unload ops",
+            iteration, result.num_candidate_tuples, evaluations, reused,
             result.load_unload_operations,
         )
         return result
@@ -230,13 +416,32 @@ class OutOfCoreIteration:
 
     # -- phase 4 --------------------------------------------------------------
 
+    def _touched_mask(self, graph: KNNGraph, measure: str) -> Optional[np.ndarray]:
+        """Vertices whose profiles changed since the cached generation.
+
+        Returns ``None`` when the cache cannot be consulted at all — wrong
+        measure or vertex count, empty cache, or a delta history the profile
+        store cannot vouch for (external rewrite, journal compaction,
+        :meth:`~repro.storage.profile_store.OnDiskProfileStore.reload`) —
+        which makes the iteration a full rescore.
+        """
+        cache = self._score_cache
+        if not cache.matches(measure, graph.num_vertices):
+            return None
+        touched = self._profile_store.touched_rows_since(cache.generation)
+        if touched is None:
+            return None
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[touched[touched < graph.num_vertices]] = True
+        return mask
+
     def _phase4_knn(self, iteration: int, graph: KNNGraph, table: TupleHashTable,
                     steps: Sequence[ResidencyStep], measure: str,
-                    io_stats: IOStats) -> Tuple[KNNGraph, int]:
+                    io_stats: IOStats) -> Tuple[KNNGraph, int, int, bool]:
         config = self._config
         budget = (MemoryBudget(config.memory_budget_bytes)
                   if config.memory_budget_bytes is not None else None)
-        cache = PartitionCache(
+        partition_cache = PartitionCache(
             self._partition_store,
             max_resident=config.max_resident_partitions,
             memory_budget=budget,
@@ -258,6 +463,19 @@ class OutOfCoreIteration:
         charged_profiles: Set[int] = set()
         new_graph = KNNGraph(graph.num_vertices, config.k)
         evaluations = 0
+        reused = 0
+        # candidate tuples whose endpoints are both untouched since the
+        # cache's generation reuse the cached score verbatim; only the
+        # remaining "dirty" tuples reach a similarity kernel (or the worker
+        # pool).  Scores are per-pair deterministic, so the merged result is
+        # bit-identical to a full rescore.
+        score_cache = self._score_cache
+        touched_mask = (self._touched_mask(graph, measure)
+                        if config.incremental_phase4 else None)
+        full_rescore = touched_mask is None
+        cache_keys: List[np.ndarray] = []
+        cache_values: List[np.ndarray] = []
+        cache_overflow = not config.incremental_phase4
         scored_tuples: List[np.ndarray] = []
         scored_values: List[np.ndarray] = []
         pending_rows = 0
@@ -286,15 +504,14 @@ class OutOfCoreIteration:
             pending_rows = 0
 
         for first, second, edges in steps:
-            partition_a, partition_b = cache.acquire_pair(first, second)
+            partition_a, partition_b = partition_cache.acquire_pair(first, second)
             needed = {first: partition_a, second: partition_b}
-            if use_process:
-                # the workers load (mmap, zero-copy) the slices themselves;
-                # the coordinator only keeps the I/O accounting aligned
-                self._sync_profile_charges(cache, charged_profiles, needed)
-            else:
-                self._sync_profile_slices(cache, resident_profiles, needed)
-                merged = self._merged_slice(resident_profiles, first, second)
+            # profile slices are loaded (and their reads charged) only when
+            # the step has dirty tuples — a fully cache-hit step touches no
+            # profile bytes at all; the eviction side still runs every step
+            # so the slice set never outgrows the resident partitions
+            self._evict_stale_profiles(partition_cache, resident_profiles,
+                                       charged_profiles)
             # concatenate every PI edge of the residency step into one batch
             # and score it with a single (parallel) scoring call
             chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
@@ -302,44 +519,99 @@ class OutOfCoreIteration:
             if not chunks:
                 continue
             tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-            if use_process:
-                # per-partition id arrays, so workers cache each partition's
-                # zero-copy slice across residency steps (and iterations)
-                parts = [((iteration, first), partition_a.vertices)]
-                if second != first:
-                    parts.append(((iteration, second), partition_b.vertices))
-                scores = pool.score(None, tuples, measure,
-                                    key=(iteration, first, second), parts=parts,
-                                    generation=store_generation)
+            pair_keys = (tuples[:, 0] * np.int64(graph.num_vertices) + tuples[:, 1]
+                         if not cache_overflow or not full_rescore else None)
+            if full_rescore:
+                dirty_rows = None
+                dirty = tuples
+                scores = np.empty(0, dtype=np.float64)  # replaced below
             else:
-                scores = score_tuples(merged, tuples, measure,
-                                      num_threads=config.num_threads,
-                                      backend=inprocess_backend)
-            evaluations += len(tuples)
+                scores, hit_mask = score_cache.lookup(tuples, touched_mask,
+                                                      pair_keys=pair_keys)
+                dirty_rows = np.flatnonzero(~hit_mask)
+                dirty = tuples if len(dirty_rows) == len(tuples) else tuples[dirty_rows]
+                reused += len(tuples) - len(dirty_rows)
+            if len(dirty):
+                if use_process:
+                    # the workers load (mmap, zero-copy) the slices
+                    # themselves; the coordinator only keeps the I/O
+                    # accounting aligned.  Per-partition id arrays let
+                    # workers cache each partition's slice across residency
+                    # steps (and iterations); only the dirty shard crosses
+                    # the pipe
+                    self._sync_profile_charges(charged_profiles, needed)
+                    parts = [((iteration, first), partition_a.vertices)]
+                    if second != first:
+                        parts.append(((iteration, second), partition_b.vertices))
+                    fresh = pool.score(None, dirty, measure,
+                                       key=(iteration, first, second), parts=parts,
+                                       generation=store_generation)
+                else:
+                    self._sync_profile_slices(resident_profiles, needed)
+                    merged = self._merged_slice(resident_profiles, first, second)
+                    fresh = score_tuples(merged, dirty, measure,
+                                         num_threads=config.num_threads,
+                                         backend=inprocess_backend)
+                if dirty_rows is None:
+                    scores = fresh
+                else:
+                    scores[dirty_rows] = fresh
+            evaluations += len(dirty)
+            if not cache_overflow:
+                cache_keys.append(pair_keys)
+                cache_values.append(scores)
+                if sum(len(chunk) for chunk in cache_keys) > score_cache.max_entries:
+                    cache_keys.clear()
+                    cache_values.clear()
+                    cache_overflow = True
             scored_tuples.append(tuples)
             scored_values.append(scores)
             pending_rows += len(tuples)
             if pending_rows >= flush_threshold:
                 flush_scored()
-        cache.flush()
+        partition_cache.flush()
         resident_profiles.clear()
         flush_scored()
-        return new_graph, evaluations
+        if cache_overflow:
+            score_cache.clear()
+            if config.incremental_phase4:
+                score_cache.evictions += 1
+        else:
+            # the cached scores describe the store as of *this* phase 4 —
+            # phase 5 runs after and its deltas are what the next iteration
+            # asks touched_rows_since() about
+            score_cache.replace(cache_keys, cache_values, measure,
+                                store_generation, graph.num_vertices)
+        return new_graph, evaluations, reused, full_rescore
 
-    def _sync_profile_slices(self, cache: PartitionCache,
-                             resident_profiles: Dict[int, ProfileSlice],
-                             needed: Dict[int, Partition]) -> None:
-        """Keep the loaded profile slices aligned with the resident partitions."""
+    @staticmethod
+    def _evict_stale_profiles(cache: PartitionCache,
+                              resident_profiles: Dict[int, ProfileSlice],
+                              charged: Set[int]) -> None:
+        """Drop slice state for partitions no longer resident.
+
+        Runs every residency step (loading is deferred to dirty steps, but
+        eviction must not be, or fully cache-hit steps would let the slice
+        set outgrow the two-resident-partitions memory envelope).
+        """
         resident_ids = set(cache.resident_ids)
         for pid in list(resident_profiles):
             if pid not in resident_ids:
                 del resident_profiles[pid]
+        charged &= resident_ids
+
+    def _sync_profile_slices(self, resident_profiles: Dict[int, ProfileSlice],
+                             needed: Dict[int, Partition]) -> None:
+        """Load the needed partitions' profile slices (dirty steps only).
+
+        Eviction of no-longer-resident slices is *not* done here — it runs
+        unconditionally per step in :meth:`_evict_stale_profiles`.
+        """
         for pid, partition in needed.items():
             if pid not in resident_profiles:
                 resident_profiles[pid] = self._profile_store.load_users(partition.vertices)
 
-    def _sync_profile_charges(self, cache: PartitionCache,
-                              charged: Set[int],
+    def _sync_profile_charges(self, charged: Set[int],
                               needed: Dict[int, Partition]) -> None:
         """Mirror :meth:`_sync_profile_slices` accounting for the process backend.
 
@@ -347,9 +619,10 @@ class OutOfCoreIteration:
         their IOStats never reach the engine, so the coordinator charges one
         mapped slice read per partition residency — the same schedule the
         in-process backends pay, and an honest model of the shared page
-        cache (each slice is faulted in once, not once per worker).
+        cache (each slice is faulted in once, not once per worker).  Like
+        the slice loader, the charged-set pruning lives in
+        :meth:`_evict_stale_profiles`.
         """
-        charged &= set(cache.resident_ids)
         for pid, partition in needed.items():
             if pid not in charged:
                 self._profile_store.charge_slice_read(partition.vertices)

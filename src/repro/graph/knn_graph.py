@@ -17,32 +17,37 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.digraph import CSRDiGraph, DiGraph
+from repro.utils.arrays import counting_argsort as _counting_argsort
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.validation import check_non_negative, check_positive_int
 
 ScoredEdge = Tuple[int, int, float]
 
-#: Digit width of the counting-sort passes used by the bulk top-K merge.
-_RADIX_BITS = 16
-_RADIX_MASK = np.int64((1 << _RADIX_BITS) - 1)
 
+def _descending_score_argsort(scores: np.ndarray) -> np.ndarray:
+    """Stable argsort by *descending* score via order-isomorphic integer keys.
 
-def _counting_argsort(keys: np.ndarray, max_key: int) -> np.ndarray:
-    """Stable argsort of non-negative int64 keys via LSD counting-sort passes.
+    The IEEE-754 bit pattern of a float64 is mapped monotonically onto a
+    ``uint64`` (negatives flip every bit, non-negatives flip the sign bit),
+    complemented for descending order, and argsorted with four stable 16-bit
+    counting passes — replacing the merge's last global comparison sort
+    (``np.argsort(-scores, kind="stable")``) with O(4·n) work.
 
-    Each pass bucket-sorts one 16-bit digit (NumPy's stable argsort on
-    ``uint16`` is a counting/radix sort), so the whole permutation costs
-    O(passes · n) rather than a comparison sort's O(n log n) — and keys
-    bounded by the vertex count need a single pass.  Stability of every
-    pass makes the composition stable, so this is a drop-in replacement
-    for ``np.argsort(keys, kind="stable")``.
+    Tie semantics are pinned: ``-0.0`` is folded into ``+0.0`` before the
+    bit view, so exactly equal scores (including the two zeros, which
+    compare equal as floats but differ bitwise) share a key and stability
+    preserves arrival order — bit-identical to the comparison sort.  Scores
+    must be NaN-free (similarity measures never produce NaN; a comparison
+    sort would sink NaNs to the end, this mapping would not).
     """
-    order = np.argsort((keys & _RADIX_MASK).astype(np.uint16), kind="stable")
-    shift = _RADIX_BITS
-    while (int(max_key) >> shift) > 0:
-        digits = ((keys[order] >> np.int64(shift)) & _RADIX_MASK).astype(np.uint16)
+    bits = (scores + 0.0).view(np.uint64)
+    sign = np.uint64(1) << np.uint64(63)
+    ascending = np.where(bits & sign != 0, ~bits, bits | sign)
+    keys = ~ascending
+    order = np.argsort((keys & np.uint64(0xFFFF)).astype(np.uint16), kind="stable")
+    for shift in (16, 32, 48):
+        digits = ((keys[order] >> np.uint64(shift)) & np.uint64(0xFFFF)).astype(np.uint16)
         order = order[np.argsort(digits, kind="stable")]
-        shift += _RADIX_BITS
     return order
 
 
@@ -172,12 +177,19 @@ class KNNGraph:
         pair is repeated within the batch (true for tuples drawn from the
         dedup hash table), which skips the per-edge dedup pass when the
         touched vertices have no incumbent neighbours.
+
+        Scores must be NaN-free (every similarity measure in this package
+        is): the priority ordering is realised through an integer score-key
+        radix pass whose float→key map is only order-isomorphic on non-NaN
+        values, so NaN batches are rejected rather than silently mis-ranked.
         """
         src = np.asarray(sources, dtype=np.int64).ravel()
         dst = np.asarray(destinations, dtype=np.int64).ravel()
         sc = np.asarray(scores, dtype=np.float64).ravel()
         if not (len(src) == len(dst) == len(sc)):
             raise ValueError("sources, destinations and scores must have equal length")
+        if np.isnan(sc).any():
+            raise ValueError("candidate scores must be NaN-free")
         if len(src) == 0:
             return 0
         lo = min(int(src.min()), int(dst.min()))
@@ -220,9 +232,9 @@ class KNNGraph:
             c_src, c_dst, c_sc = src, dst, sc
 
         # order every entry by descending score; the tie rank is nondecreasing
-        # in row order, so a stable sort on the score alone realises the
+        # in row order, so a stable pass on the score alone realises the
         # (-score, tie) ordering without a multi-key lexsort
-        order = np.argsort(-c_sc, kind="stable")
+        order = _descending_score_argsort(c_sc)
         if not (c_tie is None and assume_unique):
             # keep only each edge's best entry: its first occurrence in the
             # score ordering.  A stable counting sort groups equal edge keys

@@ -19,6 +19,8 @@ from typing import Callable, Dict, FrozenSet, Iterable, Sequence, Set, Tuple, Un
 
 import numpy as np
 
+from repro.utils.arrays import ragged_ranges as _ragged_ranges
+
 SparseProfile = Union[Set[int], FrozenSet[int]]
 SimilarityFn = Callable
 
@@ -339,16 +341,11 @@ class SetProfileCSR:
     def _gather(self, rows: np.ndarray,
                 sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Concatenated item codes of ``rows`` plus the pair index of each item."""
-        total = int(sizes.sum())
-        if total == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
+        source = _ragged_ranges(self._indptr[rows], sizes)
+        if not len(source):
+            return source, source
         pair_idx = np.repeat(np.arange(len(rows), dtype=np.int64), sizes)
-        starts = np.repeat(self._indptr[rows], sizes)
-        prefix = np.zeros(len(sizes), dtype=np.int64)
-        np.cumsum(sizes[:-1], out=prefix[1:])
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, sizes)
-        return self._codes[starts + offsets], pair_idx
+        return self._codes[source], pair_idx
 
     def _row_tagged_keys(self) -> np.ndarray:
         """Every stored item as a sorted ``row * num_items + code`` key.

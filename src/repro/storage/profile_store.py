@@ -24,6 +24,13 @@ and version-2 stores (sparse as one monolithic CSR file pair) are still
 readable through fallback loaders.  Every layout rewrite or incremental
 update bumps the store's ``generation`` counter, which worker processes
 holding the store open by path use to invalidate their cached slices.
+The store also keeps an in-memory log of which rows each applied batch
+touched (:meth:`OnDiskProfileStore.touched_rows_since`), the delta feed of
+the engine's incremental phase 4; full rewrites, journal compactions and
+:meth:`OnDiskProfileStore.reload` truncate that history, answering ``None``
+("assume everything changed").  Whole-file replacements go through a temp
+file + rename, so hard links taken by a portable checkpoint
+(:mod:`repro.core.checkpoint`) keep pointing at the immutable old bytes.
 
 Every operation is charged to the configured disk model and recorded in
 :class:`~repro.storage.io_stats.IOStats`.  Mapped reads are charged through
@@ -50,6 +57,7 @@ from repro.similarity.profiles import DenseProfileStore, ProfileStoreBase, Spars
 from repro.similarity.workloads import ProfileChange
 from repro.storage.disk_model import DiskModel, get_disk_model
 from repro.storage.io_stats import IOStats
+from repro.utils.arrays import ragged_ranges
 
 PathLike = Union[str, os.PathLike]
 
@@ -58,6 +66,30 @@ FORMAT_VERSION = 3
 
 #: Segment size used when the creator supplies no partition-aligned bounds.
 DEFAULT_SEGMENT_ROWS = 4096
+
+#: Entries retained in the in-memory touched-row delta log before the oldest
+#: generations are forgotten (callers asking about forgotten generations get
+#: ``None`` — "unknown, rescore everything").
+_DELTA_LOG_LIMIT = 64
+
+
+def _atomic_tofile(array: np.ndarray, path: Path) -> None:
+    """Write ``array`` to ``path`` via a temp file + rename.
+
+    Replacing the file atomically gives it a fresh inode, so hard links taken
+    by a portable checkpoint keep pointing at the old (immutable) bytes
+    instead of being rewritten underneath the checkpoint.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    array.tofile(tmp)
+    os.replace(tmp, path)
+
+
+def _atomic_write_bytes(data: bytes, path: Path) -> None:
+    """Byte-level sibling of :func:`_atomic_tofile` (same hard-link contract)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
 
 
 def partition_aligned_bounds(num_users: int, num_partitions: int) -> List[int]:
@@ -398,14 +430,11 @@ def _fill_rows(out_codes: np.ndarray, out_indptr: np.ndarray,
     src_rows = np.asarray(src_rows, dtype=np.int64)
     starts = np.asarray(src_indptr, dtype=np.int64)[src_rows]
     sizes = np.asarray(src_indptr, dtype=np.int64)[src_rows + 1] - starts
-    total = int(sizes.sum())
-    if total == 0:
+    source = ragged_ranges(starts, sizes)
+    if not len(source):
         return
-    prefix = np.zeros(len(sizes), dtype=np.int64)
-    np.cumsum(sizes[:-1], out=prefix[1:])
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, sizes)
-    dest = np.repeat(np.asarray(out_indptr, dtype=np.int64)[out_rows], sizes) + offsets
-    out_codes[dest] = np.asarray(src_codes)[np.repeat(starts, sizes) + offsets]
+    dest = ragged_ranges(np.asarray(out_indptr, dtype=np.int64)[out_rows], sizes)
+    out_codes[dest] = np.asarray(src_codes)[source]
 
 
 class OnDiskProfileStore:
@@ -417,8 +446,9 @@ class OnDiskProfileStore:
     _SPARSE_INDPTR = "profiles_indptr.bin"
     _SPARSE_ITEMS = "profiles_items.bin"      # v1: raw item ids; v2: item codes
     _SPARSE_ITEM_IDS = "profiles_item_ids.bin"  # v2+: code→item-id table
-    _SEG_INDPTR_TMPL = "profiles_seg_{0:05d}_indptr.bin"   # v3 only
-    _SEG_CODES_TMPL = "profiles_seg_{0:05d}_codes.bin"     # v3 only
+    _SEG_PREFIX = "profiles_seg_"                          # v3 only
+    _SEG_INDPTR_TMPL = _SEG_PREFIX + "{0:05d}_indptr.bin"
+    _SEG_CODES_TMPL = _SEG_PREFIX + "{0:05d}_codes.bin"
     _JOURNAL_ROWS = "profiles_journal_rows.bin"            # v3 only
     _JOURNAL_INDPTR = "profiles_journal_indptr.bin"        # v3 only
     _JOURNAL_CODES = "profiles_journal_codes.bin"          # v3 only
@@ -451,6 +481,12 @@ class OnDiskProfileStore:
         meta_path = self._base_dir / self._META_NAME
         if meta_path.exists():
             self._meta = json.loads(meta_path.read_text())
+        # touched-row delta log: (generation, sorted touched rows) per applied
+        # batch, contiguous back to _delta_floor.  Opening a store by path
+        # starts with empty history — whatever happened before is unknown.
+        self._delta_log: List[Tuple[int, np.ndarray]] = []
+        self._delta_floor: int = (int(self._meta.get("generation", 0))
+                                  if self._meta else 0)
 
     # -- creation ------------------------------------------------------------
 
@@ -483,9 +519,9 @@ class OnDiskProfileStore:
         generation = self._next_generation()
         if isinstance(store, DenseProfileStore):
             matrix = store.matrix.astype(np.float64)
-            matrix.tofile(self._base_dir / self._DENSE_NAME)
+            _atomic_tofile(matrix, self._base_dir / self._DENSE_NAME)
             norms = np.linalg.norm(matrix, axis=1)
-            norms.tofile(self._base_dir / self._NORMS_NAME)
+            _atomic_tofile(norms, self._base_dir / self._NORMS_NAME)
             self._meta = {"kind": "dense", "num_users": store.num_users,
                           "dim": store.dim,
                           "format_version": self._target_version,
@@ -503,6 +539,8 @@ class OnDiskProfileStore:
         (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
         # the rewrite replaced the files; open maps point at dead data
         self._invalidate_maps()
+        # every row may have changed; restart the delta history here
+        self._reset_delta_log()
 
     def _write_sparse_v2(self, store: SparseProfileStore, generation: int) -> None:
         csr = store.incidence()
@@ -510,9 +548,9 @@ class OnDiskProfileStore:
         codes = np.asarray(csr.codes, dtype=np.int64)
         item_ids = (np.asarray(csr.item_ids, dtype=np.int64)
                     if csr.item_ids is not None else np.empty(0, dtype=np.int64))
-        indptr.tofile(self._base_dir / self._SPARSE_INDPTR)
-        codes.tofile(self._base_dir / self._SPARSE_ITEMS)
-        item_ids.tofile(self._base_dir / self._SPARSE_ITEM_IDS)
+        _atomic_tofile(indptr, self._base_dir / self._SPARSE_INDPTR)
+        _atomic_tofile(codes, self._base_dir / self._SPARSE_ITEMS)
+        _atomic_tofile(item_ids, self._base_dir / self._SPARSE_ITEM_IDS)
         self._meta = {"kind": "sparse", "num_users": store.num_users,
                       "num_items": csr.num_items, "format_version": 2,
                       "row_codes_sorted": bool(csr.rows_sorted),
@@ -532,12 +570,12 @@ class OnDiskProfileStore:
             lo, hi = bounds[index], bounds[index + 1]
             local = (indptr[lo:hi + 1] - indptr[lo]).astype(np.int64)
             seg_codes = codes[indptr[lo]:indptr[hi]]
-            local.tofile(self._base_dir / self._SEG_INDPTR_TMPL.format(index))
-            seg_codes.tofile(self._base_dir / self._SEG_CODES_TMPL.format(index))
+            _atomic_tofile(local, self._base_dir / self._SEG_INDPTR_TMPL.format(index))
+            _atomic_tofile(seg_codes, self._base_dir / self._SEG_CODES_TMPL.format(index))
             total += local.nbytes + seg_codes.nbytes
-        item_ids.tofile(self._base_dir / self._SPARSE_ITEM_IDS)
+        _atomic_tofile(item_ids, self._base_dir / self._SPARSE_ITEM_IDS)
         for name in (self._JOURNAL_ROWS, self._JOURNAL_INDPTR, self._JOURNAL_CODES):
-            (self._base_dir / name).write_bytes(b"")
+            _atomic_write_bytes(b"", self._base_dir / name)
         # stale files from other layouts (upgrades) or shrunken segment counts
         for name in (self._SPARSE_INDPTR, self._SPARSE_ITEMS):
             path = self._base_dir / name
@@ -586,6 +624,9 @@ class OnDiskProfileStore:
         meta_path = self._base_dir / self._META_NAME
         self._meta = json.loads(meta_path.read_text()) if meta_path.exists() else None
         self._invalidate_maps()
+        # the files may have been rewritten by another process; any delta
+        # history collected through this handle no longer describes them
+        self._reset_delta_log()
 
     # -- queries --------------------------------------------------------------
 
@@ -593,6 +634,23 @@ class OnDiskProfileStore:
     def base_dir(self) -> Path:
         """Directory holding the store's files (worker processes re-open by path)."""
         return self._base_dir
+
+    @staticmethod
+    def linkable_snapshot_file(name: str) -> bool:
+        """Whether a store file is safe to *hard-link* into a snapshot.
+
+        Lives next to the write paths it describes: segment files and the
+        monolithic v1/v2 CSR files are only ever replaced atomically via
+        rename (:func:`_atomic_tofile`), so a link keeps the old bytes.
+        The meta file is rewritten in place, the journal and item table
+        are appended in place, and dense matrices/norms are updated
+        through a writable memmap — those must be copied.  Any new store
+        file defaults to copy until explicitly added here alongside an
+        atomic-replace write path.
+        """
+        return (name.startswith(OnDiskProfileStore._SEG_PREFIX)
+                or name in (OnDiskProfileStore._SPARSE_INDPTR,
+                            OnDiskProfileStore._SPARSE_ITEMS))
 
     @property
     def kind(self) -> str:
@@ -624,6 +682,43 @@ class OnDiskProfileStore:
         """
         self._require_meta()
         return int(self._meta.get("generation", 0))
+
+    # -- touched-row deltas ----------------------------------------------------
+
+    def _reset_delta_log(self) -> None:
+        """Forget the delta history: everything before *now* is unknown."""
+        self._delta_log = []
+        self._delta_floor = (int(self._meta.get("generation", 0))
+                             if self._meta else 0)
+
+    def _record_delta(self, rows: np.ndarray) -> None:
+        """Remember which rows the just-applied batch touched (post-bump)."""
+        self._delta_log.append((self.generation,
+                                np.unique(np.asarray(rows, dtype=np.int64))))
+        while len(self._delta_log) > _DELTA_LOG_LIMIT:
+            dropped_generation, _ = self._delta_log.pop(0)
+            self._delta_floor = dropped_generation
+
+    def touched_rows_since(self, generation: int) -> Optional[np.ndarray]:
+        """Rows whose profile changed after ``generation``, or ``None``.
+
+        ``None`` means the delta history cannot answer — the asked-about
+        generation predates the tracked window, the store was fully
+        rewritten, compacted, or :meth:`reload`-ed in between, or the
+        generation is from the future.  Callers holding results keyed by
+        ``generation`` (the phase-4 score cache) must then assume everything
+        changed.  An empty array means "nothing changed" and a non-empty one
+        is the exact union of rows touched by the intervening
+        :meth:`apply_changes` batches.
+        """
+        self._require_meta()
+        generation = int(generation)
+        if generation > self.generation or generation < self._delta_floor:
+            return None
+        rows = [touched for gen, touched in self._delta_log if gen > generation]
+        if not rows:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(rows))
 
     def _require_meta(self) -> None:
         if self._meta is None:
@@ -1021,6 +1116,7 @@ class OnDiskProfileStore:
             norms_mm.flush()
             del norms_mm
         self._bump_generation()
+        self._record_delta(np.asarray(sorted(latest), dtype=np.int64))
         return len(latest)
 
     def _apply_sparse_rewrite(self, changes: Sequence[ProfileChange]) -> int:
@@ -1077,15 +1173,24 @@ class OnDiskProfileStore:
             handle.write(rows.tobytes())
         with (self._base_dir / self._JOURNAL_CODES).open("ab") as handle:
             handle.write(new_codes.tobytes())
-        journal_indptr.tofile(self._base_dir / self._JOURNAL_INDPTR)
+        _atomic_tofile(journal_indptr, self._base_dir / self._JOURNAL_INDPTR)
         self._meta["journal_entries"] = len(state.j_rows) + len(rows)
         written = rows.nbytes + new_codes.nbytes + journal_indptr.nbytes + appended_bytes
         self.io_stats.record_write(
             written, self._disk.mapped_write_cost(written, sequential=True))
         self._v3_state = None
+        compacted = False
         if self._meta["journal_entries"] > self._journal_limit():
             self._compact_v3()
+            compacted = True
         self._bump_generation()
+        if compacted:
+            # compaction replaces segment files wholesale; treat it as a
+            # generation rollover and restart the delta history, so cached
+            # scores keyed on pre-compaction generations are fully rescored
+            self._reset_delta_log()
+        else:
+            self._record_delta(rows)
         return len(sets)
 
     def _item_code_map(self, state: _SparseV3State) -> Dict[int, int]:
@@ -1132,11 +1237,11 @@ class OnDiskProfileStore:
             # release the mapped views of this segment before replacing it
             state.seg_indptr[seg] = indptr
             state.seg_codes[seg] = codes
-            indptr.tofile(self._base_dir / self._SEG_INDPTR_TMPL.format(int(seg)))
-            codes.tofile(self._base_dir / self._SEG_CODES_TMPL.format(int(seg)))
+            _atomic_tofile(indptr, self._base_dir / self._SEG_INDPTR_TMPL.format(int(seg)))
+            _atomic_tofile(codes, self._base_dir / self._SEG_CODES_TMPL.format(int(seg)))
             total += indptr.nbytes + codes.nbytes
         for name in (self._JOURNAL_ROWS, self._JOURNAL_INDPTR, self._JOURNAL_CODES):
-            (self._base_dir / name).write_bytes(b"")
+            _atomic_write_bytes(b"", self._base_dir / name)
         self._meta["journal_entries"] = 0
         self.io_stats.record_write(total,
                                    self._disk.write_cost(total, sequential=True))

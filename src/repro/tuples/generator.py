@@ -20,11 +20,25 @@ import numpy as np
 from repro.graph.digraph import CSRDiGraph
 from repro.partition.model import Partition
 from repro.tuples.hash_table import TupleHashTable
+from repro.utils.arrays import ragged_ranges
 
 #: Row budget for batching bridge tuples into bulk hash-table inserts: large
 #: enough that a whole iteration usually needs one dedup sweep, small enough
 #: that the raw (duplicate-laden) pair buffer stays bounded (~16 MiB).
 _BRIDGE_FLUSH_ROWS = 1 << 20
+
+
+def _sorted_runs(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct values of a *sorted* array plus each run's start and length.
+
+    The O(n) equivalent of ``np.unique(values, return_index=True,
+    return_counts=True)`` for input that is already sorted (the bridge
+    columns are — phase 1 sorts them).
+    """
+    starts = np.concatenate(
+        [[0], np.flatnonzero(values[1:] != values[:-1]) + 1])
+    counts = np.diff(np.concatenate([starts, [len(values)]]))
+    return values[starts], starts, counts
 
 
 def partition_bridge_tuples(partition: Partition,
@@ -36,49 +50,47 @@ def partition_bridge_tuples(partition: Partition,
     the cross product per bridge vertex, a standard guard against super-hub
     vertices blowing up the candidate set (documented deviation knob; the
     default of ``None`` reproduces the paper exactly).
+
+    Both edge lists are sorted by bridge vertex, so the merge scan reduces
+    to run bookkeeping: the matching bridge runs of the two lists are found
+    with one ``np.intersect1d`` over the per-list unique bridges, and every
+    run pair's cross product is emitted by a single batched repeat/gather
+    pass — no per-bridge Python loop or per-bridge ``tile``/``column_stack``
+    allocations.  Rows come out exactly as the per-bridge scan produced
+    them: bridges ascending, then the run's sources in order, each paired
+    with the run's destinations in order.
     """
     in_edges = partition.in_edges     # rows (s, v), sorted by v
     out_edges = partition.out_edges   # rows (v, d), sorted by v
     if len(in_edges) == 0 or len(out_edges) == 0:
         return np.empty((0, 2), dtype=np.int64)
 
-    in_bridges = in_edges[:, 1]
-    out_bridges = out_edges[:, 0]
-    chunks = []
-    i = j = 0
-    n_in, n_out = len(in_edges), len(out_edges)
-    while i < n_in and j < n_out:
-        bridge_in = in_bridges[i]
-        bridge_out = out_bridges[j]
-        if bridge_in < bridge_out:
-            i += 1
-            continue
-        if bridge_in > bridge_out:
-            j += 1
-            continue
-        bridge = bridge_in
-        i_end = i
-        while i_end < n_in and in_bridges[i_end] == bridge:
-            i_end += 1
-        j_end = j
-        while j_end < n_out and out_bridges[j_end] == bridge:
-            j_end += 1
-        sources = in_edges[i:i_end, 0]
-        destinations = out_edges[j:j_end, 1]
-        if max_pairs_per_bridge is not None:
-            budget = max_pairs_per_bridge
-            if len(sources) * len(destinations) > budget:
-                keep_s = max(1, int(np.sqrt(budget)))
-                keep_d = max(1, budget // keep_s)
-                sources = sources[:keep_s]
-                destinations = destinations[:keep_d]
-        grid_s = np.repeat(sources, len(destinations))
-        grid_d = np.tile(destinations, len(sources))
-        chunks.append(np.column_stack([grid_s, grid_d]))
-        i, j = i_end, j_end
-    if not chunks:
+    # both lists are already sorted by bridge, so the run boundaries fall
+    # out of one neighbour comparison — no np.unique (which would re-sort)
+    unique_in, in_start, in_count = _sorted_runs(in_edges[:, 1])
+    unique_out, out_start, out_count = _sorted_runs(out_edges[:, 0])
+    _, in_at, out_at = np.intersect1d(unique_in, unique_out,
+                                      assume_unique=True, return_indices=True)
+    if not len(in_at):
         return np.empty((0, 2), dtype=np.int64)
-    return np.concatenate(chunks, axis=0)
+    src_start, src_len = in_start[in_at], in_count[in_at]
+    dst_start, dst_len = out_start[out_at], out_count[out_at]
+    if max_pairs_per_bridge is not None:
+        # same per-bridge truncation as the scalar scan: bridges over budget
+        # keep the first ~sqrt(budget) sources x budget/sqrt(budget) dests
+        budget = max_pairs_per_bridge
+        keep_s = max(1, int(np.sqrt(budget)))
+        keep_d = max(1, budget // keep_s)
+        over = src_len * dst_len > budget
+        src_len = np.where(over, np.minimum(src_len, keep_s), src_len)
+        dst_len = np.where(over, np.minimum(dst_len, keep_d), dst_len)
+    # one row block per kept source: its in-edge row index, repeated over
+    # its bridge's kept destination run
+    source_rows = ragged_ranges(src_start, src_len)
+    dests_per_row = np.repeat(dst_len, src_len)
+    grid_s = np.repeat(in_edges[source_rows, 0], dests_per_row)
+    dest_rows = ragged_ranges(np.repeat(dst_start, src_len), dests_per_row)
+    return np.column_stack([grid_s, out_edges[dest_rows, 1]])
 
 
 def generate_candidate_tuples(graph: CSRDiGraph,

@@ -5,16 +5,36 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from check_perf_regression import (PHASE4_KEY, compare_fingerprints,
-                                   compare_phase4, compare_phase45)
+from check_perf_regression import (PHASE4_KEY, compare_backend_sweep,
+                                   compare_fingerprints,
+                                   compare_incremental_parity, compare_phase4,
+                                   compare_phase24, compare_phase45)
 
 
-def _report(phase4_seconds, fingerprint="abc", phase45_seconds=None):
+def _report(phase4_seconds, fingerprint="abc", phase45_seconds=None,
+            phase24_seconds=None, parity=None, cpu_count=None,
+            backend_sweep=None):
     report = {"pipeline": {"phase_seconds": {PHASE4_KEY: phase4_seconds},
                            "graph_fingerprint": fingerprint}}
+    update = {}
     if phase45_seconds is not None:
-        report["update_workload"] = {"phase45_seconds": phase45_seconds}
+        update["phase45_seconds"] = phase45_seconds
+    if phase24_seconds is not None:
+        update["phase24_seconds"] = phase24_seconds
+    if parity is not None:
+        update["incremental_fingerprints_match"] = parity
+    if update:
+        report["update_workload"] = update
+    if cpu_count is not None:
+        report["cpu_count"] = cpu_count
+    if backend_sweep is not None:
+        report["backend_sweep"] = backend_sweep
     return report
+
+
+def _sweep_row(backend, phase4_seconds, workers=4, num_users=2000):
+    return {"num_users": num_users, "backend": backend, "workers": workers,
+            "phase4_seconds": phase4_seconds}
 
 
 class TestComparePhase4:
@@ -81,6 +101,97 @@ class TestComparePhase45:
         ok, _ = compare_phase45(_report(1.0, phase45_seconds=0.0),
                                 _report(1.0, phase45_seconds=1.0), tolerance=0.20)
         assert ok
+
+
+class TestComparePhase24:
+    def test_regression_beyond_tolerance_fails(self):
+        ok, message = compare_phase24(_report(1.0, phase24_seconds=5.0),
+                                      _report(1.0, phase24_seconds=6.5),
+                                      tolerance=0.20)
+        assert not ok
+        assert "REGRESSION" in message
+
+    def test_within_tolerance_passes(self):
+        ok, _ = compare_phase24(_report(1.0, phase24_seconds=5.0),
+                                _report(1.0, phase24_seconds=5.4),
+                                tolerance=0.20)
+        assert ok
+
+    def test_old_baseline_skips(self):
+        ok, message = compare_phase24(_report(1.0),
+                                      _report(1.0, phase24_seconds=9.0),
+                                      tolerance=0.20)
+        assert ok
+        assert "skipped" in message
+
+    def test_old_fresh_report_skips(self):
+        ok, message = compare_phase24(_report(1.0, phase24_seconds=5.0),
+                                      _report(1.0), tolerance=0.20)
+        assert ok
+        assert "skipped" in message
+
+
+class TestIncrementalParity:
+    def test_matching_fingerprints_pass(self):
+        ok, _ = compare_incremental_parity(_report(1.0, parity=True))
+        assert ok
+
+    def test_diverging_fingerprints_fail(self):
+        ok, message = compare_incremental_parity(_report(1.0, parity=False))
+        assert not ok
+        assert "DIVERGE" in message
+
+    def test_pre_incremental_report_skips(self):
+        ok, message = compare_incremental_parity(_report(1.0))
+        assert ok
+        assert "skipped" in message
+
+
+class TestBackendSweepCpuAware:
+    def test_process_rows_skipped_on_cpu_mismatch(self):
+        """A 1-core container must not gate process rows against a multicore
+        baseline (the rows measure different things)."""
+        baseline = _report(1.0, cpu_count=8,
+                           backend_sweep=[_sweep_row("process", 0.5)])
+        fresh = _report(1.0, cpu_count=1,
+                        backend_sweep=[_sweep_row("process", 2.0)])
+        ok, messages = compare_backend_sweep(baseline, fresh, tolerance=0.20)
+        assert ok  # 4x slower, but skipped — not a regression verdict
+        assert any("skipped" in m and "cpu_count" in m for m in messages)
+
+    def test_process_rows_gated_on_matching_cpu(self):
+        baseline = _report(1.0, cpu_count=4,
+                           backend_sweep=[_sweep_row("process", 0.5)])
+        fresh = _report(1.0, cpu_count=4,
+                        backend_sweep=[_sweep_row("process", 2.0)])
+        ok, messages = compare_backend_sweep(baseline, fresh, tolerance=0.20)
+        assert not ok
+        assert any("REGRESSION" in m for m in messages)
+
+    def test_thread_pool_rows_skipped_on_cpu_mismatch(self):
+        """GIL-releasing thread pools are as core-count-dependent as the
+        process pool; their rows must skip on mismatch too."""
+        baseline = _report(1.0, cpu_count=8,
+                           backend_sweep=[_sweep_row("thread", 0.5)])
+        fresh = _report(1.0, cpu_count=1,
+                        backend_sweep=[_sweep_row("thread", 2.0)])
+        ok, messages = compare_backend_sweep(baseline, fresh, tolerance=0.20)
+        assert ok
+        assert any("skipped" in m for m in messages)
+
+    def test_serial_rows_gated_despite_cpu_mismatch(self):
+        baseline = _report(1.0, cpu_count=8,
+                           backend_sweep=[_sweep_row("serial", 0.5, workers=1)])
+        fresh = _report(1.0, cpu_count=1,
+                        backend_sweep=[_sweep_row("serial", 2.0, workers=1)])
+        ok, _ = compare_backend_sweep(baseline, fresh, tolerance=0.20)
+        assert not ok
+
+    def test_quick_reports_without_sweep_skip(self):
+        ok, messages = compare_backend_sweep(_report(1.0), _report(1.0),
+                                             tolerance=0.20)
+        assert ok
+        assert any("skipped" in m for m in messages)
 
 
 class TestCompareFingerprints:

@@ -1,18 +1,29 @@
 """Tests for repro.core.checkpoint."""
 
+import os
+
+import numpy as np
 import pytest
 
 from repro.core.checkpoint import (
     has_checkpoint,
     load_checkpoint,
     load_knn_graph,
+    load_portable_checkpoint,
+    load_score_cache,
     save_checkpoint,
     save_knn_graph,
+    save_portable_checkpoint,
+    save_score_cache,
+    snapshot_profile_store,
 )
 from repro.core.config import EngineConfig
 from repro.core.engine import KNNEngine
+from repro.core.iteration import Phase4ScoreCache
 from repro.graph.knn_graph import KNNGraph
-from repro.similarity.workloads import generate_dense_profiles
+from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
+                                        generate_sparse_profiles)
+from repro.storage.profile_store import OnDiskProfileStore
 
 
 @pytest.fixture
@@ -85,6 +96,366 @@ class TestCheckpointManifest:
         graph, iteration, _ = load_checkpoint(tmp_path)
         assert iteration == 2
         assert graph.edge_difference(later) == 0
+
+
+class TestScoreCacheSerialisation:
+    def _cache(self, n=40, entries=200):
+        cache = Phase4ScoreCache(max_entries=10_000)
+        rng = np.random.default_rng(1)
+        keys = np.unique(rng.integers(0, n * n, size=entries, dtype=np.int64))
+        cache.replace([keys], [rng.random(len(keys))], "jaccard",
+                      generation=7, num_vertices=n)
+        return cache
+
+    def test_roundtrip(self, tmp_path):
+        cache = self._cache()
+        path = tmp_path / "cache.bin"
+        save_score_cache(path, cache)
+        loaded = load_score_cache(path)
+        assert loaded.measure == "jaccard"
+        assert loaded.generation == 7
+        assert loaded.num_vertices == cache.num_vertices
+        assert loaded.max_entries == cache.max_entries
+        np.testing.assert_array_equal(loaded.keys, cache.keys)
+        np.testing.assert_array_equal(loaded.values, cache.values)
+
+    def test_empty_cache_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        save_score_cache(path, Phase4ScoreCache(max_entries=5))
+        loaded = load_score_cache(path)
+        assert loaded.keys is None and loaded.generation is None
+        assert loaded.max_entries == 5
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTCACHE" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="magic"):
+            load_score_cache(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        cache = self._cache()
+        path = tmp_path / "cache.bin"
+        save_score_cache(path, cache)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(ValueError, match="truncated"):
+            load_score_cache(path)
+
+    def test_negative_header_counts_rejected(self, tmp_path):
+        cache = self._cache()
+        path = tmp_path / "cache.bin"
+        save_score_cache(path, cache)
+        raw = bytearray(path.read_bytes())
+        # corrupt num_entries (third int64 of the header) to -1
+        raw[8 + 16:8 + 24] = np.int64(-1).tobytes()
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="corrupt header"):
+            load_score_cache(path)
+
+
+class TestProfileSnapshot:
+    def test_sparse_v3_segments_are_hard_linked(self, tmp_path):
+        profiles = generate_sparse_profiles(80, 200, items_per_user=10, seed=3)
+        store = OnDiskProfileStore.create(tmp_path / "store", profiles)
+        dest = snapshot_profile_store(store, tmp_path / "snap")
+        segments = sorted(store.base_dir.glob("profiles_seg_*.bin"))
+        assert segments
+        for segment in segments:
+            assert os.stat(segment).st_ino == os.stat(dest / segment.name).st_ino
+        # mutable files are copies, never links
+        for name in ("profiles_meta.json", "profiles_journal_rows.bin",
+                     "profiles_item_ids.bin"):
+            assert (os.stat(store.base_dir / name).st_ino
+                    != os.stat(dest / name).st_ino)
+
+    def test_snapshot_immune_to_later_updates_and_compaction(self, tmp_path):
+        """Journal appends and compaction segment rewrites on the live store
+        must not leak into the snapshot — this is what the atomic
+        temp-file+rename replacement in the store buys."""
+        profiles = generate_sparse_profiles(80, 200, items_per_user=10, seed=3)
+        store = OnDiskProfileStore.create(tmp_path / "store", profiles,
+                                          journal_limit=4)
+        rng = np.random.default_rng(5)
+        store.apply_changes([ProfileChange(user=int(u), kind="add",
+                                           item=int(rng.integers(0, 200)))
+                             for u in range(3)])
+        dest = snapshot_profile_store(store, tmp_path / "snap")
+        frozen = OnDiskProfileStore(dest)
+        expected = {user: frozen.load_users([user]).get(user)
+                    for user in range(80)}
+        # churn past the journal limit so the live store compacts (rewrites
+        # segment files) and appends more journal entries
+        for burst in range(3):
+            store.apply_changes([ProfileChange(user=int(u), kind="add",
+                                               item=int(rng.integers(0, 200)))
+                                 for u in range(burst * 10, burst * 10 + 8)])
+        frozen_after = OnDiskProfileStore(dest)
+        for user in range(80):
+            assert frozen_after.load_users([user]).get(user) == expected[user]
+
+    def test_snapshot_onto_the_live_store_rejected(self, tmp_path):
+        """The copy loop unlinks targets first; snapshotting a store onto
+        its own directory would destroy it, so it must refuse up front."""
+        profiles = generate_sparse_profiles(30, 100, items_per_user=5, seed=3)
+        store = OnDiskProfileStore.create(tmp_path / "store", profiles)
+        before = store.load_users([0]).get(0)
+        with pytest.raises(ValueError, match="live store directory"):
+            snapshot_profile_store(store, store.base_dir)
+        # and the store is untouched
+        assert store.load_users([0]).get(0) == before
+
+    def test_dense_snapshot_is_a_copy(self, tmp_path):
+        profiles = generate_dense_profiles(40, dim=6, seed=3)
+        store = OnDiskProfileStore.create(tmp_path / "store", profiles)
+        dest = snapshot_profile_store(store, tmp_path / "snap")
+        # dense rows are updated in place through a memmap — linking would
+        # corrupt old checkpoints, so the matrix must be copied
+        assert (os.stat(store.base_dir / "profiles_dense.bin").st_ino
+                != os.stat(dest / "profiles_dense.bin").st_ino)
+        store.apply_changes([ProfileChange(user=0, kind="set",
+                                           vector=np.full(6, 9.0))])
+        frozen = OnDiskProfileStore(dest)
+        assert not np.allclose(frozen.load_users([0]).get(0), np.full(6, 9.0))
+
+
+class TestPortableCheckpoint:
+    def test_save_and_load_roundtrip(self, scored_graph, tmp_path):
+        profiles = generate_sparse_profiles(80, 200, items_per_user=10, seed=9)
+        store = OnDiskProfileStore.create(tmp_path / "store", profiles)
+        cache = Phase4ScoreCache()
+        cache.replace([np.asarray([5, 9], dtype=np.int64)],
+                      [np.asarray([0.5, 0.25])], "jaccard", 0, 60)
+        save_portable_checkpoint(tmp_path / "ckpt", scored_graph, 3,
+                                 profile_store=store, score_cache=cache,
+                                 metadata={"note": "x"})
+        graph, iteration, metadata, loaded_store, loaded_cache = (
+            load_portable_checkpoint(tmp_path / "ckpt"))
+        assert iteration == 3 and metadata == {"note": "x"}
+        assert graph.edge_difference(scored_graph) == 0
+        assert loaded_store.num_users == 80
+        assert loaded_store.load_users([4]).get(4) == store.load_users([4]).get(4)
+        np.testing.assert_array_equal(loaded_cache.keys, cache.keys)
+
+    def test_without_store_and_cache(self, scored_graph, tmp_path):
+        save_portable_checkpoint(tmp_path, scored_graph, 1)
+        graph, iteration, _, store, cache = load_portable_checkpoint(tmp_path)
+        assert iteration == 1 and store is None and cache is None
+
+    def test_engine_checkpoint_resume_is_bit_identical(self, tmp_path):
+        """Interrupt after 2 iterations, resume from the portable checkpoint
+        for 2 more (same churn feed): identical to an uninterrupted run."""
+        profiles = generate_sparse_profiles(100, 250, items_per_user=10,
+                                            num_communities=4, seed=31)
+        config = EngineConfig(k=5, num_partitions=4, seed=31)
+
+        def make_feed(rng):
+            def feed(_iteration):
+                users = rng.choice(100, size=6, replace=False)
+                return [ProfileChange(user=int(u), kind="add",
+                                      item=int(rng.integers(0, 250)))
+                        for u in users]
+            return feed
+
+        with KNNEngine(profiles, config) as engine:
+            uninterrupted = engine.run(
+                num_iterations=4,
+                profile_change_feed=make_feed(np.random.default_rng(8)))
+
+        rng = np.random.default_rng(8)
+        with KNNEngine(profiles, config) as engine:
+            engine.run(num_iterations=2, profile_change_feed=make_feed(rng))
+            engine.save_checkpoint(tmp_path / "ckpt")
+
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt", config=config) as resumed:
+            assert resumed.iterations_run == 2
+            run = resumed.run(num_iterations=2, profile_change_feed=make_feed(rng))
+        assert run.final_graph.edge_difference(
+            uninterrupted.final_graph) == 0
+        # save_checkpoint pruned the churn-touched pairs and advanced the
+        # cache to the snapshot generation, so reuse continues seamlessly
+        # from the very first resumed iteration
+        assert run.iterations[0].full_rescore is False
+        assert run.iterations[0].reused_scores > 0
+        assert run.iterations[1].reused_scores > 0
+
+    def test_from_checkpoint_without_snapshot_rejected(self, scored_graph,
+                                                       tmp_path):
+        save_checkpoint(tmp_path, scored_graph, iteration=1)
+        with pytest.raises(ValueError, match="no profile snapshot"):
+            KNNEngine.from_checkpoint(tmp_path)
+
+    def test_generation_collision_does_not_reuse_stale_scores(self, tmp_path):
+        """Checkpoint saved after churn was applied (cache one generation
+        behind P(t)): the fresh working store also numbers from 0, so a
+        naively restored cache would claim 'nothing changed' and reuse
+        pre-churn scores.  save_checkpoint instead prunes the touched pairs
+        and advances the cache to the snapshot generation, so the resumed
+        run reuses only still-valid scores — and stays bit-identical."""
+        profiles = generate_sparse_profiles(90, 250, items_per_user=10,
+                                            num_communities=4, seed=41)
+        config = EngineConfig(k=5, num_partitions=4, seed=41)
+        rng = np.random.default_rng(6)
+        churn = [ProfileChange(user=int(u), kind="add",
+                               item=int(rng.integers(0, 250)))
+                 for u in rng.choice(90, size=20, replace=False)]
+
+        with KNNEngine(profiles, config) as engine:
+            engine.enqueue_profile_changes(churn)
+            engine.run_iteration()
+            uninterrupted = engine.run_iteration().graph
+
+        with KNNEngine(profiles, config) as engine:
+            engine.enqueue_profile_changes(churn)
+            engine.run_iteration()            # cache gen 0, store gen 1
+            engine.save_checkpoint(tmp_path / "ckpt")
+
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt") as resumed:
+            result = resumed.run_iteration()
+        assert result.graph.edge_difference(uninterrupted) == 0
+        # the pruned cache was restored: churn-touched pairs rescored,
+        # everything else reused — never a stale score
+        assert result.full_rescore is False
+        assert result.reused_scores > 0
+
+    def test_unknown_deltas_at_save_time_drop_the_cache_on_resume(self, tmp_path):
+        """When the store cannot enumerate the rows touched since scoring
+        (here: a journal compaction truncated the delta history), the cache
+        is saved as-is and the resume generation check drops it — one full
+        rescore, never a stale reuse."""
+        profiles = generate_sparse_profiles(90, 250, items_per_user=10,
+                                            num_communities=4, seed=59)
+        config = EngineConfig(k=5, num_partitions=4, seed=59)
+        rng = np.random.default_rng(6)
+        # > journal limit (max(64, 90/4) = 64 rows) so phase 5 compacts
+        churn = [ProfileChange(user=int(u), kind="add",
+                               item=int(rng.integers(0, 250)))
+                 for u in rng.choice(90, size=70, replace=False)]
+
+        with KNNEngine(profiles, config) as engine:
+            engine.enqueue_profile_changes(churn)
+            engine.run_iteration()
+            uninterrupted = engine.run_iteration().graph
+
+        with KNNEngine(profiles, config) as engine:
+            engine.enqueue_profile_changes(churn)
+            engine.run_iteration()
+            assert engine.profile_store.touched_rows_since(0) is None
+            engine.save_checkpoint(tmp_path / "ckpt")
+
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt") as resumed:
+            result = resumed.run_iteration()
+        assert result.full_rescore is True
+        assert result.reused_scores == 0
+        assert result.graph.edge_difference(uninterrupted) == 0
+
+    def test_from_checkpoint_workdir_collision_rejected(self, tmp_path):
+        profiles = generate_sparse_profiles(90, 250, items_per_user=10, seed=61)
+        config = EngineConfig(k=5, num_partitions=4, seed=61)
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            engine.save_checkpoint(tmp_path / "ckpt")
+        with pytest.raises(ValueError, match="overwrite the snapshot"):
+            KNNEngine.from_checkpoint(tmp_path / "ckpt", config=config,
+                                      workdir=tmp_path / "ckpt")
+        # the snapshot is untouched and still resumable
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt", config=config) as ok:
+            ok.run_iteration()
+
+    def test_cache_rebased_when_it_matches_the_snapshot(self, tmp_path):
+        """No churn between scoring and checkpointing: the cache describes
+        exactly the snapshot profiles, so resume re-keys it to the fresh
+        store and the first resumed iteration reuses immediately."""
+        profiles = generate_sparse_profiles(90, 250, items_per_user=10,
+                                            num_communities=4, seed=43)
+        config = EngineConfig(k=5, num_partitions=4, seed=43)
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            uninterrupted = engine.run_iteration().graph
+
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()            # cache gen 0 == store gen 0
+            engine.save_checkpoint(tmp_path / "ckpt")
+
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt") as resumed:
+            result = resumed.run_iteration()
+        assert result.full_rescore is False
+        assert result.reused_scores > 0
+        assert result.graph.edge_difference(uninterrupted) == 0
+
+    @pytest.mark.parametrize("kind", ["dense", "sparse"])
+    def test_pending_queued_updates_survive_the_checkpoint(self, tmp_path, kind):
+        """Changes buffered but not yet applied at save time must be applied
+        by the resumed run's next iteration, exactly as an uninterrupted
+        run would have."""
+        if kind == "dense":
+            profiles = generate_dense_profiles(90, dim=6, num_communities=3,
+                                               seed=53)
+            pending = [ProfileChange(user=4, kind="set",
+                                     vector=np.arange(6, dtype=np.float64))]
+        else:
+            profiles = generate_sparse_profiles(90, 250, items_per_user=10,
+                                                seed=53)
+            pending = [ProfileChange(user=4, kind="add", item=123),
+                       ProfileChange(user=9, kind="remove", item=1)]
+        config = EngineConfig(k=5, num_partitions=4, seed=53)
+
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            engine.enqueue_profile_changes(pending)
+            uninterrupted_result = engine.run_iteration()
+            assert uninterrupted_result.profile_updates_applied == len(
+                {c.user for c in pending})
+            uninterrupted = uninterrupted_result.graph
+
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            engine.enqueue_profile_changes(pending)
+            engine.save_checkpoint(tmp_path / "ckpt")
+            assert len(engine.update_queue) == len(pending)  # peek, not drain
+
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt") as resumed:
+            assert len(resumed.update_queue) == len(pending)
+            result = resumed.run_iteration()
+        assert result.profile_updates_applied == len({c.user for c in pending})
+        assert result.graph.edge_difference(uninterrupted) == 0
+
+    def test_reserved_metadata_keys_rejected(self, tmp_path):
+        """Caller metadata must not shadow the engine's own manifest state
+        (a shadowed pending_updates would lose queued churn on resume)."""
+        profiles = generate_sparse_profiles(90, 250, items_per_user=10, seed=67)
+        with KNNEngine(profiles, EngineConfig(k=5, num_partitions=4,
+                                              seed=67)) as engine:
+            engine.run_iteration()
+            with pytest.raises(ValueError, match="reserved"):
+                engine.save_checkpoint(tmp_path / "ckpt",
+                                       metadata={"pending_updates": ["x"]})
+            with pytest.raises(ValueError, match="reserved"):
+                engine.save_checkpoint(tmp_path / "ckpt",
+                                       metadata={"engine_config": {}})
+            # non-reserved metadata still flows through
+            engine.save_checkpoint(tmp_path / "ckpt", metadata={"note": "y"})
+        _, _, metadata, _, _ = load_portable_checkpoint(tmp_path / "ckpt")
+        assert metadata["note"] == "y"
+        assert "engine_config" in metadata
+
+    def test_from_checkpoint_restores_saved_config(self, tmp_path):
+        profiles = generate_sparse_profiles(90, 250, items_per_user=10, seed=47)
+        config = EngineConfig(k=7, num_partitions=5, heuristic="degree-low-high",
+                              measure="overlap", seed=47)
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            engine.save_checkpoint(tmp_path / "ckpt")
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt") as resumed:
+            assert resumed.config == config
+
+    def test_from_checkpoint_without_saved_config_rejected(self, scored_graph,
+                                                           tmp_path):
+        profiles = generate_sparse_profiles(80, 200, items_per_user=10, seed=9)
+        store = OnDiskProfileStore.create(tmp_path / "store", profiles)
+        # a checkpoint written without the engine wrapper has no config
+        save_portable_checkpoint(tmp_path / "ckpt", scored_graph, 1,
+                                 profile_store=store)
+        with pytest.raises(ValueError, match="engine_config"):
+            KNNEngine.from_checkpoint(tmp_path / "ckpt")
 
 
 class TestResumeRun:

@@ -8,8 +8,10 @@ per-edge ``add_candidate`` calls in order.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.graph.knn_graph import KNNGraph
+from repro.graph.knn_graph import KNNGraph, _descending_score_argsort
 
 
 def _random_candidates(rng, num_vertices, count):
@@ -82,6 +84,64 @@ class TestBatchMatchesSequential:
         assert changed == 1                      # only (0, 1) improved
         assert graph.score(0, 1) == pytest.approx(0.5)
         assert graph.score(0, 2) == pytest.approx(0.8)
+
+
+class TestDescendingScoreRadixSort:
+    """The order-isomorphic score-key radix pass replacing the merge's last
+    global comparison sort.  The contract: bit-identical permutation to
+    ``np.argsort(-scores, kind="stable")`` for every NaN-free float64 input,
+    with −0.0/+0.0 tie semantics pinned (they compare equal, so stability
+    must preserve arrival order across the two encodings)."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(
+        st.floats(allow_nan=False, width=64),
+        min_size=1, max_size=300))
+    def test_matches_stable_comparison_sort(self, values):
+        scores = np.asarray(values, dtype=np.float64)
+        np.testing.assert_array_equal(
+            _descending_score_argsort(scores),
+            np.argsort(-scores, kind="stable"))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(
+        st.sampled_from([0.0, -0.0, 1.0, -1.0, 0.5, -0.5,
+                         np.inf, -np.inf, 5e-324, -5e-324]),
+        min_size=1, max_size=120))
+    def test_heavy_ties_including_signed_zeros(self, values):
+        """Duplicates everywhere: stability is the whole answer here, and
+        −0.0 must tie with +0.0 (fold, not order, the two encodings)."""
+        scores = np.asarray(values, dtype=np.float64)
+        np.testing.assert_array_equal(
+            _descending_score_argsort(scores),
+            np.argsort(-scores, kind="stable"))
+
+    def test_signed_zero_tie_keeps_arrival_order(self):
+        scores = np.asarray([-0.0, 1.0, 0.0, -0.0, 0.0])
+        order = _descending_score_argsort(scores)
+        # 1.0 first, then the four (equal) zeros in arrival order
+        np.testing.assert_array_equal(order, [1, 0, 2, 3, 4])
+
+    def test_nan_scores_rejected_at_the_public_api(self):
+        """The radix key map is only order-isomorphic on non-NaN floats, so
+        NaN batches must fail loudly instead of mis-ranking candidates."""
+        graph = KNNGraph(10, 3)
+        with pytest.raises(ValueError, match="NaN"):
+            graph.add_candidates_batch(
+                np.asarray([0, 0]), np.asarray([1, 2]),
+                np.asarray([0.5, np.nan]))
+
+    def test_batch_path_unchanged_with_zero_ties(self):
+        """End to end through add_candidates_batch: scores containing both
+        zero encodings still produce the documented deterministic graph."""
+        n, k = 20, 3
+        src = np.asarray([0, 0, 0, 0, 0], dtype=np.int64)
+        dst = np.asarray([1, 2, 3, 4, 5], dtype=np.int64)
+        scores = np.asarray([0.0, -0.0, 0.0, -0.0, 0.5])
+        graph = KNNGraph(n, k)
+        graph.add_candidates_batch(src, dst, scores, assume_unique=True)
+        # 0.5 wins, then the earliest zero-scored rows in arrival order
+        assert graph.neighbors(0) == [5, 1, 2]
 
 
 class TestBatchValidation:

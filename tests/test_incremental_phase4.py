@@ -1,0 +1,240 @@
+"""The incremental phase-4 differential wall.
+
+The generation-keyed score cache promises that an engine run with
+``incremental_phase4=True`` produces graphs **bit-identical** to a full
+rescore, while pushing only tuples with at least one touched endpoint (or
+never-scored pairs) through a similarity kernel.  These tests drive random
+phase-5 churn through the update queue and compare the two modes
+fingerprint-for-fingerprint across all three scoring backends, pin the
+exact clean/dirty partition of a candidate batch at the cache level, and
+assert that the rescored-tuple counts scale with the churn, not the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine
+from repro.core.iteration import Phase4ScoreCache
+from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
+                                        generate_sparse_profiles)
+
+NUM_USERS = 120
+NUM_ITEMS = 300
+
+
+def _profiles(kind: str, seed: int = 7):
+    if kind == "dense":
+        return generate_dense_profiles(NUM_USERS, dim=8, num_communities=4,
+                                       seed=seed)
+    return generate_sparse_profiles(NUM_USERS, NUM_ITEMS, items_per_user=12,
+                                    num_communities=4, seed=seed)
+
+
+def _churn_feed(kind: str, per_iteration, rng_seed: int, users_pool=NUM_USERS):
+    """Deterministic churn feed: ``per_iteration[i]`` users change in iter i."""
+    rng = np.random.default_rng(rng_seed)
+
+    def feed(iteration: int):
+        count = per_iteration[iteration] if iteration < len(per_iteration) else 0
+        if count == 0:
+            return []
+        users = rng.choice(users_pool, size=count, replace=False)
+        if kind == "dense":
+            return [ProfileChange(user=int(u), kind="set", vector=rng.random(8))
+                    for u in users]
+        return [ProfileChange(user=int(u), kind="add",
+                              item=int(rng.integers(0, NUM_ITEMS)))
+                for u in users]
+
+    return feed
+
+
+def _run(kind: str, incremental: bool, churn, iterations=3, **overrides):
+    config = EngineConfig(k=5, num_partitions=4, heuristic="degree-low-high",
+                          seed=17, incremental_phase4=incremental, **overrides)
+    with KNNEngine(_profiles(kind), config) as engine:
+        run = engine.run(num_iterations=iterations, profile_change_feed=churn)
+    return run
+
+
+class TestDifferentialWall:
+    """Incremental fingerprints must equal full-rescore fingerprints, always."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        kind=st.sampled_from(["dense", "sparse"]),
+        backend=st.sampled_from(["serial", "thread", "process"]),
+        churn_sizes=st.lists(st.integers(min_value=0, max_value=30),
+                             min_size=3, max_size=3),
+        churn_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_incremental_bit_identical_to_full_rescore(self, kind, backend,
+                                                       churn_sizes, churn_seed):
+        overrides = {"backend": backend}
+        if backend == "thread":
+            overrides["num_threads"] = 3
+        elif backend == "process":
+            overrides["num_workers"] = 2
+        runs = {}
+        for incremental in (True, False):
+            churn = _churn_feed(kind, churn_sizes, churn_seed)
+            runs[incremental] = _run(kind, incremental, churn, **overrides)
+        incremental_fps = [result.graph.edge_fingerprint()
+                           for result in runs[True].iterations]
+        full_fps = [result.graph.edge_fingerprint()
+                    for result in runs[False].iterations]
+        assert incremental_fps == full_fps
+        # the full-rescore runs never touch the cache
+        assert all(result.reused_scores == 0 for result in runs[False].iterations)
+        assert all(result.full_rescore for result in runs[False].iterations)
+
+    @pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 3),
+                                                 ("process", 2)])
+    @pytest.mark.parametrize("kind", ["dense", "sparse"])
+    def test_all_backends_reuse_and_agree(self, kind, backend, workers):
+        """Every backend must actually *reuse* scores, not just agree."""
+        overrides = {"backend": backend}
+        if backend == "thread":
+            overrides["num_threads"] = workers
+        elif backend == "process":
+            overrides["num_workers"] = workers
+        churn_sizes = [8, 8, 8, 8]
+        incremental = _run(kind, True, _churn_feed(kind, churn_sizes, 3),
+                           iterations=4, **overrides)
+        full = _run(kind, False, _churn_feed(kind, churn_sizes, 3),
+                    iterations=4, **overrides)
+        assert ([r.graph.edge_fingerprint() for r in incremental.iterations]
+                == [r.graph.edge_fingerprint() for r in full.iterations])
+        assert incremental.iterations[0].full_rescore          # cold cache
+        for result in incremental.iterations[1:]:
+            assert not result.full_rescore
+            assert result.reused_scores > 0
+            assert (result.rescored_tuples + result.reused_scores
+                    == result.num_candidate_tuples)
+            assert result.rescored_tuples == result.similarity_evaluations
+
+
+class TestCleanDirtyPartition:
+    """The cache-level clean/dirty split is exact, not merely conservative."""
+
+    def _populated_cache(self, n=50):
+        cache = Phase4ScoreCache(max_entries=10_000)
+        rng = np.random.default_rng(5)
+        pairs = rng.integers(0, n, size=(300, 2), dtype=np.int64)
+        keys = np.unique(pairs[:, 0] * n + pairs[:, 1])
+        values = rng.random(len(keys))
+        cache.replace([keys], [values], "cosine", generation=3, num_vertices=n)
+        return cache, keys, values, n
+
+    def test_hits_require_cached_pair_and_clean_endpoints(self):
+        cache, keys, values, n = self._populated_cache()
+        touched = np.zeros(n, dtype=bool)
+        touched[[4, 17, 23]] = True
+        rng = np.random.default_rng(9)
+        tuples = rng.integers(0, n, size=(500, 2), dtype=np.int64)
+        scores, hit_mask = cache.lookup(tuples, touched)
+        query_keys = tuples[:, 0] * n + tuples[:, 1]
+        in_cache = np.isin(query_keys, keys)
+        clean = ~(touched[tuples[:, 0]] | touched[tuples[:, 1]])
+        # hit exactly when the pair was scored AND both endpoints are clean
+        np.testing.assert_array_equal(hit_mask, in_cache & clean)
+        # every dirty row therefore has a touched endpoint or a fresh pair
+        dirty = ~hit_mask
+        assert np.all(~clean[dirty] | ~in_cache[dirty])
+        # hit scores come back verbatim
+        position = np.searchsorted(keys, query_keys[hit_mask])
+        np.testing.assert_array_equal(scores[hit_mask], values[position])
+
+    def test_no_touched_rows_hits_every_cached_pair(self):
+        cache, keys, _, n = self._populated_cache()
+        tuples = np.column_stack([keys // n, keys % n])
+        scores, hit_mask = cache.lookup(tuples, np.zeros(n, dtype=bool))
+        assert hit_mask.all()
+        np.testing.assert_array_equal(scores, cache.values[
+            np.searchsorted(cache.keys, keys)])
+
+    def test_everything_touched_hits_nothing(self):
+        cache, keys, _, n = self._populated_cache()
+        tuples = np.column_stack([keys // n, keys % n])
+        _, hit_mask = cache.lookup(tuples, np.ones(n, dtype=bool))
+        assert not hit_mask.any()
+
+    def test_over_capacity_iteration_clears_the_cache(self):
+        cache = Phase4ScoreCache(max_entries=10)
+        keys = np.arange(11, dtype=np.int64)
+        cache.replace([keys], [np.zeros(11)], "cosine", 0, 100)
+        assert cache.keys is None
+        assert cache.evictions == 1
+        assert not cache.matches("cosine", 100)
+
+    def test_matches_requires_measure_and_vertex_count(self):
+        cache, _, _, n = self._populated_cache()
+        assert cache.matches("cosine", n)
+        assert not cache.matches("pearson", n)
+        assert not cache.matches("cosine", n + 1)
+
+
+class TestRescoredCountsScaleWithChurn:
+    """Kernel work tracks the touched rows, not the candidate volume."""
+
+    def test_zero_churn_rescores_only_fresh_pairs(self):
+        """With no churn, warm iterations rescore only never-seen pairs."""
+        run = _run("dense", True, None, iterations=4)
+        for result in run.iterations[1:]:
+            # every tuple already scored last iteration is reused: the
+            # rescored ones are exactly this iteration's fresh pairs
+            assert not result.full_rescore
+            assert result.reused_scores > 0
+            assert result.rescored_tuples < result.num_candidate_tuples
+
+    def test_more_churn_more_rescoring(self):
+        small = _run("sparse", True, _churn_feed("sparse", [4] * 4, 11),
+                     iterations=4)
+        large = _run("sparse", True, _churn_feed("sparse", [60] * 4, 11),
+                     iterations=4)
+        small_rescored = sum(r.rescored_tuples for r in small.iterations[1:])
+        large_rescored = sum(r.rescored_tuples for r in large.iterations[1:])
+        assert small_rescored < large_rescored
+
+    @staticmethod
+    def _candidate_pairs(graph) -> set:
+        """The exact phase-2 candidate set of ``G(t)``: two-hop ∪ direct."""
+        from repro.tuples.generator import brute_force_two_hop_pairs
+        csr = graph.to_csr()
+        pairs = {(int(s), int(d)) for s, d in brute_force_two_hop_pairs(csr)}
+        pairs |= {(int(s), int(d)) for s, d in graph.edge_array() if s != d}
+        return pairs
+
+    def test_rescored_count_is_exactly_dirty_plus_fresh(self):
+        """Rescored == candidates − (cached pairs with both endpoints clean),
+        derived from first principles — nothing clean-and-cached is ever
+        rescored, and nothing dirty or fresh is ever reused."""
+        churn = _churn_feed("dense", [10] * 4, 13)
+        config = EngineConfig(k=5, num_partitions=4, heuristic="degree-low-high",
+                              seed=17)
+        with KNNEngine(_profiles("dense"), config) as engine:
+            previous_candidates: set = set()
+            touched_last: set = set()
+            for iteration in range(4):
+                changes = churn(iteration)
+                engine.enqueue_profile_changes(changes)
+                candidates = self._candidate_pairs(engine.graph)
+                result = engine.run_iteration()
+                assert result.num_candidate_tuples == len(candidates)
+                if iteration > 0:
+                    clean_cached = sum(
+                        1 for (s, d) in candidates
+                        if (s, d) in previous_candidates
+                        and s not in touched_last and d not in touched_last)
+                    assert result.reused_scores == clean_cached
+                    assert result.rescored_tuples == len(candidates) - clean_cached
+                previous_candidates = candidates
+                # the queued changes are applied at the end of this
+                # iteration, dirtying the *next* iteration's lookups
+                touched_last = {change.user for change in changes}

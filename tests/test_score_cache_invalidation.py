@@ -1,0 +1,239 @@
+"""Cache-invalidation edges of the incremental phase 4.
+
+Every situation in which the profile store cannot vouch for the row deltas
+since the cached generation must cost **exactly one** full rescore — never
+a stale reuse, and never a permanent fallback to full rescoring:
+
+* ``reload()`` after an external rewrite of the store files,
+* the generation rollover after a journal compaction folds the sparse
+  row-remap journal into the segments,
+* and the ``backend="process"``/``num_workers=1`` pool-skip path, whose
+  only full rescore is the cold first iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.iteration import OutOfCoreIteration
+from repro.core.engine import KNNEngine
+from repro.core.update_queue import ProfileUpdateQueue
+from repro.graph.knn_graph import KNNGraph
+from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
+                                        generate_sparse_profiles)
+from repro.storage.partition_store import PartitionStore
+from repro.storage.profile_store import OnDiskProfileStore
+
+NUM_USERS = 100
+
+
+def _runner(tmp_path, profiles, journal_limit=None, **config_kwargs):
+    config = EngineConfig(k=5, num_partitions=4, seed=3, **config_kwargs)
+    profile_store = OnDiskProfileStore.create(
+        tmp_path / "profiles", profiles, disk_model=config.disk_model,
+        journal_limit=journal_limit)
+    partition_store = PartitionStore(tmp_path / "partitions",
+                                     disk_model=config.disk_model)
+    return (OutOfCoreIteration(config, partition_store, profile_store),
+            profile_store)
+
+
+def _queue(changes):
+    queue = ProfileUpdateQueue()
+    queue.enqueue_many(changes)
+    return queue
+
+
+def _sparse_changes(users, seed=0):
+    rng = np.random.default_rng(seed)
+    return [ProfileChange(user=int(u), kind="add",
+                          item=int(rng.integers(0, 500))) for u in users]
+
+
+class TestReloadForcesOneFullRescore:
+    def test_reload_after_external_rewrite(self, tmp_path):
+        profiles = generate_sparse_profiles(NUM_USERS, 300, items_per_user=10,
+                                            seed=5)
+        runner, store = _runner(tmp_path, profiles)
+        graph = KNNGraph.random(NUM_USERS, 5, seed=5)
+        first = runner.run(0, graph)
+        warm = runner.run(1, first.graph)
+        assert warm.full_rescore is False and warm.reused_scores > 0
+
+        # another handle rewrites the files underneath; this handle reloads
+        external = OnDiskProfileStore(store.base_dir)
+        external.apply_changes(_sparse_changes([1, 2, 3]))
+        store.reload()
+
+        cold = runner.run(2, warm.graph)
+        assert cold.full_rescore is True
+        assert cold.reused_scores == 0
+        assert cold.rescored_tuples == cold.num_candidate_tuples
+        # exactly once: the next iteration is incremental again
+        recovered = runner.run(3, cold.graph)
+        assert recovered.full_rescore is False
+        assert recovered.reused_scores > 0
+
+    def test_reload_parity_with_never_cached_run(self, tmp_path):
+        """The reload-triggered rescore must also be *correct* (it sees the
+        externally rewritten profiles, not the cached pre-rewrite scores)."""
+        profiles = generate_sparse_profiles(NUM_USERS, 300, items_per_user=10,
+                                            seed=5)
+        runner, store = _runner(tmp_path, profiles)
+        graph = KNNGraph.random(NUM_USERS, 5, seed=5)
+        second = runner.run(1, runner.run(0, graph).graph)
+        external = OnDiskProfileStore(store.base_dir)
+        external.apply_changes(_sparse_changes(range(20), seed=9))
+        store.reload()
+        incremental_result = runner.run(2, second.graph)
+
+        fresh_runner, fresh_store = _runner(tmp_path / "fresh", profiles,
+                                            incremental_phase4=False)
+        fresh_store.apply_changes(_sparse_changes(range(20), seed=9))
+        oracle = fresh_runner.run(2, second.graph)
+        assert (incremental_result.graph.edge_fingerprint()
+                == oracle.graph.edge_fingerprint())
+
+
+class TestCompactionForcesOneFullRescore:
+    def test_journal_compaction_rolls_the_generation(self, tmp_path):
+        profiles = generate_sparse_profiles(NUM_USERS, 300, items_per_user=10,
+                                            seed=7)
+        # journal_limit=5: the 8-user batch in iteration 1 forces compaction
+        runner, store = _runner(tmp_path, profiles, journal_limit=5)
+        graph = KNNGraph.random(NUM_USERS, 5, seed=7)
+
+        first = runner.run(0, graph, update_queue=_queue(
+            _sparse_changes([1, 2], seed=1)))                  # no compaction
+        warm = runner.run(1, first.graph, update_queue=_queue(
+            _sparse_changes(range(10, 18), seed=2)))           # compacts
+        assert warm.full_rescore is False                      # pre-compaction deltas were fine
+        assert warm.reused_scores > 0
+
+        cold = runner.run(2, warm.graph)
+        assert cold.full_rescore is True                       # rollover: exactly one
+        assert cold.reused_scores == 0
+        recovered = runner.run(3, cold.graph)
+        assert recovered.full_rescore is False
+        assert recovered.reused_scores > 0
+
+    def test_compaction_during_engine_run_stays_bit_identical(self, tmp_path):
+        profiles = generate_sparse_profiles(NUM_USERS, 300, items_per_user=10,
+                                            seed=11)
+        fingerprints = {}
+        for incremental in (True, False):
+            runner, _ = _runner(tmp_path / f"inc-{incremental}", profiles,
+                                journal_limit=4,
+                                incremental_phase4=incremental)
+            graph = KNNGraph.random(NUM_USERS, 5, seed=11)
+            fps = []
+            for iteration in range(4):
+                result = runner.run(iteration, graph, update_queue=_queue(
+                    _sparse_changes(range(iteration * 7, iteration * 7 + 7),
+                                    seed=iteration)))
+                graph = result.graph
+                fps.append(graph.edge_fingerprint())
+            fingerprints[incremental] = fps
+        assert fingerprints[True] == fingerprints[False]
+
+
+class TestPoolSkipPath:
+    def test_single_worker_pool_skip_rescoring_once(self, tmp_path):
+        """backend='process' with num_workers=1 skips the pool but must keep
+        the cache: exactly one full rescore (the cold start), then reuse."""
+        profiles = generate_dense_profiles(NUM_USERS, dim=6, num_communities=3,
+                                           seed=13)
+        runner, _ = _runner(tmp_path, profiles, backend="process",
+                            num_workers=1)
+        assert runner._scoring_pool() is None                  # pool skipped
+        graph = KNNGraph.random(NUM_USERS, 5, seed=13)
+        results = []
+        for iteration in range(3):
+            result = runner.run(iteration, graph)
+            graph = result.graph
+            results.append(result)
+        assert [r.full_rescore for r in results] == [True, False, False]
+        assert results[0].reused_scores == 0
+        assert all(r.reused_scores > 0 for r in results[1:])
+
+    def test_pool_skip_matches_serial_with_cache_on(self):
+        profiles = generate_dense_profiles(NUM_USERS, dim=6, num_communities=3,
+                                           seed=13)
+        rng_feed = lambda seed: _feed_dense(seed)
+        fingerprints = {}
+        for backend, workers in (("serial", 1), ("process", 1)):
+            config = EngineConfig(k=5, num_partitions=4, seed=13,
+                                  backend=backend, num_workers=workers)
+            with KNNEngine(profiles, config) as engine:
+                run = engine.run(num_iterations=3,
+                                 profile_change_feed=rng_feed(21))
+            fingerprints[backend] = [r.graph.edge_fingerprint()
+                                     for r in run.iterations]
+        assert fingerprints["serial"] == fingerprints["process"]
+
+
+def _feed_dense(seed):
+    rng = np.random.default_rng(seed)
+
+    def feed(_iteration):
+        users = rng.choice(NUM_USERS, size=6, replace=False)
+        return [ProfileChange(user=int(u), kind="set", vector=rng.random(6))
+                for u in users]
+
+    return feed
+
+
+class TestToggleAndCapacity:
+    def test_incremental_disabled_never_reuses(self, tmp_path):
+        profiles = generate_dense_profiles(NUM_USERS, dim=6, seed=17)
+        runner, _ = _runner(tmp_path, profiles, incremental_phase4=False)
+        graph = KNNGraph.random(NUM_USERS, 5, seed=17)
+        for iteration in range(3):
+            result = runner.run(iteration, graph)
+            graph = result.graph
+            assert result.full_rescore is True
+            assert result.reused_scores == 0
+            assert result.rescored_tuples == result.num_candidate_tuples
+        assert runner.score_cache.keys is None
+
+    def test_tiny_capacity_forces_full_rescore_every_iteration(self, tmp_path):
+        profiles = generate_dense_profiles(NUM_USERS, dim=6, seed=19)
+        runner, _ = _runner(tmp_path, profiles, score_cache_entries=10)
+        graph = KNNGraph.random(NUM_USERS, 5, seed=19)
+        for iteration in range(3):
+            result = runner.run(iteration, graph)
+            graph = result.graph
+            assert result.full_rescore is True
+            assert result.reused_scores == 0
+        assert runner.score_cache.evictions >= 3
+
+    def test_restored_cache_over_capacity_is_dropped(self, tmp_path):
+        """Adopting a checkpoint cache must honour this run's capacity."""
+        from repro.core.iteration import Phase4ScoreCache
+        profiles = generate_dense_profiles(NUM_USERS, dim=6, seed=29)
+        runner, _ = _runner(tmp_path, profiles, score_cache_entries=4)
+        big = Phase4ScoreCache(max_entries=1000)
+        big.replace([np.arange(20, dtype=np.int64)], [np.zeros(20)],
+                    "cosine", 0, NUM_USERS)
+        runner.restore_score_cache(big)
+        assert runner.score_cache.keys is None        # evicted at adoption
+        assert runner.score_cache.max_entries == 4
+
+    def test_capacity_does_not_change_results(self, tmp_path):
+        profiles = generate_sparse_profiles(NUM_USERS, 300, items_per_user=10,
+                                            seed=23)
+        fingerprints = []
+        for entries in (10, 4_000_000):
+            runner, _ = _runner(tmp_path / f"cap-{entries}", profiles,
+                                score_cache_entries=entries)
+            graph = KNNGraph.random(NUM_USERS, 5, seed=23)
+            fps = []
+            for iteration in range(3):
+                result = runner.run(iteration, graph, update_queue=_queue(
+                    _sparse_changes([iteration, iteration + 1], seed=iteration)))
+                graph = result.graph
+                fps.append(graph.edge_fingerprint())
+            fingerprints.append(fps)
+        assert fingerprints[0] == fingerprints[1]

@@ -300,6 +300,84 @@ class TestChargeSliceRead:
             assert store.io_stats.as_dict() == loaded
 
 
+class TestTouchedRowDeltas:
+    """touched_rows_since: the delta feed of the incremental phase 4."""
+
+    def _sparse_store(self, tmp_path, journal_limit=None):
+        profiles = SparseProfileStore(
+            [{i, i + 1, i + 2} for i in range(40)])
+        return OnDiskProfileStore.create(tmp_path, profiles,
+                                         journal_limit=journal_limit)
+
+    def test_fresh_store_reports_no_deltas(self, tmp_path):
+        store = self._sparse_store(tmp_path / "s")
+        assert store.touched_rows_since(store.generation).size == 0
+
+    def test_deltas_accumulate_across_batches(self, tmp_path):
+        store = self._sparse_store(tmp_path / "s")
+        g0 = store.generation
+        store.apply_changes([ProfileChange(user=3, kind="add", item=900)])
+        g1 = store.generation
+        store.apply_changes([ProfileChange(user=7, kind="add", item=901),
+                             ProfileChange(user=3, kind="remove", item=900)])
+        np.testing.assert_array_equal(store.touched_rows_since(g0), [3, 7])
+        np.testing.assert_array_equal(store.touched_rows_since(g1), [3, 7])
+        assert store.touched_rows_since(store.generation).size == 0
+
+    def test_dense_deltas(self, tmp_path):
+        profiles = DenseProfileStore(np.eye(10))
+        store = OnDiskProfileStore.create(tmp_path / "d", profiles)
+        g0 = store.generation
+        store.apply_changes([ProfileChange(user=4, kind="set",
+                                           vector=np.ones(10))])
+        np.testing.assert_array_equal(store.touched_rows_since(g0), [4])
+
+    def test_unknown_generations_answer_none(self, tmp_path):
+        store = self._sparse_store(tmp_path / "s")
+        assert store.touched_rows_since(store.generation + 1) is None  # future
+        assert store.touched_rows_since(store.generation - 1) is None  # pre-history
+
+    def test_reload_truncates_history(self, tmp_path):
+        store = self._sparse_store(tmp_path / "s")
+        g0 = store.generation
+        store.apply_changes([ProfileChange(user=1, kind="add", item=902)])
+        store.reload()
+        assert store.touched_rows_since(g0) is None
+        assert store.touched_rows_since(store.generation).size == 0
+
+    def test_compaction_truncates_history(self, tmp_path):
+        store = self._sparse_store(tmp_path / "s", journal_limit=2)
+        g0 = store.generation
+        store.apply_changes([ProfileChange(user=u, kind="add", item=910 + u)
+                             for u in range(5)])  # 5 > 2: compacts
+        assert store.touched_rows_since(g0) is None
+        # history restarts cleanly after the rollover
+        g_after = store.generation
+        store.apply_changes([ProfileChange(user=9, kind="add", item=990)])
+        np.testing.assert_array_equal(store.touched_rows_since(g_after), [9])
+
+    def test_full_rewrite_truncates_history(self, tmp_path):
+        profiles = SparseProfileStore([{i} for i in range(20)])
+        store = OnDiskProfileStore.create(tmp_path / "v2", profiles,
+                                          format_version=2)
+        g0 = store.generation
+        # v2 updates rewrite (and upgrade) the whole store
+        store.apply_changes([ProfileChange(user=2, kind="add", item=500)])
+        assert store.touched_rows_since(g0) is None
+
+    def test_delta_log_cap_raises_the_floor(self, tmp_path):
+        import repro.storage.profile_store as module
+        store = self._sparse_store(tmp_path / "s", journal_limit=10_000)
+        g0 = store.generation
+        for index in range(module._DELTA_LOG_LIMIT + 3):
+            store.apply_changes([ProfileChange(user=index % 40, kind="add",
+                                               item=1000 + index)])
+        assert store.touched_rows_since(g0) is None  # oldest entries dropped
+        recent = store.generation - 5
+        touched = store.touched_rows_since(recent)
+        assert touched is not None and len(touched) <= 5
+
+
 class TestErrors:
     def test_open_without_create(self, tmp_path):
         store = OnDiskProfileStore(tmp_path)

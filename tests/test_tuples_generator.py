@@ -53,6 +53,71 @@ class TestPartitionBridgeTuples:
         assert capped < full
 
 
+def _bridge_tuples_scalar_reference(partition, max_pairs_per_bridge=None):
+    """The pre-batching per-bridge merge scan, kept as the row-order oracle."""
+    in_edges, out_edges = partition.in_edges, partition.out_edges
+    if len(in_edges) == 0 or len(out_edges) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    in_bridges, out_bridges = in_edges[:, 1], out_edges[:, 0]
+    chunks = []
+    i = j = 0
+    while i < len(in_edges) and j < len(out_edges):
+        if in_bridges[i] < out_bridges[j]:
+            i += 1
+            continue
+        if in_bridges[i] > out_bridges[j]:
+            j += 1
+            continue
+        bridge = in_bridges[i]
+        i_end, j_end = i, j
+        while i_end < len(in_edges) and in_bridges[i_end] == bridge:
+            i_end += 1
+        while j_end < len(out_edges) and out_bridges[j_end] == bridge:
+            j_end += 1
+        sources = in_edges[i:i_end, 0]
+        destinations = out_edges[j:j_end, 1]
+        if (max_pairs_per_bridge is not None
+                and len(sources) * len(destinations) > max_pairs_per_bridge):
+            keep_s = max(1, int(np.sqrt(max_pairs_per_bridge)))
+            keep_d = max(1, max_pairs_per_bridge // keep_s)
+            sources = sources[:keep_s]
+            destinations = destinations[:keep_d]
+        chunks.append(np.column_stack([np.repeat(sources, len(destinations)),
+                                       np.tile(destinations, len(sources))]))
+        i, j = i_end, j_end
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(chunks, axis=0)
+
+
+class TestBatchedCrossProductsMatchScalarScan:
+    """The batched repeat/gather pass must reproduce the per-bridge scan
+    *row for row* (same pairs, same order, same per-bridge truncation)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("cap", [None, 1, 4, 17])
+    def test_row_exact_parity(self, seed, cap):
+        graph = random_knn_graph(120, 6, seed=seed)
+        for partitioner in (ContiguousPartitioner(), HashPartitioner()):
+            assignment = partitioner.assign(graph, 4)
+            partitions = build_partitions(graph, assignment, 4)
+            for partition in partitions:
+                got = partition_bridge_tuples(partition, max_pairs_per_bridge=cap)
+                expected = _bridge_tuples_scalar_reference(
+                    partition, max_pairs_per_bridge=cap)
+                np.testing.assert_array_equal(got, expected)
+
+    def test_power_law_hubs_row_exact(self, medium_graph):
+        assignment = ContiguousPartitioner().assign(medium_graph, 3)
+        partitions = build_partitions(medium_graph, assignment, 3)
+        for partition in partitions:
+            for cap in (None, 9):
+                np.testing.assert_array_equal(
+                    partition_bridge_tuples(partition, max_pairs_per_bridge=cap),
+                    _bridge_tuples_scalar_reference(partition,
+                                                    max_pairs_per_bridge=cap))
+
+
 class TestGenerateCandidateTuples:
     def test_contains_direct_and_two_hop_edges(self, medium_graph):
         assignment = ContiguousPartitioner().assign(medium_graph, 4)
