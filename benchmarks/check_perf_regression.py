@@ -12,7 +12,9 @@ the combined phase-4 + phase-5 wall-clock of the update-heavy workload —
 regresses more than ``tolerance`` (default 20%) against the baseline, or
 when the update workload's incremental-phase-4 run no longer produces the
 same fingerprint as its full-rescore run (the score cache must be
-bit-transparent).  It prints a behaviour warning when the graph fingerprint
+bit-transparent), or when the resume bench reports that
+``KNNEngine.from_checkpoint`` materialised a profile copy instead of
+hard-linking the snapshot (or resumed to a diverging fingerprint).  It prints a behaviour warning when the graph fingerprint
 changed between baseline and fresh (a fingerprint change is legitimate when
 an algorithmic PR intends it — the diff to the committed baseline makes it
 explicit — so it warns rather than fails).  Baselines predating the update
@@ -121,6 +123,36 @@ def compare_incremental_parity(fresh: dict) -> "tuple[bool, str]":
                    "rescore — the score cache changed a result bit")
 
 
+def compare_resume(fresh: dict) -> "tuple[bool, str]":
+    """Gate the zero-copy resume path (fresh report only, like parity).
+
+    Fails when the resume bench materialised a full profile copy (bytes
+    eligible for hard-linking were copied instead — the zero-copy property
+    regressed) or when the resumed run's fingerprint diverged from the
+    uninterrupted run.  The fresh suite must emit the section; losing it
+    would silently un-gate the path.
+    """
+    section = fresh.get("resume")
+    if section is None:
+        return False, ("resume section missing from the FRESH report — "
+                       "run_perf_suite no longer measures the resume path")
+    if section.get("full_profile_copy"):
+        return False, (
+            f"resume MATERIALISED a profile copy: {section.get('linked_bytes', 0)}"
+            f" of {section.get('linkable_bytes', 0)} linkable bytes were "
+            "hard-linked (the rest were copied) — the zero-copy resume regressed")
+    if not section.get("resumed_fingerprint_matches", False):
+        return False, ("resumed-run fingerprint DIVERGES from the "
+                       "uninterrupted run — the resume path changed a result bit")
+    return True, (
+        f"zero-copy resume ok: {section.get('linked_files', 0)} files "
+        f"({section.get('linked_bytes', 0)} bytes) hard-linked, "
+        f"{section.get('copied_bytes', 0)} mutable bytes copied, "
+        f"resume {section.get('resume_seconds', 0.0):.4f}s, "
+        f"peak-RSS delta {section.get('peak_rss_kb_delta', 0)} KB, "
+        "fingerprint matches")
+
+
 def compare_backend_sweep(baseline: dict, fresh: dict,
                           tolerance: float) -> "tuple[bool, list]":
     """Per-row backend-sweep gate, cpu-count-aware for parallel rows.
@@ -198,13 +230,16 @@ def main() -> int:
     print(message24)
     ok_parity, parity_message = compare_incremental_parity(fresh)
     print(parity_message)
+    ok_resume, resume_message = compare_resume(fresh)
+    print(resume_message)
     ok_sweep, sweep_messages = compare_backend_sweep(baseline, fresh,
                                                      args.tolerance)
     for sweep_message in sweep_messages:
         print(sweep_message)
     same, fp_message = compare_fingerprints(baseline, fresh)
     print(("" if same else "WARNING: ") + fp_message)
-    return 0 if (ok and ok45 and ok24 and ok_parity and ok_sweep) else 1
+    return 0 if (ok and ok45 and ok24 and ok_parity and ok_resume
+                 and ok_sweep) else 1
 
 
 if __name__ == "__main__":

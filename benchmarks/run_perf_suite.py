@@ -29,6 +29,15 @@ The quantities recorded:
   run with the score cache on *and* off (``full_rescore`` section), and
   the report records whether the two fingerprints match — the CI gate
   fails when they do not;
+* ``resume`` — the zero-copy checkpoint-resume bench: a 10k-user sparse
+  engine is checkpointed after one iteration and resumed via
+  ``KNNEngine.from_checkpoint`` inside a forked child process.  Records
+  the hard-link/copy split of the resume clone (``linked_bytes`` /
+  ``copied_bytes``; ``full_profile_copy`` is the CI-gated verdict — true
+  when bytes eligible for hard-linking were copied instead), the resume
+  wall-clock, the child's peak-RSS delta across resume + one iteration,
+  and whether the resumed run's fingerprint matches the uninterrupted
+  run (also CI-gated);
 * ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
   4 scoring threads;
 * ``backend_sweep`` — phase-4 seconds of one engine iteration per backend
@@ -43,8 +52,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -176,6 +187,10 @@ def _run_update_workload(kind: str, incremental: bool = True) -> dict:
             # store write, so the update scaling is read from iterations 1+
             "profile_bytes_written": (profile_io.bytes_written
                                       if profile_io is not None else None),
+            # time spent folding this iteration's scores into the cache
+            # (the in-place galloping merge)
+            "cache_merge_seconds": round(
+                getattr(result, "cache_merge_seconds", 0.0), 4),
         })
     phases = run.summary()["phase_seconds"]
     return {
@@ -191,6 +206,8 @@ def _run_update_workload(kind: str, incremental: bool = True) -> dict:
         "phase2_seconds": round(phases[PHASE_NAMES[1]], 4),
         "rescored_tuples": sum(row["rescored_tuples"] for row in per_iteration),
         "reused_scores": sum(row["reused_scores"] for row in per_iteration),
+        "cache_merge_seconds": round(sum(row["cache_merge_seconds"]
+                                         for row in per_iteration), 4),
         "iterations": per_iteration,
         "graph_fingerprint": run.final_graph.edge_fingerprint(),
     }
@@ -228,6 +245,124 @@ def run_update_workload_bench() -> dict:
         "incremental_fingerprints_match": (
             dense["graph_fingerprint"] == dense_full["graph_fingerprint"]
             and sparse["graph_fingerprint"] == sparse_full["graph_fingerprint"]),
+    }
+
+
+#: Shape of the zero-copy resume bench (sparse: the hard-linkable layout).
+RESUME_USERS = 10000
+
+
+def _resume_child(checkpoint_dir: str, conn) -> None:
+    """Resume + one iteration; report RSS and clone accounting over ``conn``.
+
+    Run in a forked child so the peak-RSS delta isolates the resume path
+    (the parent's bench history does not move the child's high-water mark
+    after the fork point).
+    """
+    try:
+        import resource  # unix-only; the no-fork fallback path has no RSS
+        rusage = lambda: resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except ImportError:
+        rusage = lambda: 0
+    rss_before = rusage()
+    start = time.perf_counter()
+    with KNNEngine.from_checkpoint(checkpoint_dir) as engine:
+        resume_seconds = time.perf_counter() - start
+        stats = engine.resume_clone_stats
+        fingerprint = engine.run_iteration().graph.edge_fingerprint()
+    rss_after = rusage()
+    conn.send({
+        "resume_seconds": resume_seconds,
+        "peak_rss_kb_before": rss_before,
+        "peak_rss_kb_after": rss_after,
+        "linked_files": stats.linked_files,
+        "copied_files": stats.copied_files,
+        "linked_bytes": stats.linked_bytes,
+        "copied_bytes": stats.copied_bytes,
+        "fingerprint": fingerprint,
+    })
+    conn.close()
+
+
+class _InProcessSink:
+    """Pipe stand-in when no fork is available (same-process measurement)."""
+
+    def send(self, payload):
+        self.payload = payload
+
+    def close(self):
+        pass
+
+
+def run_resume_bench() -> dict:
+    """Checkpoint a 10k-user sparse engine and measure the zero-copy resume.
+
+    The gated quantities: ``full_profile_copy`` must stay false (every
+    byte eligible for hard-linking was linked, so no full profile copy was
+    materialised) and ``resumed_fingerprint_matches`` must stay true (the
+    resumed iteration equals the uninterrupted one bit for bit).  The
+    peak-RSS delta and resume wall-clock are trajectory records.
+    """
+    from repro.storage.profile_store import OnDiskProfileStore
+
+    profiles = generate_sparse_profiles(RESUME_USERS, UPDATE_ITEMS,
+                                        items_per_user=20,
+                                        num_communities=8, seed=SEED)
+    config = EngineConfig(k=K, num_partitions=UPDATE_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED)
+    with tempfile.TemporaryDirectory(prefix="repro-resume-") as tmp:
+        checkpoint_dir = Path(tmp) / "ckpt"
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            engine.save_checkpoint(checkpoint_dir)
+            uninterrupted = engine.run_iteration().graph.edge_fingerprint()
+        snapshot_files = sorted((checkpoint_dir / "profiles").glob("profiles_*"))
+        snapshot_bytes = sum(path.stat().st_size for path in snapshot_files)
+        linkable_bytes = sum(
+            path.stat().st_size for path in snapshot_files
+            if OnDiskProfileStore.linkable_snapshot_file(path.name))
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            parent_conn, child_conn = context.Pipe()
+            child = context.Process(target=_resume_child,
+                                    args=(str(checkpoint_dir), child_conn))
+            child.start()
+            # drop the parent's write end so a child that dies before
+            # sending surfaces as EOFError instead of a recv() hang
+            child_conn.close()
+            try:
+                payload = parent_conn.recv()
+            except EOFError:
+                child.join()
+                raise RuntimeError(
+                    "resume bench child exited before reporting "
+                    f"(exit code {child.exitcode}) — the resume path failed")
+            child.join()
+            isolated = True
+        else:
+            sink = _InProcessSink()
+            _resume_child(str(checkpoint_dir), sink)
+            payload = sink.payload
+            isolated = False
+    return {
+        "kind": "sparse",
+        "num_users": RESUME_USERS,
+        "snapshot_profile_bytes": snapshot_bytes,
+        "linkable_bytes": linkable_bytes,
+        "linked_files": payload["linked_files"],
+        "copied_files": payload["copied_files"],
+        "linked_bytes": payload["linked_bytes"],
+        "copied_bytes": payload["copied_bytes"],
+        # true when bytes that *should* have become hard links were copied:
+        # the resume materialised (part of) a profile copy — CI fails on it
+        "full_profile_copy": bool(linkable_bytes > 0
+                                  and payload["linked_bytes"] < linkable_bytes),
+        "resume_seconds": round(payload["resume_seconds"], 4),
+        "peak_rss_kb_delta": (payload["peak_rss_kb_after"]
+                              - payload["peak_rss_kb_before"]),
+        "peak_rss_kb_after": payload["peak_rss_kb_after"],
+        "isolated_process": isolated,
+        "resumed_fingerprint_matches": payload["fingerprint"] == uninterrupted,
     }
 
 
@@ -280,6 +415,9 @@ def main() -> None:
         "pipeline": run_pipeline_bench(),
         # part of --quick: the CI gate compares its combined phase-4+5 time
         "update_workload": run_update_workload_bench(),
+        # part of --quick: the CI gate fails on a materialised profile copy
+        # or a resumed-fingerprint mismatch
+        "resume": run_resume_bench(),
     }
     if not quick:
         report["thread_sweep"] = run_thread_sweep()

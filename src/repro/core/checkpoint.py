@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -38,6 +39,8 @@ import numpy as np
 
 from repro.core.iteration import Phase4ScoreCache
 from repro.graph.knn_graph import KNNGraph
+from repro.storage.disk_model import DiskModel
+from repro.storage.io_stats import IOStats
 from repro.storage.profile_store import OnDiskProfileStore
 
 PathLike = Union[str, os.PathLike]
@@ -193,43 +196,117 @@ def load_score_cache(path: PathLike) -> Phase4ScoreCache:
     return cache
 
 
-def snapshot_profile_store(store: OnDiskProfileStore, directory: PathLike) -> Path:
-    """Snapshot the on-disk profiles into ``directory`` (hard-link + copy).
+@dataclass
+class CloneStats:
+    """Accounting of one profile-store clone (snapshot or resume).
 
-    Files the store only ever replaces atomically are hard-linked; files it
-    mutates in place are copied — the split is the store's own contract
-    (:meth:`OnDiskProfileStore.linkable_snapshot_file`, kept next to the
-    write paths it describes).  Returns the snapshot directory, itself a
-    valid :class:`~repro.storage.profile_store.OnDiskProfileStore` base dir.
+    ``linked_bytes`` entered the destination as hard links (a directory
+    entry each — no data was read or written); ``copied_bytes`` were
+    streamed through ``shutil.copy2``.  The perf suite's resume gate uses
+    the split to prove that resuming a sparse store never materialises a
+    full profile copy.
     """
-    dest = Path(directory)
+
+    linked_files: int = 0
+    copied_files: int = 0
+    linked_bytes: int = 0
+    copied_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.linked_bytes + self.copied_bytes
+
+
+def clone_profile_files(source_dir: PathLike, dest_dir: PathLike) -> CloneStats:
+    """Clone a profile store's files: hard-link immutable, copy mutable.
+
+    The split is the store's own contract
+    (:meth:`OnDiskProfileStore.linkable_snapshot_file`, kept next to the
+    write paths it describes): files the store only ever replaces
+    atomically (sparse segments, the monolithic v1/v2 CSR files) are
+    hard-linked — both sides can keep using them, because every rewrite
+    swaps in a fresh inode — while files mutated in place (meta, journal,
+    item table, dense matrix/norms) are copied.  Cross-filesystem links
+    fall back to copies transparently.  Used in both directions: taking a
+    snapshot (live store → checkpoint) and resuming one (checkpoint →
+    fresh workdir).  Stale ``profiles_*`` files already present in the
+    destination but absent from the source are removed.
+    """
+    source = Path(source_dir)
+    dest = Path(dest_dir)
     dest.mkdir(parents=True, exist_ok=True)
-    if dest.resolve() == store.base_dir.resolve():
-        # the copy loop unlinks each target first — snapshotting a store
-        # onto itself would delete the live files before reading them
+    if dest.resolve() == source.resolve():
+        # the copy loop unlinks each target first — cloning a directory
+        # onto itself would delete the files before reading them
         raise ValueError(
-            f"snapshot destination {dest} is the live store directory; "
-            "choose a checkpoint directory outside the store")
-    for path in sorted(store.base_dir.glob("profiles_*")):
+            f"clone destination {dest} is the source directory itself; "
+            "choose a directory outside the store")
+    stats = CloneStats()
+    for path in sorted(source.glob("profiles_*")):
         if path.name.endswith(".tmp"):
             continue
         target = dest / path.name
         if target.exists():
             target.unlink()
+        size = path.stat().st_size
         if OnDiskProfileStore.linkable_snapshot_file(path.name):
             try:
                 os.link(path, target)
+                stats.linked_files += 1
+                stats.linked_bytes += size
                 continue
             except OSError:
                 pass  # cross-device or unsupported: fall through to a copy
         shutil.copy2(path, target)
-    # drop stale files from an older snapshot of a store whose segment
-    # count shrank in between
-    current = {path.name for path in store.base_dir.glob("profiles_*")}
+        stats.copied_files += 1
+        stats.copied_bytes += size
+    current = {path.name for path in source.glob("profiles_*")}
     for path in dest.glob("profiles_*"):
         if path.name not in current:
             path.unlink()
+    return stats
+
+
+def snapshot_profile_store(store: OnDiskProfileStore, directory: PathLike) -> Path:
+    """Snapshot the on-disk profiles into ``directory`` (hard-link + copy).
+
+    See :func:`clone_profile_files` for the link/copy split (including the
+    refusal to clone a store onto its own directory).  Returns the
+    snapshot directory, itself a valid
+    :class:`~repro.storage.profile_store.OnDiskProfileStore` base dir.
+    """
+    dest = Path(directory)
+    clone_profile_files(store.base_dir, dest)
     return dest
+
+
+def restore_profile_store(snapshot_dir: PathLike, dest_dir: PathLike,
+                          disk_model: Union[str, DiskModel] = "ssd",
+                          io_stats: Optional[IOStats] = None,
+                          ) -> Tuple[OnDiskProfileStore, CloneStats]:
+    """Rebuild a working profile store from a snapshot, zero-copy.
+
+    The inverse of :func:`snapshot_profile_store`: the snapshot's immutable
+    files are hard-linked into ``dest_dir`` and only the small mutable
+    files (meta, journal, item table) and in-place-updated dense matrices
+    are copied, so resuming a multi-gigabyte sparse store costs a
+    directory entry per segment — no profile matrix is ever materialised
+    in memory.  The returned handle owns ``dest_dir`` and may be mutated
+    freely: in-place writes only ever touch copied files, and atomic
+    replacements give linked files a fresh inode, so the snapshot's bytes
+    are never written through.  Copied bytes are charged to the store's
+    I/O stats (``io_stats`` when given, else the store's own) as one
+    sequential write — mirroring what a fresh ``create`` would have
+    charged for the same data — while links cost nothing.
+    """
+    stats = clone_profile_files(snapshot_dir, dest_dir)
+    store = OnDiskProfileStore(dest_dir, disk_model=disk_model,
+                               io_stats=io_stats)
+    if stats.copied_bytes:
+        store.io_stats.record_write(
+            stats.copied_bytes,
+            store._disk.write_cost(stats.copied_bytes, sequential=True))
+    return store, stats
 
 
 def save_portable_checkpoint(directory: PathLike, graph: KNNGraph, iteration: int,

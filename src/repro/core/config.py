@@ -83,6 +83,18 @@ class EngineConfig:
         (16 bytes each).  An iteration whose scored tuple set exceeds the
         cap leaves the cache empty — the next iteration then rescores
         everything — so memory stays bounded on huge candidate sets.
+    adaptive_score_cache:
+        Measure the per-tuple cost of cache lookups against their expected
+        saving (hit rate × kernel cost) and skip the lookups while they do
+        not pay — recovering the last few percent on dense low-dimensional
+        kernels whose evaluation costs about as much as the lookup itself.
+        Skipping only means scoring every tuple, so produced graphs stay
+        **bit-identical** with the policy on or off.  Off by default
+        because the decision rests on machine-dependent wall-clock
+        measurements: per-iteration reuse counters
+        (``IterationResult.reused_scores``/``lookups_skipped``) then vary
+        by hardware, which reproducibility-sensitive experiments may not
+        want.
     seed:
         Seed for the random initial KNN graph.
     """
@@ -103,6 +115,7 @@ class EngineConfig:
     profile_segment_rows: Optional[int] = None
     incremental_phase4: bool = True
     score_cache_entries: int = 4_000_000
+    adaptive_score_cache: bool = False
     seed: Optional[int] = 0
 
     def __post_init__(self):

@@ -29,7 +29,9 @@ from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
-from repro.core.checkpoint import load_portable_checkpoint, save_portable_checkpoint
+from repro.core.checkpoint import (CloneStats, load_portable_checkpoint,
+                                   restore_profile_store,
+                                   save_portable_checkpoint)
 from repro.core.config import EngineConfig
 from repro.core.convergence import ConvergenceTracker
 from repro.core.iteration import IterationResult, OutOfCoreIteration, Phase4ScoreCache
@@ -103,7 +105,8 @@ class EngineRunResult:
 class KNNEngine:
     """Out-of-core KNN computation on a single (memory-constrained) machine."""
 
-    def __init__(self, profiles: ProfileStoreBase, config: Optional[EngineConfig] = None,
+    def __init__(self, profiles: Union[ProfileStoreBase, OnDiskProfileStore],
+                 config: Optional[EngineConfig] = None,
                  workdir: Optional[Union[str, Path]] = None,
                  initial_graph: Optional[KNNGraph] = None):
         self._config = config if config is not None else EngineConfig()
@@ -122,10 +125,22 @@ class KNNEngine:
             tempfile.mkdtemp(prefix="repro-knn-"))
         self._workdir.mkdir(parents=True, exist_ok=True)
         self._closed = False
+        self._resume_clone_stats: Optional[CloneStats] = None
 
-        self._profile_store = OnDiskProfileStore.create(
-            self._workdir / "profiles", profiles, disk_model=self._config.disk_model,
-            segment_bounds=self._segment_bounds(profiles.num_users))
+        if isinstance(profiles, OnDiskProfileStore):
+            # zero-copy resume: the existing store's files are hard-linked
+            # (immutable segments) or copied (in-place-mutated files) into
+            # the engine's workdir — no profile matrix is ever loaded into
+            # memory.  The snapshot's on-disk layout (segment bounds,
+            # format version, generation counter) is carried over as-is.
+            self._profile_store, self._resume_clone_stats = restore_profile_store(
+                profiles.base_dir, self._workdir / "profiles",
+                disk_model=self._config.disk_model)
+        else:
+            self._profile_store = OnDiskProfileStore.create(
+                self._workdir / "profiles", profiles,
+                disk_model=self._config.disk_model,
+                segment_bounds=self._segment_bounds(profiles.num_users))
         self._partition_store = PartitionStore(
             self._workdir / "partitions", disk_model=self._config.disk_model)
         self._iteration_runner = OutOfCoreIteration(
@@ -286,25 +301,35 @@ class KNNEngine:
                         workdir: Optional[Union[str, Path]] = None) -> "KNNEngine":
         """Build an engine resuming a :meth:`save_checkpoint` checkpoint.
 
-        The snapshot profiles become the engine's ``P(t)``, the checkpointed
-        graph its ``G(t)``, and the iteration counter continues where the
-        saved run stopped.  With ``config=None`` the configuration saved in
-        the checkpoint manifest is restored, so the resumed run computes the
-        same KNN problem (same ``k``, measure, partitioning); passing a
-        config explicitly overrides it.
+        The snapshot profiles become the engine's ``P(t)`` **zero-copy**:
+        exactly as ``save_checkpoint`` took the snapshot, the immutable
+        store files are hard-linked back into the new workdir (copied only
+        across filesystems, and for the in-place-mutated dense/meta/journal
+        files), so resuming never round-trips the profiles through memory —
+        a million-user sparse store resumes in milliseconds for a directory
+        entry per segment.  The checkpointed graph becomes ``G(t)`` and the
+        iteration counter continues where the saved run stopped.  With
+        ``config=None`` the configuration saved in the checkpoint manifest
+        is restored, so the resumed run computes the same KNN problem (same
+        ``k``, measure, partitioning); passing a config explicitly
+        overrides it — including ``backend``/``num_workers``, which never
+        change results.  The snapshot's on-disk segment layout is kept
+        as-is (a config overriding ``num_partitions`` or
+        ``profile_segment_rows`` affects only which loads hit the zero-copy
+        fast path, never the produced graphs).
 
         The score cache is restored only when its generation matches the
         snapshot store's — i.e. the cached scores describe exactly the
-        profiles ``P(t)`` being resumed — in which case it is re-keyed to
-        the fresh working store and reuse continues seamlessly.
+        profiles ``P(t)`` being resumed.  The hard-linked working store
+        carries the snapshot's generation counter forward, so a matching
+        cache is adopted as-is and reuse continues seamlessly.
         :meth:`save_checkpoint` arranges for this to be the common case by
         pruning churn-touched entries and advancing the cache to the
         snapshot generation; a cache it could not advance (unknown deltas)
-        is dropped here instead (generation counters are per-store, so
-        keeping it could collide with the fresh store's numbering and
-        reuse stale scores), and the first resumed iteration performs one
-        full rescore.  Resumed results are bit-identical to an
-        uninterrupted run either way.
+        is dropped here instead (its generation predates the resumed
+        store's counter, so keeping it could reuse stale scores), and the
+        first resumed iteration performs one full rescore.  Resumed
+        results are bit-identical to an uninterrupted run either way.
         """
         if (workdir is not None
                 and Path(workdir).resolve() == Path(directory).resolve()):
@@ -328,7 +353,7 @@ class KNNEngine:
                     f"checkpoint under {directory} carries no engine_config "
                     "(pre-config checkpoint?); pass config= explicitly")
             config = EngineConfig(**saved)
-        engine = cls(snapshot_store.load_all(), config=config, workdir=workdir,
+        engine = cls(snapshot_store, config=config, workdir=workdir,
                      initial_graph=graph)
         engine._iterations_run = iteration
         pending = metadata.get("pending_updates") or []
@@ -341,10 +366,21 @@ class KNNEngine:
         if (score_cache is not None and score_cache.generation is not None
                 and score_cache.generation == snapshot_store.generation):
             # the cached scores describe exactly the snapshot profiles the
-            # new store was just created from: rebase them onto its counter
-            score_cache.generation = engine._profile_store.generation
+            # working store was hard-linked from; the clone carries the
+            # snapshot's generation counter forward, so the cache matches
+            # the fresh store directly (asserted, not assumed)
+            assert engine._profile_store.generation == snapshot_store.generation
             engine.restore_score_cache(score_cache)
         return engine
+
+    @property
+    def resume_clone_stats(self) -> Optional[CloneStats]:
+        """Link/copy accounting of a zero-copy resume (``None`` for fresh runs).
+
+        The perf suite's resume gate reads this to prove that resuming a
+        segmented sparse store hard-links (not copies) every immutable file.
+        """
+        return self._resume_clone_stats
 
     def restore_score_cache(self, cache: Phase4ScoreCache) -> None:
         """Adopt a phase-4 score cache (see ``from_checkpoint``).

@@ -30,13 +30,15 @@ things *do* survive across iterations:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.parallel import ProcessScoringPool, fork_available, score_tuples
+from repro.core.parallel import (ProcessScoringPool, SharedRowIndex,
+                                 fork_available, score_tuples)
 from repro.core.update_queue import ProfileUpdateQueue
 from repro.graph.knn_graph import KNNGraph
 from repro.utils.arrays import counting_argsort
@@ -98,6 +100,10 @@ class Phase4ScoreCache:
         self.keys: Optional[np.ndarray] = None
         self.values: Optional[np.ndarray] = None
         self.evictions: int = 0
+        # per-iteration hit recording (see begin_iteration/merge): marks the
+        # cache rows reused this iteration so merge() can keep them without
+        # re-sorting them
+        self._hit_marks: Optional[np.ndarray] = None
 
     def clear(self) -> None:
         self.measure = None
@@ -105,6 +111,7 @@ class Phase4ScoreCache:
         self.num_vertices = 0
         self.keys = None
         self.values = None
+        self._hit_marks = None
 
     @property
     def num_entries(self) -> int:
@@ -147,6 +154,10 @@ class Phase4ScoreCache:
         hit_rows = clean_rows[found]
         hit_mask[hit_rows] = True
         scores[hit_rows] = self.values[pos[found]]
+        if self._hit_marks is not None:
+            # remember which cache rows were reused: merge() keeps exactly
+            # those (already sorted) and only sorts the rescored pairs
+            self._hit_marks[pos[found]] = True
         return scores, hit_mask
 
     def advanced_to(self, touched_rows: np.ndarray,
@@ -206,6 +217,137 @@ class Phase4ScoreCache:
         self.generation = int(generation)
         self.num_vertices = int(num_vertices)
 
+    def begin_iteration(self, record_hits: bool = True) -> None:
+        """Reset per-iteration hit recording (called before the lookups).
+
+        While armed, :meth:`lookup` marks every cache row it hands out, so
+        :meth:`merge` can later keep exactly the reused rows — already in
+        sorted order — and only sort the rescored remainder.  **Every**
+        iteration must call this, with ``record_hits=False`` on iterations
+        that run no lookups: marks left armed by an aborted iteration
+        would otherwise survive into the next merge and collide with the
+        fresh chunks (the interleave assumes kept and fresh are disjoint).
+        """
+        self._hit_marks = (np.zeros(len(self.keys), dtype=bool)
+                           if record_hits and self.keys is not None else None)
+
+    def merge(self, dirty_key_chunks: Sequence[np.ndarray],
+              dirty_score_chunks: Sequence[np.ndarray], measure: str,
+              generation: int, num_vertices: int) -> None:
+        """Install one iteration's scored pairs via an in-place merge.
+
+        Produces byte-identical arrays to handing :meth:`replace` *all*
+        scored pairs (pinned by a hypothesis differential test) — the cache
+        still holds exactly this iteration's ``(pair, score)`` set — but
+        does asymptotically less work: the reused pairs are the cache rows
+        marked by this iteration's lookups (:meth:`begin_iteration`), a
+        sorted subsequence that needs no re-sorting, so only the **dirty**
+        chunks (rescored pairs — the churn fraction, not the candidate
+        volume) are counting-sorted, and one galloping interleave (two
+        ``searchsorted`` passes) zips the two disjoint sorted runs
+        together.  Without armed hit marks (full rescore, adaptive skip,
+        cold cache) every pair is in the dirty chunks and the call is a
+        plain rebuild.  Over-capacity iterations clear the cache, exactly
+        like :meth:`replace`.
+        """
+        fresh_keys = (np.concatenate(dirty_key_chunks) if dirty_key_chunks
+                      else np.empty(0, dtype=np.int64))
+        fresh_values = (np.concatenate(dirty_score_chunks) if dirty_score_chunks
+                        else np.empty(0, dtype=np.float64))
+        if self._hit_marks is not None and self._hit_marks.any():
+            kept_keys = self.keys[self._hit_marks]
+            kept_values = self.values[self._hit_marks]
+        else:
+            kept_keys = np.empty(0, dtype=np.int64)
+            kept_values = np.empty(0, dtype=np.float64)
+        self._hit_marks = None
+        total = len(kept_keys) + len(fresh_keys)
+        if total > self.max_entries:
+            self.clear()
+            self.evictions += 1
+            return
+        order = counting_argsort(fresh_keys,
+                                 int(num_vertices) * int(num_vertices))
+        fresh_keys = fresh_keys[order]
+        fresh_values = fresh_values[order]
+        # a pair is either reused (kept) or rescored (fresh), never both —
+        # the dedup hash table scores each pair at most once per iteration —
+        # so the interleave of the two sorted runs is strictly disjoint
+        merged_keys = np.empty(total, dtype=np.int64)
+        merged_values = np.empty(total, dtype=np.float64)
+        kept_to = (np.searchsorted(fresh_keys, kept_keys)
+                   + np.arange(len(kept_keys), dtype=np.int64))
+        fresh_to = (np.searchsorted(kept_keys, fresh_keys)
+                    + np.arange(len(fresh_keys), dtype=np.int64))
+        merged_keys[kept_to] = kept_keys
+        merged_keys[fresh_to] = fresh_keys
+        merged_values[kept_to] = kept_values
+        merged_values[fresh_to] = fresh_values
+        self.keys = merged_keys
+        self.values = merged_values
+        self.measure = measure
+        self.generation = int(generation)
+        self.num_vertices = int(num_vertices)
+
+
+class AdaptiveCachePolicy:
+    """Measured per-tuple economics of the phase-4 score cache.
+
+    A cache lookup costs one binary search per candidate tuple; a hit saves
+    one kernel evaluation.  For cheap kernels — dense low-dimensional
+    cosine costs about as much as the lookup itself — the bookkeeping can
+    cancel the reuse.  This policy tracks exponential moving averages of
+    the *measured* per-tuple lookup cost, per-tuple kernel cost and hit
+    rate, and recommends skipping lookups while the expected saving per
+    looked-up tuple (``hit_rate × kernel_cost``) stays below the lookup
+    cost.  Skipping only means scoring every tuple — results stay
+    bit-identical — and every ``REPROBE_EVERY``-th skipped iteration runs
+    the lookups anyway so a shift in workload economics (bigger kernels,
+    higher overlap) re-engages the cache.  Enabled by
+    ``EngineConfig.adaptive_score_cache``.
+    """
+
+    #: Probe with real lookups after this many consecutive skipped iterations.
+    REPROBE_EVERY = 4
+    #: EMA weight of the newest measurement.
+    ALPHA = 0.5
+
+    def __init__(self):
+        self.lookup_cost: Optional[float] = None   # seconds / looked-up tuple
+        self.kernel_cost: Optional[float] = None   # seconds / rescored tuple
+        self.hit_rate: Optional[float] = None
+        self.skipped_iterations: int = 0
+        self._skips_since_probe: int = 0
+
+    def use_lookups(self) -> bool:
+        """Decide (once per iteration) whether lookups pay for themselves."""
+        if None in (self.lookup_cost, self.kernel_cost, self.hit_rate):
+            return True  # no measurements yet: probe
+        if self.hit_rate * self.kernel_cost >= self.lookup_cost:
+            self._skips_since_probe = 0
+            return True
+        self._skips_since_probe += 1
+        if self._skips_since_probe >= self.REPROBE_EVERY:
+            self._skips_since_probe = 0
+            return True
+        self.skipped_iterations += 1
+        return False
+
+    @classmethod
+    def _ema(cls, previous: Optional[float], value: float) -> float:
+        if previous is None:
+            return value
+        return (1.0 - cls.ALPHA) * previous + cls.ALPHA * value
+
+    def observe_lookups(self, seconds: float, tuples: int, hits: int) -> None:
+        if tuples > 0:
+            self.lookup_cost = self._ema(self.lookup_cost, seconds / tuples)
+            self.hit_rate = self._ema(self.hit_rate, hits / tuples)
+
+    def observe_kernel(self, seconds: float, tuples: int) -> None:
+        if tuples > 0:
+            self.kernel_cost = self._ema(self.kernel_cost, seconds / tuples)
+
 
 @dataclass
 class IterationResult:
@@ -231,6 +373,14 @@ class IterationResult:
     #: ``True`` when no cached score was usable this iteration (cold cache,
     #: unknown delta history, or ``incremental_phase4`` disabled).
     full_rescore: bool = True
+    #: ``True`` when the adaptive policy chose not to run cache lookups this
+    #: iteration (the cache *was* usable; scoring everything was measured to
+    #: be cheaper).  Results are bit-identical either way.
+    lookups_skipped: bool = False
+    #: Wall-clock seconds spent folding this iteration's scores into the
+    #: phase-4 score cache (the in-place galloping merge, or the full
+    #: rebuild on full-rescore iterations).
+    cache_merge_seconds: float = 0.0
 
     @property
     def load_unload_operations(self) -> int:
@@ -245,6 +395,8 @@ class IterationResult:
             "rescored_tuples": self.rescored_tuples,
             "reused_scores": self.reused_scores,
             "full_rescore": self.full_rescore,
+            "lookups_skipped": self.lookups_skipped,
+            "cache_merge_seconds": self.cache_merge_seconds,
             "load_unload_operations": self.load_unload_operations,
             "scheduled_load_unload_operations": self.schedule.load_unload_operations,
             "profile_updates_applied": self.profile_updates_applied,
@@ -266,11 +418,19 @@ class OutOfCoreIteration:
         # survives across iterations, exactly like the scoring pool: the
         # cache holds the last scored generation's pair → score map
         self._score_cache = Phase4ScoreCache(config.score_cache_entries)
+        # measured lookup/kernel economics (only consulted when
+        # config.adaptive_score_cache is on)
+        self._cache_policy = AdaptiveCachePolicy()
 
     @property
     def score_cache(self) -> Phase4ScoreCache:
         """The run-lifetime phase-4 score cache (checkpointing reads it)."""
         return self._score_cache
+
+    @property
+    def cache_policy(self) -> AdaptiveCachePolicy:
+        """The adaptive lookup policy's measured state (benchmarks read it)."""
+        return self._cache_policy
 
     def restore_score_cache(self, cache: Phase4ScoreCache) -> None:
         """Adopt a (checkpoint-loaded) score cache.
@@ -344,7 +504,8 @@ class OutOfCoreIteration:
             pi_graph, steps, schedule = self._phase3_pi_graph(table)
 
         with timer.phase(PHASE_NAMES[3]):
-            new_graph, evaluations, reused, full_rescore = self._phase4_knn(
+            (new_graph, evaluations, reused, full_rescore, lookups_skipped,
+             cache_merge_seconds) = self._phase4_knn(
                 iteration, graph, table, steps, measure, io_stats)
 
         with timer.phase(PHASE_NAMES[4]):
@@ -366,6 +527,8 @@ class OutOfCoreIteration:
             rescored_tuples=evaluations,
             reused_scores=reused,
             full_rescore=full_rescore,
+            lookups_skipped=lookups_skipped,
+            cache_merge_seconds=cache_merge_seconds,
         )
         _logger.info(
             "iteration %d: %d tuples, %d similarity evaluations "
@@ -437,7 +600,8 @@ class OutOfCoreIteration:
 
     def _phase4_knn(self, iteration: int, graph: KNNGraph, table: TupleHashTable,
                     steps: Sequence[ResidencyStep], measure: str,
-                    io_stats: IOStats) -> Tuple[KNNGraph, int, int, bool]:
+                    io_stats: IOStats
+                    ) -> Tuple[KNNGraph, int, int, bool, bool, float]:
         config = self._config
         budget = (MemoryBudget(config.memory_budget_bytes)
                   if config.memory_budget_bytes is not None else None)
@@ -473,6 +637,19 @@ class OutOfCoreIteration:
         touched_mask = (self._touched_mask(graph, measure)
                         if config.incremental_phase4 else None)
         full_rescore = touched_mask is None
+        # the adaptive policy may decline lookups whose measured expected
+        # value is below their cost; the cache itself is still maintained
+        # (merged below) so a later probe iteration can reuse again
+        lookups_skipped = bool(not full_rescore and config.adaptive_score_cache
+                               and not self._cache_policy.use_lookups())
+        do_lookups = not full_rescore and not lookups_skipped
+        # arm hit recording (the reused rows form the sorted "kept" run of
+        # the end-of-iteration merge) — or explicitly disarm it, so marks
+        # left over from an aborted iteration can never leak into merge()
+        score_cache.begin_iteration(record_hits=do_lookups)
+        lookup_seconds = 0.0
+        looked_tuples = 0
+        kernel_seconds = 0.0
         cache_keys: List[np.ndarray] = []
         cache_values: List[np.ndarray] = []
         cache_overflow = not config.incremental_phase4
@@ -520,18 +697,33 @@ class OutOfCoreIteration:
                 continue
             tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
             pair_keys = (tuples[:, 0] * np.int64(graph.num_vertices) + tuples[:, 1]
-                         if not cache_overflow or not full_rescore else None)
-            if full_rescore:
+                         if not cache_overflow or do_lookups else None)
+            if not do_lookups:
                 dirty_rows = None
                 dirty = tuples
                 scores = np.empty(0, dtype=np.float64)  # replaced below
             else:
+                lookup_start = time.perf_counter()
                 scores, hit_mask = score_cache.lookup(tuples, touched_mask,
                                                       pair_keys=pair_keys)
+                lookup_seconds += time.perf_counter() - lookup_start
+                looked_tuples += len(tuples)
                 dirty_rows = np.flatnonzero(~hit_mask)
                 dirty = tuples if len(dirty_rows) == len(tuples) else tuples[dirty_rows]
                 reused += len(tuples) - len(dirty_rows)
             if len(dirty):
+                # the merged slice's id→row index (the stable argsort of the
+                # two partitions' concatenated ids) is built once here and
+                # shared with every consumer — in-process merges skip their
+                # per-step argsort, and pool workers receive it through a
+                # shared-memory segment instead of each re-deriving it
+                index_users = index_order = None
+                if second != first:
+                    concat_ids = np.concatenate([partition_a.vertices,
+                                                 partition_b.vertices])
+                    index_order = np.argsort(concat_ids, kind="stable")
+                    index_users = concat_ids[index_order]
+                kernel_start = time.perf_counter()
                 if use_process:
                     # the workers load (mmap, zero-copy) the slices
                     # themselves; the coordinator only keeps the I/O
@@ -543,24 +735,48 @@ class OutOfCoreIteration:
                     parts = [((iteration, first), partition_a.vertices)]
                     if second != first:
                         parts.append(((iteration, second), partition_b.vertices))
-                    fresh = pool.score(None, dirty, measure,
-                                       key=(iteration, first, second), parts=parts,
-                                       generation=store_generation)
+                    shared_index = None
+                    row_index = None
+                    if index_users is not None:
+                        try:
+                            shared_index = SharedRowIndex(index_users, index_order)
+                            row_index = shared_index.descriptor
+                        except OSError:
+                            shared_index = None  # no shm: workers re-gather
+                    try:
+                        fresh = pool.score(None, dirty, measure,
+                                           key=(iteration, first, second),
+                                           parts=parts,
+                                           generation=store_generation,
+                                           row_index=row_index)
+                    finally:
+                        if shared_index is not None:
+                            shared_index.close()
                 else:
                     self._sync_profile_slices(resident_profiles, needed)
-                    merged = self._merged_slice(resident_profiles, first, second)
+                    merged = self._merged_slice(resident_profiles, first, second,
+                                                index_users, index_order)
                     fresh = score_tuples(merged, dirty, measure,
                                          num_threads=config.num_threads,
                                          backend=inprocess_backend)
+                kernel_seconds += time.perf_counter() - kernel_start
                 if dirty_rows is None:
                     scores = fresh
                 else:
                     scores[dirty_rows] = fresh
             evaluations += len(dirty)
             if not cache_overflow:
-                cache_keys.append(pair_keys)
-                cache_values.append(scores)
-                if sum(len(chunk) for chunk in cache_keys) > score_cache.max_entries:
+                # only the *dirty* (rescored) pairs are accumulated for the
+                # cache update; reused pairs are already cache rows and are
+                # carried over through the lookup hit marks
+                if dirty_rows is None:
+                    cache_keys.append(pair_keys)
+                    cache_values.append(scores)
+                elif len(dirty_rows):
+                    cache_keys.append(pair_keys[dirty_rows])
+                    cache_values.append(scores[dirty_rows])
+                if (reused + sum(len(chunk) for chunk in cache_keys)
+                        > score_cache.max_entries):
                     cache_keys.clear()
                     cache_values.clear()
                     cache_overflow = True
@@ -572,6 +788,7 @@ class OutOfCoreIteration:
         partition_cache.flush()
         resident_profiles.clear()
         flush_scored()
+        cache_merge_seconds = 0.0
         if cache_overflow:
             score_cache.clear()
             if config.incremental_phase4:
@@ -579,10 +796,21 @@ class OutOfCoreIteration:
         else:
             # the cached scores describe the store as of *this* phase 4 —
             # phase 5 runs after and its deltas are what the next iteration
-            # asks touched_rows_since() about
-            score_cache.replace(cache_keys, cache_values, measure,
-                                store_generation, graph.num_vertices)
-        return new_graph, evaluations, reused, full_rescore
+            # asks touched_rows_since() about.  The in-place merge keeps the
+            # reused rows (marked during the lookups, already sorted) and
+            # sorts only the rescored chunks; on full-rescore iterations
+            # every pair is in the chunks and this is a plain rebuild.
+            merge_start = time.perf_counter()
+            score_cache.merge(cache_keys, cache_values, measure,
+                              store_generation, graph.num_vertices)
+            cache_merge_seconds = time.perf_counter() - merge_start
+        if config.adaptive_score_cache:
+            self._cache_policy.observe_kernel(kernel_seconds, evaluations)
+            if do_lookups:
+                self._cache_policy.observe_lookups(lookup_seconds,
+                                                   looked_tuples, reused)
+        return (new_graph, evaluations, reused, full_rescore, lookups_skipped,
+                cache_merge_seconds)
 
     @staticmethod
     def _evict_stale_profiles(cache: PartitionCache,
@@ -630,9 +858,15 @@ class OutOfCoreIteration:
 
     @staticmethod
     def _merged_slice(resident_profiles: Dict[int, ProfileSlice],
-                      first: int, second: int) -> ProfileSlice:
+                      first: int, second: int,
+                      index_users: Optional[np.ndarray] = None,
+                      index_order: Optional[np.ndarray] = None) -> ProfileSlice:
         if first == second:
             return resident_profiles[first]
+        if index_users is not None:
+            # the step's precomputed merge index (partitions are disjoint)
+            return resident_profiles[first].merge_indexed(
+                resident_profiles[second], index_users, index_order)
         return resident_profiles[first].merge(resident_profiles[second])
 
     # -- phase 5 --------------------------------------------------------------

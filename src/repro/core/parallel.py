@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional, Sequence, Tuple, Union
 
 import multiprocessing
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -103,6 +104,94 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+# -- shared-memory merged-slice row index ------------------------------------
+
+
+class SharedRowIndex:
+    """A merged-slice row index published once to every scoring worker.
+
+    Merging the two resident partitions' slices needs the stable argsort of
+    their concatenated user ids (the id→row index of the merged slice).
+    Without sharing, *each* worker re-derives that index for *every*
+    residency step it scores a shard of.  The coordinator instead computes
+    it once per step, writes it into a ``multiprocessing.shared_memory``
+    segment — layout ``[n, user_ids (n), order (n)]`` as int64 — and ships
+    only the ``(name, n)`` descriptor over the pipe; workers map the
+    segment read-only and build the merged slice via
+    :meth:`ProfileSlice.merge_indexed` with zero index computation and
+    zero index copies.
+
+    Lifecycle: the coordinator creates the segment just before the step's
+    ``score`` call and closes+unlinks it right after (``score`` returns
+    only when every shard — hence every attachment — is done).  Workers
+    keep their attachment alive while their cached merged slice references
+    it and drop it when the next step's descriptor arrives; an unlinked
+    segment stays readable until the last attachment closes (POSIX).
+    """
+
+    def __init__(self, user_ids: np.ndarray, order: np.ndarray):
+        user_ids = np.ascontiguousarray(user_ids, dtype=np.int64)
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        if len(user_ids) != len(order):
+            raise ValueError("user_ids and order must have equal length")
+        n = len(user_ids)
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(create=True, size=max(8, (1 + 2 * n) * 8)))
+        data = np.frombuffer(self._shm.buf, dtype=np.int64)
+        data[0] = n
+        data[1:1 + n] = user_ids
+        data[1 + n:1 + 2 * n] = order
+        del data  # drop the exported view so close() can succeed
+        #: ``(segment name, row count)`` — what crosses the pipe.
+        self.descriptor: Tuple[str, int] = (self._shm.name, n)
+
+    def close(self) -> None:
+        """Unlink and release the segment (idempotent).
+
+        Unlink runs first: it never raises ``BufferError``, so the name is
+        removed from ``/dev/shm`` even if a stray exported view makes
+        ``close()`` fail (the mapping is then freed at process exit, but
+        never leaks a named segment per residency step).
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass  # double-unlink or tracker raced us
+        try:
+            shm.close()
+        except BufferError:
+            pass  # an exported view still references the mapping
+
+    def __enter__(self) -> "SharedRowIndex":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _ensure_shared_resource_tracker() -> None:
+    """Start the multiprocessing resource tracker *before* the pool forks.
+
+    Python < 3.13 registers every ``SharedMemory`` — attachments included
+    (gh-82300) — with the resource tracker.  When the tracker is already
+    running at fork time, parent and workers inherit one tracker whose
+    name cache is a set: the workers' attach-time registrations are
+    idempotent re-adds, and the coordinator's ``unlink`` removes the name
+    exactly once — no spurious "leaked shared_memory" warnings, no
+    double-unregister tracebacks.  A tracker started lazily *after* the
+    fork would instead be per-process, and each worker's copy would try to
+    unlink the coordinator's segments at exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+    except Exception:
+        pass  # tracker unavailable: shared-index cleanup is best-effort
+
+
 # -- process backend ---------------------------------------------------------
 #
 # Worker-side state: one re-opened store per worker process, a small cache
@@ -123,6 +212,8 @@ _WORKER_STORE: Optional[OnDiskProfileStore] = None
 _WORKER_PARTS: "dict[object, ProfileSlice]" = {}
 _WORKER_SLICE: Tuple[Optional[object], Optional[ProfileSlice]] = (None, None)
 _WORKER_GENERATION: Optional[int] = None
+_WORKER_INDEX: Tuple[Optional[str], Optional[shared_memory.SharedMemory]] = (
+    None, None)
 
 #: Per-partition slices a worker keeps resident (mirrors the coordinator's
 #: small partition cache; the slices are views, so this bounds mapping count,
@@ -140,12 +231,48 @@ def _compact_ids(user_ids) -> "Union[range, np.ndarray]":
 
 def _init_scoring_worker(store_dir: str) -> None:
     global _WORKER_STORE, _WORKER_PARTS, _WORKER_SLICE, _WORKER_GENERATION
+    global _WORKER_INDEX
     # the coordinator charges slice reads once for the whole pool, so the
     # worker's own accounting uses the free device model
     _WORKER_STORE = OnDiskProfileStore(store_dir, disk_model="instant")
     _WORKER_PARTS = {}
     _WORKER_SLICE = (None, None)
     _WORKER_GENERATION = None
+    _WORKER_INDEX = (None, None)
+
+
+def _attach_row_index(descriptor: Tuple[str, int]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Map a :class:`SharedRowIndex` segment and return ``(user_ids, order)``.
+
+    The attachment is cached by segment name: all shards of one residency
+    step (and the cached merged slice built from them) share one mapping.
+    When a new step's descriptor arrives the previous merged slice is
+    dropped *first* — its arrays view the old segment — and the old
+    attachment closed.
+    """
+    global _WORKER_INDEX, _WORKER_SLICE
+    name, n = descriptor
+    if _WORKER_INDEX[0] != name:
+        _WORKER_SLICE = (None, None)
+        old = _WORKER_INDEX[1]
+        _WORKER_INDEX = (None, None)
+        if old is not None:
+            try:
+                old.close()
+            except BufferError:
+                pass  # a stray view still references it; freed at exit
+        # attaching re-registers the name with the (shared, pre-fork)
+        # resource tracker — an idempotent set-add; the coordinator's
+        # unlink removes it (see _ensure_shared_resource_tracker)
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER_INDEX = (name, shm)
+    data = np.frombuffer(_WORKER_INDEX[1].buf, dtype=np.int64)
+    count = int(data[0])
+    if count != n:
+        raise ValueError(f"shared row index {name} holds {count} rows, "
+                         f"descriptor says {n}")
+    return data[1:1 + n], data[1 + n:1 + 2 * n]
 
 
 def _worker_part_slice(part_key: object, user_ids: np.ndarray) -> ProfileSlice:
@@ -162,7 +289,8 @@ def _worker_part_slice(part_key: object, user_ids: np.ndarray) -> ProfileSlice:
 
 def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
                  tuples: np.ndarray, measure: str,
-                 generation: Optional[int] = None) -> np.ndarray:
+                 generation: Optional[int] = None,
+                 row_index: Optional[Tuple[str, int]] = None) -> np.ndarray:
     """Score one tuple shard against the union of the given partition slices.
 
     ``parts`` is ``[(part_key, user_ids), ...]``; each partition is loaded
@@ -172,7 +300,10 @@ def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
     so scores stay bit-identical.  A ``generation`` newer than the one the
     caches were loaded under means the store files changed underneath us
     (phase-5 updates): the store is re-opened and every cached slice dropped
-    before anything is loaded.
+    before anything is loaded.  ``row_index`` names a
+    :class:`SharedRowIndex` segment carrying the two partitions' merged
+    id→row index, replacing the per-step argsort re-gather; merging through
+    it is exactly equivalent (:meth:`ProfileSlice.merge_indexed`).
     """
     global _WORKER_SLICE, _WORKER_GENERATION
     if generation is not None and generation != _WORKER_GENERATION:
@@ -181,10 +312,16 @@ def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
         _WORKER_SLICE = (None, None)
         _WORKER_GENERATION = generation
     if key is None or _WORKER_SLICE[0] != key:
-        merged: Optional[ProfileSlice] = None
-        for part_key, user_ids in parts:
-            piece = _worker_part_slice(part_key, user_ids)
-            merged = piece if merged is None else merged.merge(piece)
+        pieces = [_worker_part_slice(part_key, user_ids)
+                  for part_key, user_ids in parts]
+        if row_index is not None and len(pieces) == 2:
+            user_ids, order = _attach_row_index(row_index)
+            merged: Optional[ProfileSlice] = pieces[0].merge_indexed(
+                pieces[1], user_ids, order)
+        else:
+            merged = None
+            for piece in pieces:
+                merged = piece if merged is None else merged.merge(piece)
         _WORKER_SLICE = (key, merged)
     return _WORKER_SLICE[1].similarity_pairs(tuples, measure)
 
@@ -207,6 +344,9 @@ class ProcessScoringPool:
         check_positive_int(num_workers, "num_workers")
         store_dir = store.base_dir if isinstance(store, OnDiskProfileStore) else store
         self._num_workers = num_workers
+        # workers must inherit a running resource tracker so shared-index
+        # segments are tracked by one process, not one copy per worker
+        _ensure_shared_resource_tracker()
         # fork (where available) shares the parent's imports copy-on-write;
         # the workers re-open the store themselves in the initializer
         methods = multiprocessing.get_all_start_methods()
@@ -225,7 +365,8 @@ class ProcessScoringPool:
     def score(self, user_ids: Optional[np.ndarray], tuples: np.ndarray,
               measure: str, key: object = None,
               parts: "Optional[Sequence[Tuple[object, np.ndarray]]]" = None,
-              generation: Optional[int] = None) -> np.ndarray:
+              generation: Optional[int] = None,
+              row_index: Optional[Tuple[str, int]] = None) -> np.ndarray:
         """Score ``tuples`` against a set of loaded profiles, sharded.
 
         ``parts`` — ``[(part_key, user_ids), ...]`` — names the resident
@@ -242,6 +383,12 @@ class ProcessScoringPool:
         pass the current value so workers invalidate their cached slices
         after every phase-5 batch.  ``None`` keeps the legacy contract (the
         store never changes while the pool is alive).
+
+        ``row_index`` is the descriptor of a :class:`SharedRowIndex`
+        holding the merged id→row index of exactly two ``parts``; workers
+        then skip the per-step merge argsort.  The caller must keep the
+        segment alive until this call returns (every attachment happens
+        inside the shard tasks) and may unlink it immediately after.
         """
         tuples = np.asarray(tuples, dtype=np.int64)
         if tuples.size == 0:
@@ -258,7 +405,7 @@ class ProcessScoringPool:
         shards = np.array_split(tuples, min(self._num_workers, len(tuples)))
         futures = [
             self._executor.submit(_score_shard, key, parts, shard, measure,
-                                  generation)
+                                  generation, row_index)
             for shard in shards if len(shard)
         ]
         return np.concatenate([future.result() for future in futures])

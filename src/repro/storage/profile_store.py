@@ -346,6 +346,49 @@ class ProfileSlice:
         return ProfileSlice(self.kind, None, dim=self._dim or other._dim,
                             user_ids=users, matrix=matrix, norms=norms)
 
+    def merge_indexed(self, other: "ProfileSlice", user_ids: np.ndarray,
+                      order: np.ndarray) -> "ProfileSlice":
+        """Union of two disjoint slices using a precomputed merge index.
+
+        ``order`` is the stable argsort of the concatenated
+        ``[self.user_ids, other.user_ids]`` and ``user_ids`` the resulting
+        sorted ids — exactly what :meth:`merge` computes internally for the
+        disjoint case.  Phase 4 builds the index **once** per residency
+        step in the coordinating process and shares it (with worker
+        processes: through shared memory), so no consumer re-runs the
+        argsort.  Results are identical to :meth:`merge` for disjoint user
+        sets; overlapping ids are rejected (the index encodes no
+        ``dict.update`` winner).
+        """
+        if other.kind != self.kind:
+            raise ValueError("cannot merge slices of different profile kinds")
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        order = np.asarray(order, dtype=np.int64)
+        total = len(self._user_ids) + len(other._user_ids)
+        if len(user_ids) != total or len(order) != total:
+            raise ValueError(
+                f"merge index covers {len(user_ids)} rows but the slices hold "
+                f"{total}; the index must describe exactly these two slices")
+        if total > 1 and bool((user_ids[1:] == user_ids[:-1]).any()):
+            raise ValueError("merge_indexed requires disjoint user sets; "
+                             "use merge() for overlapping slices")
+        if self.kind == "sparse":
+            if not self._mergeable_csr(other):
+                # dict-based (v1) slices cannot gather by row index
+                return self.merge(other)
+            merged = _measures.SetProfileCSR.merged_subset(self._csr, other._csr,
+                                                           order)
+            return ProfileSlice("sparse", None, dim=self._dim or other._dim,
+                                user_ids=user_ids, csr=merged)
+        blocks = self._dense_blocks() + other._dense_blocks()
+        starts = np.zeros(len(blocks) + 1, dtype=np.int64)
+        np.cumsum([len(ids) for ids, _, _ in blocks], out=starts[1:])
+        row_block = np.searchsorted(starts, order, side="right") - 1
+        row_local = order - starts[row_block]
+        return ProfileSlice._from_dense_blocks(blocks, user_ids, row_block,
+                                               row_local,
+                                               self._dim or other._dim)
+
     def _mergeable_csr(self, other: "ProfileSlice") -> bool:
         """True when both sparse slices hold CSRs under one item coding."""
         if self._profiles is not None or other._profiles is not None:

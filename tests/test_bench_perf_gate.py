@@ -8,7 +8,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 from check_perf_regression import (PHASE4_KEY, compare_backend_sweep,
                                    compare_fingerprints,
                                    compare_incremental_parity, compare_phase4,
-                                   compare_phase24, compare_phase45)
+                                   compare_phase24, compare_phase45,
+                                   compare_resume)
 
 
 def _report(phase4_seconds, fingerprint="abc", phase45_seconds=None,
@@ -145,6 +146,40 @@ class TestIncrementalParity:
         ok, message = compare_incremental_parity(_report(1.0))
         assert ok
         assert "skipped" in message
+
+
+class TestCompareResume:
+    @staticmethod
+    def _resume_section(full_copy=False, matches=True, linked=1000,
+                        linkable=1000):
+        return {"resume": {"full_profile_copy": full_copy,
+                           "resumed_fingerprint_matches": matches,
+                           "linked_files": 8, "linked_bytes": linked,
+                           "linkable_bytes": linkable, "copied_bytes": 64,
+                           "resume_seconds": 0.01, "peak_rss_kb_delta": 128}}
+
+    def test_zero_copy_resume_passes(self):
+        ok, message = compare_resume(self._resume_section())
+        assert ok
+        assert "hard-linked" in message
+
+    def test_materialised_copy_fails(self):
+        ok, message = compare_resume(self._resume_section(full_copy=True,
+                                                          linked=0))
+        assert not ok
+        assert "MATERIALISED" in message
+
+    def test_fingerprint_divergence_fails(self):
+        ok, message = compare_resume(self._resume_section(matches=False))
+        assert not ok
+        assert "DIVERGES" in message
+
+    def test_missing_fresh_section_fails(self):
+        """HEAD's suite always emits the section; losing it must not read
+        as a silent pass."""
+        ok, message = compare_resume(_report(1.0))
+        assert not ok
+        assert "FRESH" in message
 
 
 class TestBackendSweepCpuAware:

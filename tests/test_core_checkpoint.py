@@ -198,7 +198,7 @@ class TestProfileSnapshot:
         profiles = generate_sparse_profiles(30, 100, items_per_user=5, seed=3)
         store = OnDiskProfileStore.create(tmp_path / "store", profiles)
         before = store.load_users([0]).get(0)
-        with pytest.raises(ValueError, match="live store directory"):
+        with pytest.raises(ValueError, match="source directory itself"):
             snapshot_profile_store(store, store.base_dir)
         # and the store is untouched
         assert store.load_users([0]).get(0) == before
@@ -456,6 +456,142 @@ class TestPortableCheckpoint:
                                  profile_store=store)
         with pytest.raises(ValueError, match="engine_config"):
             KNNEngine.from_checkpoint(tmp_path / "ckpt")
+
+
+class TestZeroCopyResume:
+    """``from_checkpoint`` hard-links the snapshot back — it never loads
+    ``P(t)`` into memory, and the checkpoint survives the resumed run."""
+
+    def _checkpointed_engine(self, tmp_path, kind="sparse", seed=71, **config_kwargs):
+        if kind == "sparse":
+            profiles = generate_sparse_profiles(120, 300, items_per_user=10,
+                                                num_communities=4, seed=seed)
+        else:
+            profiles = generate_dense_profiles(120, dim=6, num_communities=4,
+                                               seed=seed)
+        config = EngineConfig(k=5, num_partitions=4, seed=seed, **config_kwargs)
+        with KNNEngine(profiles, config) as engine:
+            engine.run_iteration()
+            engine.save_checkpoint(tmp_path / "ckpt")
+        return tmp_path / "ckpt", profiles, config
+
+    def test_sparse_segments_resume_as_hard_links(self, tmp_path):
+        ckpt, _, _ = self._checkpointed_engine(tmp_path, "sparse")
+        with KNNEngine.from_checkpoint(ckpt) as resumed:
+            snapshot = ckpt / "profiles"
+            working = resumed.workdir / "profiles"
+            segments = sorted(snapshot.glob("profiles_seg_*.bin"))
+            assert segments
+            for segment in segments:
+                assert (os.stat(segment).st_ino
+                        == os.stat(working / segment.name).st_ino)
+            # mutable files are copies, never links
+            for name in ("profiles_meta.json", "profiles_journal_rows.bin",
+                         "profiles_item_ids.bin"):
+                assert (os.stat(snapshot / name).st_ino
+                        != os.stat(working / name).st_ino)
+            stats = resumed.resume_clone_stats
+            assert stats is not None
+            assert stats.linked_files == len(segments)
+            # every byte that was eligible for linking was linked — nothing
+            # resembling a full profile copy happened
+            segment_bytes = sum(s.stat().st_size for s in segments)
+            assert stats.linked_bytes == segment_bytes
+            assert stats.copied_bytes < segment_bytes
+
+    def test_dense_matrix_resume_is_a_copy_and_isolated(self, tmp_path):
+        """Dense rows are updated in place through a memmap, so the matrix
+        must be copied — and resumed-run updates must not leak back."""
+        ckpt, _, _ = self._checkpointed_engine(tmp_path, "dense")
+        frozen_before = OnDiskProfileStore(ckpt / "profiles")
+        expected = np.array(frozen_before.load_users([3]).get(3))
+        with KNNEngine.from_checkpoint(ckpt) as resumed:
+            assert (os.stat(ckpt / "profiles" / "profiles_dense.bin").st_ino
+                    != os.stat(resumed.workdir / "profiles"
+                               / "profiles_dense.bin").st_ino)
+            resumed.enqueue_profile_change(ProfileChange(
+                user=3, kind="set", vector=np.full(6, 42.0)))
+            resumed.run_iteration()
+        frozen = OnDiskProfileStore(ckpt / "profiles")
+        np.testing.assert_array_equal(frozen.load_users([3]).get(3), expected)
+
+    def test_resumed_churn_and_compaction_leave_the_checkpoint_intact(self, tmp_path):
+        """The resumed store shares inodes with the snapshot; its journal
+        appends and compaction segment rewrites must never show through
+        (atomic replace gives replaced files fresh inodes)."""
+        ckpt, _, _ = self._checkpointed_engine(tmp_path, "sparse",
+                                               profile_segment_rows=30)
+        frozen = OnDiskProfileStore(ckpt / "profiles")
+        expected = {user: frozen.load_users([user]).get(user)
+                    for user in range(120)}
+        rng = np.random.default_rng(9)
+        with KNNEngine.from_checkpoint(ckpt) as resumed:
+            # enough churn to overflow the journal and force compaction
+            # (segment files rewritten) in the hard-linked working store
+            for _ in range(3):
+                resumed.enqueue_profile_changes(
+                    [ProfileChange(user=int(u), kind="add",
+                                   item=int(rng.integers(0, 300)))
+                     for u in rng.choice(120, size=40, replace=False)])
+                resumed.run_iteration()
+        frozen_after = OnDiskProfileStore(ckpt / "profiles")
+        for user in range(120):
+            assert frozen_after.load_users([user]).get(user) == expected[user]
+
+    @pytest.mark.parametrize("saved,resumed_backend", [
+        ("process", "serial"), ("serial", "process")])
+    def test_backend_override_at_resume_is_bit_identical(self, tmp_path, saved,
+                                                         resumed_backend):
+        """A run checkpointed under one backend and resumed under another
+        must match the uninterrupted run bit for bit — backends never
+        change results, and neither does the resume path."""
+        profiles = generate_sparse_profiles(100, 250, items_per_user=10,
+                                            num_communities=4, seed=83)
+        base = EngineConfig(k=5, num_partitions=4, seed=83)
+
+        def make_feed(rng):
+            def feed(_iteration):
+                users = rng.choice(100, size=6, replace=False)
+                return [ProfileChange(user=int(u), kind="add",
+                                      item=int(rng.integers(0, 250)))
+                        for u in users]
+            return feed
+
+        with KNNEngine(profiles, base) as engine:
+            uninterrupted = engine.run(
+                num_iterations=4,
+                profile_change_feed=make_feed(np.random.default_rng(2)))
+
+        rng = np.random.default_rng(2)
+        saved_config = base.with_overrides(backend=saved, num_workers=2)
+        with KNNEngine(profiles, saved_config) as engine:
+            engine.run(num_iterations=2, profile_change_feed=make_feed(rng))
+            engine.save_checkpoint(tmp_path / "ckpt")
+
+        override = base.with_overrides(backend=resumed_backend, num_workers=2)
+        with KNNEngine.from_checkpoint(tmp_path / "ckpt",
+                                       config=override) as engine:
+            assert engine.config.backend == resumed_backend
+            run = engine.run(num_iterations=2, profile_change_feed=make_feed(rng))
+        assert run.final_graph.edge_difference(uninterrupted.final_graph) == 0
+        assert (run.final_graph.edge_fingerprint()
+                == uninterrupted.final_graph.edge_fingerprint())
+
+    def test_engine_accepts_an_on_disk_store_directly(self, tmp_path):
+        """Constructing an engine over an existing OnDiskProfileStore clones
+        it zero-copy instead of round-tripping through memory."""
+        profiles = generate_sparse_profiles(90, 250, items_per_user=10, seed=89)
+        source = OnDiskProfileStore.create(tmp_path / "store", profiles)
+        config = EngineConfig(k=5, num_partitions=4, seed=89)
+        with KNNEngine(source, config) as engine:
+            assert engine.resume_clone_stats.linked_files > 0
+            from_disk = engine.run_iteration().graph.edge_fingerprint()
+        with KNNEngine(profiles, config) as engine:
+            assert engine.resume_clone_stats is None
+            from_memory = engine.run_iteration().graph.edge_fingerprint()
+        assert from_disk == from_memory
+        # the source store is untouched and still loadable
+        assert source.load_users([0]).get(0) == profiles.get(0)
 
 
 class TestResumeRun:

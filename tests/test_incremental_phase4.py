@@ -19,7 +19,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import EngineConfig
 from repro.core.engine import KNNEngine
-from repro.core.iteration import Phase4ScoreCache
+from repro.core.iteration import AdaptiveCachePolicy, Phase4ScoreCache
 from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
                                         generate_sparse_profiles)
 
@@ -180,6 +180,204 @@ class TestCleanDirtyPartition:
         assert not cache.matches("cosine", n + 1)
 
 
+class TestInPlaceMergeDifferential:
+    """``Phase4ScoreCache.merge`` must be byte-identical to the rebuild.
+
+    The merge keeps the cache rows reused this iteration (marked by the
+    armed lookups — a sorted subsequence needing no re-sort) and counting-
+    sorts only the rescored chunks before one galloping interleave.  The
+    reference is what ``replace`` produces when handed *all* of the
+    iteration's scored pairs: identical key/score arrays, bit for bit.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        num_vertices=st.integers(min_value=2, max_value=40),
+        old_seed=st.integers(min_value=0, max_value=2**16),
+        fresh_seed=st.integers(min_value=0, max_value=2**16),
+        touched_seed=st.integers(min_value=0, max_value=2**16),
+        old_count=st.integers(min_value=0, max_value=300),
+        fresh_count=st.integers(min_value=0, max_value=300),
+        num_chunks=st.integers(min_value=1, max_value=4),
+    )
+    def test_merge_matches_rebuild_byte_for_byte(self, num_vertices, old_seed,
+                                                 fresh_seed, touched_seed,
+                                                 old_count, fresh_count,
+                                                 num_chunks):
+        """Simulate one full iteration at the cache level: arm hit marks,
+        look up a candidate batch against a touched mask, rescore the dirty
+        rows, then merge — and compare against replace() of everything."""
+        top = num_vertices * num_vertices
+        old_rng = np.random.default_rng(old_seed)
+        old_keys = np.unique(old_rng.integers(0, top, size=old_count,
+                                              dtype=np.int64))
+        old_values = old_rng.random(len(old_keys))
+        fresh_rng = np.random.default_rng(fresh_seed)
+        candidate_keys = np.unique(fresh_rng.integers(0, top, size=fresh_count,
+                                                      dtype=np.int64))
+        candidates = np.column_stack([candidate_keys // num_vertices,
+                                      candidate_keys % num_vertices])
+        touched_rng = np.random.default_rng(touched_seed)
+        touched_mask = touched_rng.random(num_vertices) < 0.3
+
+        cache = Phase4ScoreCache(max_entries=10_000)
+        cache.replace([old_keys], [old_values], "jaccard",
+                      generation=4, num_vertices=num_vertices)
+        cache.begin_iteration()
+        scores, hit_mask = cache.lookup(candidates, touched_mask,
+                                        pair_keys=candidate_keys)
+        dirty_rows = np.flatnonzero(~hit_mask)
+        scores[dirty_rows] = fresh_rng.random(len(dirty_rows))  # "rescored"
+        bounds = np.linspace(0, len(dirty_rows), num_chunks + 1).astype(int)
+        key_chunks = [candidate_keys[dirty_rows[a:b]]
+                      for a, b in zip(bounds, bounds[1:])]
+        value_chunks = [scores[dirty_rows[a:b]]
+                        for a, b in zip(bounds, bounds[1:])]
+        cache.merge(key_chunks, value_chunks, "jaccard", generation=5,
+                    num_vertices=num_vertices)
+
+        reference = Phase4ScoreCache(max_entries=10_000)
+        reference.replace([candidate_keys], [scores], "jaccard",
+                          generation=5, num_vertices=num_vertices)
+        assert cache.keys.tobytes() == reference.keys.tobytes()
+        assert cache.values.tobytes() == reference.values.tobytes()
+        assert cache.generation == 5
+        assert cache.measure == "jaccard"
+
+    def test_merge_without_armed_marks_is_a_plain_rebuild(self):
+        cache = Phase4ScoreCache(max_entries=100)
+        cache.replace([np.asarray([1, 5], dtype=np.int64)],
+                      [np.asarray([0.1, 0.5])], "cosine", 0, 10)
+        cache.merge([np.asarray([7, 3], dtype=np.int64)],
+                    [np.asarray([0.7, 0.3])], "cosine", 1, 10)
+        # no marks: nothing reused, only this iteration's pairs remain
+        assert cache.keys.tolist() == [3, 7]
+        assert cache.values.tolist() == [0.3, 0.7]
+        assert cache.generation == 1
+
+    def test_merge_keeps_only_the_marked_rows(self):
+        cache = Phase4ScoreCache(max_entries=100)
+        cache.replace([np.asarray([11, 22, 44], dtype=np.int64)],
+                      [np.asarray([0.11, 0.22, 0.44])], "cosine", 0, 10)
+        cache.begin_iteration()
+        # candidates: pairs 22 (clean, cached → reused) and 33 (fresh)
+        tuples = np.asarray([[2, 2], [3, 3]], dtype=np.int64)
+        scores, hit_mask = cache.lookup(tuples, np.zeros(10, dtype=bool))
+        assert hit_mask.tolist() == [True, False]
+        cache.merge([np.asarray([33], dtype=np.int64)], [np.asarray([0.33])],
+                    "cosine", 1, 10)
+        # 11 and 44 were not reused this iteration → gone; 22 survived the
+        # merge without re-sorting; 33 was folded in
+        assert cache.keys.tolist() == [22, 33]
+        np.testing.assert_array_equal(cache.values, [0.22, 0.33])
+
+    def test_disarming_drops_stale_marks_from_an_aborted_iteration(self):
+        """Marks armed by an iteration that aborted before its merge must
+        not leak into a later full-rescore merge: the same pairs would then
+        appear in both the kept and fresh runs and the disjoint interleave
+        would corrupt the arrays."""
+        cache = Phase4ScoreCache(max_entries=100)
+        cache.replace([np.asarray([11, 22], dtype=np.int64)],
+                      [np.asarray([0.11, 0.22])], "cosine", 0, 10)
+        cache.begin_iteration()
+        tuples = np.asarray([[1, 1], [2, 2]], dtype=np.int64)  # keys 11, 22
+        cache.lookup(tuples, np.zeros(10, dtype=bool))          # marks both
+        # ... the iteration aborts here; the retry runs without lookups
+        cache.begin_iteration(record_hits=False)
+        cache.merge([np.asarray([11, 22, 33], dtype=np.int64)],
+                    [np.asarray([0.11, 0.22, 0.33])], "cosine", 1, 10)
+        assert cache.keys.tolist() == [11, 22, 33]
+        np.testing.assert_array_equal(cache.values, [0.11, 0.22, 0.33])
+
+    def test_scored_set_over_capacity_clears(self):
+        cache = Phase4ScoreCache(max_entries=3)
+        cache.replace([np.arange(2, dtype=np.int64)], [np.zeros(2)],
+                      "cosine", 0, 10)
+        cache.begin_iteration()
+        tuples = np.asarray([[0, 0], [0, 1]], dtype=np.int64)  # keys 0, 1
+        cache.lookup(tuples, np.zeros(10, dtype=bool))
+        # 2 reused + 2 rescored = 4 > 3: over capacity, exactly like replace
+        cache.merge([np.asarray([50, 51], dtype=np.int64)], [np.ones(2)],
+                    "cosine", 1, 10)
+        assert cache.keys is None
+        assert cache.evictions == 1
+
+
+class TestAdaptivePolicy:
+    """The adaptive lookup policy: measured economics, bit-identical results."""
+
+    def test_probes_until_measured(self):
+        policy = AdaptiveCachePolicy()
+        assert policy.use_lookups()          # nothing measured yet
+        policy.observe_kernel(1.0, 1000)     # 1 ms per kernel tuple
+        assert policy.use_lookups()          # lookup cost still unknown
+
+    def test_skips_when_hit_value_below_lookup_cost(self):
+        policy = AdaptiveCachePolicy()
+        policy.observe_kernel(0.001, 1000)             # 1 µs per rescore
+        policy.observe_lookups(0.01, 1000, hits=100)   # 10 µs per lookup, 10% hits
+        # expected saving 0.1 µs < 10 µs lookup cost → skip
+        assert not policy.use_lookups()
+        assert policy.skipped_iterations == 1
+
+    def test_engages_when_hit_value_exceeds_lookup_cost(self):
+        policy = AdaptiveCachePolicy()
+        policy.observe_kernel(1.0, 1000)               # 1 ms per rescore
+        policy.observe_lookups(0.001, 1000, hits=800)  # 1 µs lookups, 80% hits
+        assert policy.use_lookups()
+        assert policy.skipped_iterations == 0
+
+    def test_reprobes_after_consecutive_skips(self):
+        policy = AdaptiveCachePolicy()
+        policy.observe_kernel(0.001, 1000)
+        policy.observe_lookups(0.01, 1000, hits=10)
+        decisions = [policy.use_lookups()
+                     for _ in range(2 * AdaptiveCachePolicy.REPROBE_EVERY)]
+        assert True in decisions       # the periodic probe happens
+        assert False in decisions      # and the skips happen
+        # exactly one probe per REPROBE_EVERY decisions
+        assert decisions.count(True) == 2
+
+    def test_adaptive_run_is_bit_identical(self):
+        """Whatever the policy decides on this machine's timings, the
+        produced graphs must match the non-adaptive run exactly."""
+        for kind in ("dense", "sparse"):
+            churn_sizes = [6, 6, 6, 6]
+            adaptive = _run(kind, True, _churn_feed(kind, churn_sizes, 5),
+                            iterations=4, adaptive_score_cache=True)
+            plain = _run(kind, True, _churn_feed(kind, churn_sizes, 5),
+                         iterations=4)
+            assert ([r.graph.edge_fingerprint() for r in adaptive.iterations]
+                    == [r.graph.edge_fingerprint() for r in plain.iterations])
+
+    def test_forced_skip_scores_everything_and_stays_identical(self):
+        """Inject economics that make lookups worthless: the engine skips
+        them (lookups_skipped), rescans everything, and the graphs still
+        match the default run bit for bit."""
+        config = EngineConfig(k=5, num_partitions=4, heuristic="degree-low-high",
+                              seed=17, adaptive_score_cache=True)
+        with KNNEngine(_profiles("dense"), config) as engine:
+            policy = engine._iteration_runner.cache_policy
+            results = []
+            for _ in range(3):
+                # re-pin the measurements each iteration so the engine's own
+                # observations never outvote the injected economics
+                policy.lookup_cost = 1.0
+                policy.kernel_cost = 1e-9
+                policy.hit_rate = 0.5
+                policy._skips_since_probe = 0
+                results.append(engine.run_iteration())
+        assert results[0].full_rescore            # cold cache: no decision yet
+        for result in results[1:]:
+            assert result.lookups_skipped
+            assert not result.full_rescore        # the cache *was* usable
+            assert result.reused_scores == 0
+            assert result.rescored_tuples == result.num_candidate_tuples
+        plain = _run("dense", True, None, iterations=3)
+        assert ([r.graph.edge_fingerprint() for r in results]
+                == [r.graph.edge_fingerprint() for r in plain.iterations])
+
+
 class TestRescoredCountsScaleWithChurn:
     """Kernel work tracks the touched rows, not the candidate volume."""
 
@@ -214,7 +412,10 @@ class TestRescoredCountsScaleWithChurn:
     def test_rescored_count_is_exactly_dirty_plus_fresh(self):
         """Rescored == candidates − (cached pairs with both endpoints clean),
         derived from first principles — nothing clean-and-cached is ever
-        rescored, and nothing dirty or fresh is ever reused."""
+        rescored, and nothing dirty or fresh is ever reused.  The in-place
+        merge keeps the cache contents identical to a full rebuild (this
+        iteration's scored pairs, nothing else), so the one-iteration
+        model holds exactly."""
         churn = _churn_feed("dense", [10] * 4, 13)
         config = EngineConfig(k=5, num_partitions=4, heuristic="degree-low-high",
                               seed=17)

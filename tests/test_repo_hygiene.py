@@ -1,0 +1,44 @@
+"""Repository hygiene: generated artefacts must never be tracked in git.
+
+Commit b99aa09 accidentally tracked 42 ``__pycache__/*.pyc`` files; this
+wall (mirrored by a CI step in ``.github/workflows/ci.yml``) keeps compiled
+bytecode and other generated caches out of the index for good.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> "list[str]":
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout (sdist or exported tree)")
+    result = subprocess.run(["git", "ls-files"], cwd=REPO_ROOT, check=True,
+                            capture_output=True, text=True)
+    return result.stdout.splitlines()
+
+
+def test_no_tracked_bytecode():
+    offenders = [name for name in _tracked_files()
+                 if name.endswith((".pyc", ".pyo")) or "__pycache__/" in name]
+    assert offenders == [], (
+        f"compiled bytecode is tracked in git: {offenders[:5]}… — "
+        "run `git rm -r --cached` on them; .gitignore should prevent re-adds")
+
+
+def test_no_tracked_tool_caches():
+    offenders = [name for name in _tracked_files()
+                 if ".pytest_cache/" in name or ".hypothesis/" in name]
+    assert offenders == []
+
+
+def test_gitignore_covers_bytecode():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/", ".hypothesis/"):
+        assert pattern in gitignore

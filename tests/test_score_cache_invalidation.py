@@ -185,6 +185,84 @@ def _feed_dense(seed):
     return feed
 
 
+class TestDeltaLogBoundary:
+    """Both edges of the touched-row delta-log window, pinned exactly.
+
+    After ``_DELTA_LOG_LIMIT`` evictions the floor sits at the generation
+    of the newest *dropped* entry: a query at exactly the floor is still
+    answerable in full (the dropped batch described changes *up to* the
+    floor, which "since the floor" does not need), one generation below it
+    is not, and a future generation never is.
+    """
+
+    def _store_with_batches(self, tmp_path, num_batches):
+        from repro.storage.profile_store import _DELTA_LOG_LIMIT  # noqa: F401
+        profiles = generate_dense_profiles(80, dim=4, seed=31)
+        store = OnDiskProfileStore.create(tmp_path / "store", profiles)
+        assert store.generation == 0
+        touched_by_generation = {}
+        rng = np.random.default_rng(2)
+        for index in range(num_batches):
+            users = sorted({int(u) for u in rng.integers(0, 80, size=3)})
+            store.apply_changes([ProfileChange(user=u, kind="set",
+                                               vector=rng.random(4))
+                                 for u in users])
+            # batch i bumps the generation to i+1 and is recorded under it
+            assert store.generation == index + 1
+            touched_by_generation[index + 1] = set(users)
+        return store, touched_by_generation
+
+    def _expected_since(self, touched_by_generation, generation):
+        rows = set()
+        for gen, users in touched_by_generation.items():
+            if gen > generation:
+                rows |= users
+        return sorted(rows)
+
+    def test_exactly_at_the_floor_after_evictions(self, tmp_path):
+        from repro.storage.profile_store import _DELTA_LOG_LIMIT
+        num_batches = _DELTA_LOG_LIMIT + 6
+        store, touched = self._store_with_batches(tmp_path, num_batches)
+        floor = num_batches - _DELTA_LOG_LIMIT   # generation of newest dropped
+        assert store._delta_floor == floor
+        answer = store.touched_rows_since(floor)
+        assert answer is not None
+        assert answer.tolist() == self._expected_since(touched, floor)
+
+    def test_one_below_the_floor_is_unknown(self, tmp_path):
+        from repro.storage.profile_store import _DELTA_LOG_LIMIT
+        num_batches = _DELTA_LOG_LIMIT + 6
+        store, _ = self._store_with_batches(tmp_path, num_batches)
+        floor = num_batches - _DELTA_LOG_LIMIT
+        assert store.touched_rows_since(floor - 1) is None
+        assert store.touched_rows_since(0) is None
+
+    def test_future_generation_is_unknown_current_is_empty(self, tmp_path):
+        store, _ = self._store_with_batches(tmp_path, 3)
+        current = store.generation
+        # nothing changed since *now*
+        assert store.touched_rows_since(current).tolist() == []
+        # a generation this store has not reached yet cannot be vouched for
+        assert store.touched_rows_since(current + 1) is None
+
+    def test_window_interior_is_exact_without_evictions(self, tmp_path):
+        store, touched = self._store_with_batches(tmp_path, 5)
+        for generation in range(0, 6):
+            answer = store.touched_rows_since(generation)
+            assert answer is not None
+            assert answer.tolist() == self._expected_since(touched, generation)
+
+    def test_fresh_handle_floor_is_the_open_generation(self, tmp_path):
+        """Opening a store by path starts an empty history anchored at the
+        current generation: that generation answers 'nothing changed', one
+        before it answers 'unknown'."""
+        store, _ = self._store_with_batches(tmp_path, 3)
+        reopened = OnDiskProfileStore(store.base_dir)
+        assert reopened.generation == 3
+        assert reopened.touched_rows_since(3).tolist() == []
+        assert reopened.touched_rows_since(2) is None
+
+
 class TestToggleAndCapacity:
     def test_incremental_disabled_never_reuses(self, tmp_path):
         profiles = generate_dense_profiles(NUM_USERS, dim=6, seed=17)

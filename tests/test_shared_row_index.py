@@ -1,0 +1,177 @@
+"""The shared-memory merged-slice row index (PR 5).
+
+Phase 4 builds each residency step's merged id→row index once in the
+coordinator and shares it: in-process backends pass it straight into
+:meth:`ProfileSlice.merge_indexed`, the process pool publishes it to its
+workers through a ``multiprocessing.shared_memory`` segment
+(:class:`SharedRowIndex`).  These tests pin
+
+* ``merge_indexed`` ≡ ``merge`` for disjoint slices (dense multi-block
+  and sparse CSR), including the no-matrix-allocation property,
+* the shared segment's roundtrip through the worker attach path, and
+* pool scoring with and without the shared index being bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import parallel
+from repro.core.parallel import ProcessScoringPool, SharedRowIndex, fork_available
+from repro.similarity.workloads import (generate_dense_profiles,
+                                        generate_sparse_profiles)
+from repro.storage.profile_store import OnDiskProfileStore
+
+NUM_USERS = 120
+
+
+@pytest.fixture(params=["dense", "sparse"])
+def store(request, tmp_path):
+    if request.param == "dense":
+        profiles = generate_dense_profiles(NUM_USERS, dim=6, seed=3)
+    else:
+        profiles = generate_sparse_profiles(NUM_USERS, 200, items_per_user=8,
+                                            seed=3)
+    return OnDiskProfileStore.create(tmp_path / "store", profiles)
+
+
+def _index_for(a_ids, b_ids):
+    concat = np.concatenate([np.asarray(a_ids, dtype=np.int64),
+                             np.asarray(b_ids, dtype=np.int64)])
+    order = np.argsort(concat, kind="stable")
+    return concat[order], order
+
+
+class TestMergeIndexed:
+    def test_equivalent_to_merge(self, store):
+        a = store.load_users(range(0, 50))
+        b = store.load_users(range(50, NUM_USERS))
+        users, order = _index_for(a.user_ids, b.user_ids)
+        plain = a.merge(b)
+        indexed = a.merge_indexed(b, users, order)
+        np.testing.assert_array_equal(indexed.user_ids, plain.user_ids)
+        measure = "cosine" if store.kind == "dense" else "jaccard"
+        rng = np.random.default_rng(7)
+        pairs = rng.integers(0, NUM_USERS, size=(400, 2), dtype=np.int64)
+        np.testing.assert_array_equal(indexed.similarity_pairs(pairs, measure),
+                                      plain.similarity_pairs(pairs, measure))
+
+    def test_scattered_ids_equivalent(self, store):
+        a = store.load_users([0, 7, 30, 31, 99])
+        b = store.load_users([3, 8, 29, 100])
+        users, order = _index_for(a.user_ids, b.user_ids)
+        plain = a.merge(b)
+        indexed = a.merge_indexed(b, users, order)
+        measure = "cosine" if store.kind == "dense" else "jaccard"
+        loaded = np.concatenate([a.user_ids, b.user_ids])
+        pairs = np.random.default_rng(5).choice(loaded, size=(100, 2))
+        np.testing.assert_array_equal(indexed.similarity_pairs(pairs, measure),
+                                      plain.similarity_pairs(pairs, measure))
+
+    def test_dense_merge_stays_multi_block(self, store):
+        if store.kind != "dense":
+            pytest.skip("dense-only property")
+        a = store.load_users(range(0, 60))
+        b = store.load_users(range(60, NUM_USERS))
+        users, order = _index_for(a.user_ids, b.user_ids)
+        merged = a.merge_indexed(b, users, order)
+        # no concatenated matrix was allocated: the original mapped blocks
+        # back the merged slice as-is
+        assert merged.matrix is None
+        assert merged.matrix_blocks[0] is a.matrix
+        assert merged.matrix_blocks[1] is b.matrix
+
+    def test_length_mismatch_rejected(self, store):
+        a = store.load_users(range(0, 10))
+        b = store.load_users(range(10, 20))
+        users, order = _index_for(a.user_ids, b.user_ids)
+        with pytest.raises(ValueError, match="merge index"):
+            a.merge_indexed(b, users[:-1], order[:-1])
+
+    def test_overlapping_users_rejected(self, store):
+        a = store.load_users(range(0, 10))
+        b = store.load_users(range(5, 15))
+        users, order = _index_for(a.user_ids, b.user_ids)
+        with pytest.raises(ValueError, match="disjoint"):
+            a.merge_indexed(b, users, order)
+
+
+@pytest.fixture
+def drop_worker_attachment():
+    """Clear the module-level worker attachment cache after the test."""
+    yield
+    parallel._WORKER_SLICE = (None, None)
+    _, shm = parallel._WORKER_INDEX
+    parallel._WORKER_INDEX = (None, None)
+    if shm is not None:
+        shm.close()
+
+
+class TestSharedRowIndexSegment:
+    def test_roundtrip_through_the_worker_attach_path(self,
+                                                      drop_worker_attachment):
+        users = np.asarray([2, 5, 9, 11], dtype=np.int64)
+        order = np.asarray([1, 3, 0, 2], dtype=np.int64)
+        shared = SharedRowIndex(users, order)
+        got_users, got_order = parallel._attach_row_index(shared.descriptor)
+        np.testing.assert_array_equal(got_users, users)
+        np.testing.assert_array_equal(got_order, order)
+        shared.close()
+
+    def test_empty_index(self):
+        shared = SharedRowIndex(np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.int64))
+        assert shared.descriptor[1] == 0
+        shared.close()
+        shared.close()  # idempotent
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            SharedRowIndex(np.zeros(3, dtype=np.int64),
+                           np.zeros(2, dtype=np.int64))
+
+
+@pytest.mark.skipif(not fork_available(), reason="process pool needs fork")
+class TestPoolWithSharedIndex:
+    def test_pool_scores_identical_with_and_without_index(self, store):
+        measure = "cosine" if store.kind == "dense" else "jaccard"
+        a_ids = np.arange(0, 50, dtype=np.int64)
+        b_ids = np.arange(50, NUM_USERS, dtype=np.int64)
+        users, order = _index_for(a_ids, b_ids)
+        rng = np.random.default_rng(11)
+        tuples = rng.integers(0, NUM_USERS, size=(500, 2), dtype=np.int64)
+        parts = [(("p", 0), a_ids), (("p", 1), b_ids)]
+        with ProcessScoringPool(store, num_workers=2) as pool:
+            shared = SharedRowIndex(users, order)
+            try:
+                with_index = pool.score(None, tuples, measure, key=("s", 1),
+                                        parts=parts, generation=store.generation,
+                                        row_index=shared.descriptor)
+            finally:
+                shared.close()
+            # a different step key forces a fresh merge without the index
+            without = pool.score(None, tuples, measure, key=("s", 2),
+                                 parts=parts, generation=store.generation)
+        np.testing.assert_array_equal(with_index, without)
+
+    def test_serial_reference_matches(self, store):
+        measure = "cosine" if store.kind == "dense" else "jaccard"
+        a_ids = np.arange(0, 50, dtype=np.int64)
+        b_ids = np.arange(50, NUM_USERS, dtype=np.int64)
+        users, order = _index_for(a_ids, b_ids)
+        merged = store.load_users(a_ids).merge_indexed(
+            store.load_users(b_ids), users, order)
+        rng = np.random.default_rng(11)
+        tuples = rng.integers(0, NUM_USERS, size=(500, 2), dtype=np.int64)
+        reference = merged.similarity_pairs(tuples, measure)
+        parts = [(("p", 0), a_ids), (("p", 1), b_ids)]
+        with ProcessScoringPool(store, num_workers=2) as pool:
+            shared = SharedRowIndex(users, order)
+            try:
+                scored = pool.score(None, tuples, measure, key=("s", 1),
+                                    parts=parts, generation=store.generation,
+                                    row_index=shared.descriptor)
+            finally:
+                shared.close()
+        np.testing.assert_array_equal(scored, reference)
