@@ -153,6 +153,30 @@ def compare_resume(fresh: dict) -> "tuple[bool, str]":
         "fingerprint matches")
 
 
+def compare_recovery(fresh: dict) -> "tuple[bool, str]":
+    """Gate the crash-recovery path (fresh report only, like resume).
+
+    Fails when the recovery bench's recovered run diverged from the
+    uninterrupted fingerprint, or when the section disappears from the
+    fresh report (the bench breaking must not read as a pass).  The
+    recovery wall-clock and WAL replay count are trajectory records, not
+    gated values — recovery is a cold path dominated by checksum reads.
+    """
+    section = fresh.get("recovery")
+    if section is None:
+        return False, ("recovery section missing from the FRESH report — "
+                       "run_perf_suite no longer measures crash recovery")
+    if not section.get("recovered_fingerprint_matches", False):
+        return False, ("recovered-run fingerprint DIVERGES from the "
+                       "uninterrupted run — crash recovery lost or "
+                       "double-applied state")
+    return True, (
+        f"crash recovery ok: recovered in "
+        f"{section.get('recover_seconds', 0.0):.4f}s, "
+        f"{section.get('wal_replayed', 0)} WAL records replayed, "
+        "fingerprint matches")
+
+
 def compare_backend_sweep(baseline: dict, fresh: dict,
                           tolerance: float) -> "tuple[bool, list]":
     """Per-row backend-sweep gate, cpu-count-aware for parallel rows.
@@ -232,6 +256,8 @@ def main() -> int:
     print(parity_message)
     ok_resume, resume_message = compare_resume(fresh)
     print(resume_message)
+    ok_recovery, recovery_message = compare_recovery(fresh)
+    print(recovery_message)
     ok_sweep, sweep_messages = compare_backend_sweep(baseline, fresh,
                                                      args.tolerance)
     for sweep_message in sweep_messages:
@@ -239,7 +265,7 @@ def main() -> int:
     same, fp_message = compare_fingerprints(baseline, fresh)
     print(("" if same else "WARNING: ") + fp_message)
     return 0 if (ok and ok45 and ok24 and ok_parity and ok_resume
-                 and ok_sweep) else 1
+                 and ok_recovery and ok_sweep) else 1
 
 
 if __name__ == "__main__":

@@ -38,6 +38,12 @@ The quantities recorded:
   wall-clock, the child's peak-RSS delta across resume + one iteration,
   and whether the resumed run's fingerprint matches the uninterrupted
   run (also CI-gated);
+* ``recovery`` — the crash-recovery bench: a durable 2k-user run is killed
+  by an injected crash at the start of its final iteration and recovered
+  via ``KNNEngine.recover`` (epoch verification, zero-copy restore, WAL
+  tail replay).  Records the recovery wall-clock, how many WAL records
+  were replayed, and whether the recovered run's final fingerprint matches
+  the uninterrupted run (CI-gated);
 * ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
   4 scoring threads;
 * ``backend_sweep`` — phase-4 seconds of one engine iteration per backend
@@ -366,6 +372,90 @@ def run_resume_bench() -> dict:
     }
 
 
+#: Shape of the crash-recovery bench: a durable run is crashed at the
+#: start of its third iteration and recovered from the committed epochs.
+RECOVERY_USERS = 2000
+RECOVERY_ITERATIONS = 3
+RECOVERY_CHURN = 100
+
+
+def run_recovery_bench() -> dict:
+    """Crash a durable run mid-flight and measure ``KNNEngine.recover``.
+
+    The gated quantity: ``recovered_fingerprint_matches`` must stay true —
+    kill → recover → finish equals the uninterrupted run bit for bit, with
+    the WAL tail replayed exactly once.  ``recover_seconds`` (checkpoint
+    verification + zero-copy restore + WAL replay) and ``wal_replayed``
+    are trajectory records.
+    """
+    from repro.testing import FaultPlan, InjectedCrash
+
+    def fresh_profiles():
+        return generate_dense_profiles(RECOVERY_USERS, dim=16,
+                                       num_communities=8, seed=SEED)
+
+    def once_feed():
+        fed = set()
+
+        def feed(iteration):
+            if iteration in fed:
+                return []
+            fed.add(iteration)
+            rng = np.random.default_rng(1000 + iteration)
+            users = rng.choice(RECOVERY_USERS, size=RECOVERY_CHURN,
+                               replace=False)
+            return [ProfileChange(user=int(u), kind="set",
+                                  vector=rng.random(16)) for u in users]
+
+        return feed
+
+    def config(**overrides):
+        return EngineConfig(k=K, num_partitions=NUM_PARTITIONS,
+                            heuristic="degree-low-high", seed=SEED,
+                            **overrides)
+
+    with KNNEngine(fresh_profiles(), config()) as engine:
+        engine.run(RECOVERY_ITERATIONS, profile_change_feed=once_feed())
+        uninterrupted = engine.graph.edge_fingerprint()
+
+    with tempfile.TemporaryDirectory(prefix="repro-recovery-") as tmp:
+        workdir = Path(tmp) / "work"
+        plan = FaultPlan().crash_at("iteration.begin",
+                                    occurrence=RECOVERY_ITERATIONS)
+        feed = once_feed()
+        engine = KNNEngine(fresh_profiles(),
+                           config(durable=True, fault_plan=plan),
+                           workdir=workdir)
+        try:
+            engine.run(RECOVERY_ITERATIONS, profile_change_feed=feed)
+            raise RuntimeError("injected crash never fired")
+        except InjectedCrash:
+            pass
+        finally:
+            engine.close()
+        start = time.perf_counter()
+        recovered = KNNEngine.recover(workdir)
+        recover_seconds = time.perf_counter() - start
+        try:
+            resumed_at = recovered.iterations_run
+            wal_replayed = recovered.wal_replayed
+            recovered.run(RECOVERY_ITERATIONS - resumed_at,
+                          profile_change_feed=feed)
+            fingerprint = recovered.graph.edge_fingerprint()
+        finally:
+            recovered.close()
+    return {
+        "num_users": RECOVERY_USERS,
+        "num_iterations": RECOVERY_ITERATIONS,
+        "churn_per_iteration": RECOVERY_CHURN,
+        "crashed_at_iteration": RECOVERY_ITERATIONS - 1,
+        "resumed_at_iteration": resumed_at,
+        "wal_replayed": wal_replayed,
+        "recover_seconds": round(recover_seconds, 4),
+        "recovered_fingerprint_matches": fingerprint == uninterrupted,
+    }
+
+
 def run_thread_sweep(thread_counts=(1, 2, 4)) -> list:
     rows = []
     profiles = generate_dense_profiles(NUM_USERS, dim=16, num_communities=8,
@@ -418,6 +508,9 @@ def main() -> None:
         # part of --quick: the CI gate fails on a materialised profile copy
         # or a resumed-fingerprint mismatch
         "resume": run_resume_bench(),
+        # part of --quick: the CI gate fails when a crashed durable run
+        # does not recover to the uninterrupted fingerprint
+        "recovery": run_recovery_bench(),
     }
     if not quick:
         report["thread_sweep"] = run_thread_sweep()

@@ -38,6 +38,11 @@ def main() -> None:
     #      backend="process", num_workers=4  — process pool; workers re-open the
     #                                          profile store read-only by path and
     #                                          score against zero-copy mmap slices
+    #
+    #    For a crash-safe deployment add durable=True (+ a workdir): every
+    #    iteration commits atomically and streamed profile updates land in a
+    #    write-ahead log, so a killed run resumes bit-identically via
+    #    KNNEngine.recover(workdir).  See docs/robustness.md.
     config = EngineConfig(
         k=10,
         num_partitions=8,

@@ -31,9 +31,10 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,8 +50,14 @@ _MAGIC = b"RPCK0001"
 _CACHE_MAGIC = b"RPSC0001"
 
 
-def save_knn_graph(path: PathLike, graph: KNNGraph) -> None:
-    """Serialise a scored KNN graph to a compact binary file."""
+def save_knn_graph(path: PathLike, graph: KNNGraph, fault_plan=None) -> None:
+    """Serialise a scored KNN graph to a compact binary file.
+
+    ``fault_plan`` (see :mod:`repro.testing.faults`) can fail the write or
+    truncate the written file to model a crash mid-serialisation; the
+    loader's magic/size checks and the checkpoint-level ``checksums.json``
+    are what must catch the damage.
+    """
     path = Path(path)
     rows = []
     for src, dst, score in graph.edges():
@@ -59,12 +66,16 @@ def save_knn_graph(path: PathLike, graph: KNNGraph) -> None:
     destinations = np.asarray([r[1] for r in rows], dtype=np.int64)
     scores = np.asarray([r[2] for r in rows], dtype=np.float64)
     header = np.asarray([graph.num_vertices, graph.k, len(rows)], dtype=np.int64)
+    if fault_plan is not None:
+        fault_plan.file_op("write", path)
     with path.open("wb") as handle:
         handle.write(_MAGIC)
         handle.write(header.tobytes())
         handle.write(sources.tobytes())
         handle.write(destinations.tobytes())
         handle.write(scores.tobytes())
+    if fault_plan is not None:
+        fault_plan.after_file_op("write", path)
 
 
 def load_knn_graph(path: PathLike) -> KNNGraph:
@@ -95,7 +106,8 @@ def load_knn_graph(path: PathLike) -> KNNGraph:
 
 
 def save_checkpoint(directory: PathLike, graph: KNNGraph, iteration: int,
-                    metadata: Optional[Dict[str, object]] = None) -> Path:
+                    metadata: Optional[Dict[str, object]] = None,
+                    fault_plan=None) -> Path:
     """Write a resumable checkpoint (graph + manifest) into ``directory``.
 
     Returns the manifest path.  ``metadata`` may carry anything JSON-
@@ -104,7 +116,7 @@ def save_checkpoint(directory: PathLike, graph: KNNGraph, iteration: int,
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     graph_path = directory / f"knn_graph_{iteration:05d}.bin"
-    save_knn_graph(graph_path, graph)
+    save_knn_graph(graph_path, graph, fault_plan=fault_plan)
     manifest = {
         "iteration": int(iteration),
         "graph_file": graph_path.name,
@@ -217,7 +229,8 @@ class CloneStats:
         return self.linked_bytes + self.copied_bytes
 
 
-def clone_profile_files(source_dir: PathLike, dest_dir: PathLike) -> CloneStats:
+def clone_profile_files(source_dir: PathLike, dest_dir: PathLike,
+                        fault_plan=None) -> CloneStats:
     """Clone a profile store's files: hard-link immutable, copy mutable.
 
     The split is the store's own contract
@@ -251,6 +264,11 @@ def clone_profile_files(source_dir: PathLike, dest_dir: PathLike) -> CloneStats:
         size = path.stat().st_size
         if OnDiskProfileStore.linkable_snapshot_file(path.name):
             try:
+                if fault_plan is not None:
+                    # an injected link failure is an OSError like any other
+                    # unsupported-link condition, so it exercises exactly
+                    # the production fallback below
+                    fault_plan.file_op("link", target)
                 os.link(path, target)
                 stats.linked_files += 1
                 stats.linked_bytes += size
@@ -267,7 +285,8 @@ def clone_profile_files(source_dir: PathLike, dest_dir: PathLike) -> CloneStats:
     return stats
 
 
-def snapshot_profile_store(store: OnDiskProfileStore, directory: PathLike) -> Path:
+def snapshot_profile_store(store: OnDiskProfileStore, directory: PathLike,
+                           fault_plan=None) -> Path:
     """Snapshot the on-disk profiles into ``directory`` (hard-link + copy).
 
     See :func:`clone_profile_files` for the link/copy split (including the
@@ -276,7 +295,7 @@ def snapshot_profile_store(store: OnDiskProfileStore, directory: PathLike) -> Pa
     :class:`~repro.storage.profile_store.OnDiskProfileStore` base dir.
     """
     dest = Path(directory)
-    clone_profile_files(store.base_dir, dest)
+    clone_profile_files(store.base_dir, dest, fault_plan=fault_plan)
     return dest
 
 
@@ -312,7 +331,8 @@ def restore_profile_store(snapshot_dir: PathLike, dest_dir: PathLike,
 def save_portable_checkpoint(directory: PathLike, graph: KNNGraph, iteration: int,
                              profile_store: Optional[OnDiskProfileStore] = None,
                              score_cache: Optional[Phase4ScoreCache] = None,
-                             metadata: Optional[Dict[str, object]] = None) -> Path:
+                             metadata: Optional[Dict[str, object]] = None,
+                             fault_plan=None) -> Path:
     """Write a self-contained checkpoint: graph + profiles ``P(t)`` + cache.
 
     Extends :func:`save_checkpoint` with a hard-linked snapshot of the
@@ -322,10 +342,12 @@ def save_portable_checkpoint(directory: PathLike, graph: KNNGraph, iteration: in
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    manifest_path = save_checkpoint(directory, graph, iteration, metadata=metadata)
+    manifest_path = save_checkpoint(directory, graph, iteration, metadata=metadata,
+                                    fault_plan=fault_plan)
     manifest = json.loads(manifest_path.read_text())
     if profile_store is not None:
-        snapshot_profile_store(profile_store, directory / "profiles")
+        snapshot_profile_store(profile_store, directory / "profiles",
+                               fault_plan=fault_plan)
         manifest["profiles_dir"] = "profiles"
     if score_cache is not None:
         cache_name = "score_cache.bin"
@@ -357,3 +379,64 @@ def load_portable_checkpoint(directory: PathLike) -> Tuple[
     if manifest.get("score_cache_file"):
         cache = load_score_cache(directory / manifest["score_cache_file"])
     return graph, iteration, metadata, store, cache
+
+
+# -- checkpoint integrity -----------------------------------------------------
+
+_CHECKSUMS_NAME = "checksums.json"
+
+
+def _checkpoint_files(directory: Path) -> List[Path]:
+    return sorted(path for path in directory.rglob("*")
+                  if path.is_file() and path.name != _CHECKSUMS_NAME
+                  and not path.name.endswith(".tmp"))
+
+
+def write_checkpoint_checksums(directory: PathLike) -> Path:
+    """Record a CRC32 for every file of a checkpoint directory.
+
+    ``checksums.json`` is written **last**, after every other file of the
+    checkpoint, so its presence doubles as a completeness marker: the
+    engine's commit protocol writes the whole epoch into a temporary
+    directory, seals it with this file, and only then renames the directory
+    into place.  A crash at any earlier instant leaves either no directory
+    or one that :func:`verify_checkpoint` rejects.
+    """
+    directory = Path(directory)
+    checksums = {
+        str(path.relative_to(directory)): zlib.crc32(path.read_bytes())
+        for path in _checkpoint_files(directory)
+    }
+    target = directory / _CHECKSUMS_NAME
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(checksums, indent=2, sort_keys=True))
+    os.replace(tmp, target)
+    return target
+
+
+def verify_checkpoint(directory: PathLike) -> bool:
+    """Whether a checkpoint directory passes its recorded checksums.
+
+    ``False`` for a missing/unreadable ``checksums.json`` (the epoch never
+    finished committing), a file listed there that is missing or whose
+    bytes changed, or a loadable-looking directory with extra damage the
+    CRCs catch.  Recovery walks epochs newest-first and takes the first
+    directory this accepts.
+    """
+    directory = Path(directory)
+    target = directory / _CHECKSUMS_NAME
+    if not target.is_file():
+        return False
+    try:
+        checksums = json.loads(target.read_text())
+    except ValueError:
+        return False
+    if not isinstance(checksums, dict):
+        return False
+    for name, expected in checksums.items():
+        path = directory / name
+        if not path.is_file():
+            return False
+        if zlib.crc32(path.read_bytes()) != int(expected):
+            return False
+    return True

@@ -97,6 +97,25 @@ class EngineConfig:
         want.
     seed:
         Seed for the random initial KNN graph.
+    shard_timeout_seconds:
+        Per-shard watchdog timeout for the ``process`` backend: a shard
+        whose worker produces no result within this many seconds is treated
+        as hung, the pool is respawned and the shard retried (default
+        ``None`` = wait forever, the historical behaviour).
+    durable:
+        Run the engine in fault-tolerant mode: queued profile changes go
+        through an fsynced write-ahead log, every iteration commits a
+        checksummed checkpoint epoch under ``workdir/commits/``, and
+        :meth:`~repro.core.engine.KNNEngine.recover` can resume the run
+        after a crash with exactly-once update semantics.  Off by default —
+        durability costs one checkpoint write per iteration.
+    fault_plan:
+        Optional :class:`repro.testing.faults.FaultPlan` consulted at the
+        runtime's named crash points and file-operation hooks.  Tests and
+        benchmarks use it to script exact failure schedules; production
+        runs leave it ``None`` (the hooks are no-ops).  The plan is live
+        runtime state: it is excluded from checkpoint manifests and shared
+        (never copied) by ``with_overrides``.
     """
 
     k: int = 10
@@ -117,6 +136,9 @@ class EngineConfig:
     score_cache_entries: int = 4_000_000
     adaptive_score_cache: bool = False
     seed: Optional[int] = 0
+    shard_timeout_seconds: Optional[float] = None
+    durable: bool = False
+    fault_plan: Optional[object] = None
 
     def __post_init__(self):
         check_positive_int(self.k, "k")
@@ -158,6 +180,8 @@ class EngineConfig:
         if self.profile_segment_rows is not None and self.profile_segment_rows <= 0:
             raise ValueError("profile_segment_rows must be positive when given")
         check_positive_int(self.score_cache_entries, "score_cache_entries")
+        if self.shard_timeout_seconds is not None and self.shard_timeout_seconds <= 0:
+            raise ValueError("shard_timeout_seconds must be positive when given")
 
     def with_overrides(self, **kwargs) -> "EngineConfig":
         """Return a copy of this configuration with the given fields replaced."""

@@ -21,21 +21,24 @@ Typical usage::
 
 from __future__ import annotations
 
+import json
+import os
 import shutil
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
-
-import numpy as np
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.core.checkpoint import (CloneStats, load_portable_checkpoint,
                                    restore_profile_store,
-                                   save_portable_checkpoint)
+                                   save_portable_checkpoint,
+                                   verify_checkpoint,
+                                   write_checkpoint_checksums)
 from repro.core.config import EngineConfig
 from repro.core.convergence import ConvergenceTracker
 from repro.core.iteration import IterationResult, OutOfCoreIteration, Phase4ScoreCache
-from repro.core.update_queue import ProfileUpdateQueue
+from repro.core.update_queue import (ProfileUpdateQueue, change_from_manifest,
+                                     change_to_manifest)
 from repro.graph.knn_graph import KNNGraph
 from repro.similarity.profiles import ProfileStoreBase
 from repro.similarity.workloads import ProfileChange
@@ -49,22 +52,24 @@ from repro.utils.validation import check_positive_int
 _logger = get_logger("core.engine")
 
 
-def _change_to_manifest(change: ProfileChange) -> dict:
-    """A :class:`ProfileChange` as a JSON-serialisable dict (checkpointing)."""
-    return {
-        "user": int(change.user),
-        "kind": change.kind,
-        "item": None if change.item is None else int(change.item),
-        "vector": (None if change.vector is None
-                   else np.asarray(change.vector, dtype=np.float64).tolist()),
-    }
+# the checkpoint serialisation of a ProfileChange lives with the WAL codec
+# (same wire format); re-exported here for backwards compatibility
+_change_to_manifest = change_to_manifest
+_change_from_manifest = change_from_manifest
 
 
-def _change_from_manifest(data: dict) -> ProfileChange:
-    vector = data.get("vector")
-    return ProfileChange(
-        user=int(data["user"]), kind=data["kind"], item=data.get("item"),
-        vector=None if vector is None else np.asarray(vector, dtype=np.float64))
+def _scan_commit_epochs(commits_dir: Path) -> List[Tuple[int, Path]]:
+    """``(epoch, path)`` for every sealed commit directory, ascending."""
+    epochs: List[Tuple[int, Path]] = []
+    if commits_dir.is_dir():
+        for path in commits_dir.glob("epoch_*"):
+            if not path.is_dir() or path.name.endswith(".tmp"):
+                continue
+            try:
+                epochs.append((int(path.name.split("_", 1)[1]), path))
+            except ValueError:
+                continue
+    return sorted(epochs)
 
 
 @dataclass
@@ -143,9 +148,16 @@ class KNNEngine:
                 segment_bounds=self._segment_bounds(profiles.num_users))
         self._partition_store = PartitionStore(
             self._workdir / "partitions", disk_model=self._config.disk_model)
+        # a configured fault plan observes every durability-relevant file
+        # operation the engine performs (deterministic fault injection)
+        self._profile_store.fault_plan = self._config.fault_plan
+        self._partition_store.fault_plan = self._config.fault_plan
         self._iteration_runner = OutOfCoreIteration(
             self._config, self._partition_store, self._profile_store)
-        self._update_queue = ProfileUpdateQueue()
+        wal_path = (self._workdir / "wal.bin") if self._config.durable else None
+        self._update_queue = ProfileUpdateQueue(
+            wal_path=wal_path, fault_plan=self._config.fault_plan)
+        self._wal_replayed = 0
 
         if initial_graph is not None:
             if initial_graph.num_vertices != profiles.num_users:
@@ -189,6 +201,7 @@ class KNNEngine:
             return
         self._closed = True
         self._iteration_runner.close()
+        self._update_queue.close()
         if self._owns_workdir:
             shutil.rmtree(self._workdir, ignore_errors=True)
 
@@ -257,7 +270,8 @@ class KNNEngine:
             directory, self._graph, self._iterations_run,
             profile_store=self._profile_store,
             score_cache=self._checkpointable_cache(),
-            metadata=combined)
+            metadata=combined,
+            fault_plan=self._config.fault_plan)
 
     def _checkpointable_cache(self) -> Phase4ScoreCache:
         """The score cache advanced to the snapshot generation for saving.
@@ -293,6 +307,9 @@ class KNNEngine:
         data = asdict(self._config)
         if not isinstance(self._config.disk_model, str):
             data.pop("disk_model")
+        # a fault plan is test harness state, not configuration: it cannot
+        # be serialised, and a recovered run must start fault-free anyway
+        data.pop("fault_plan", None)
         return data
 
     @classmethod
@@ -357,7 +374,16 @@ class KNNEngine:
                      initial_graph=graph)
         engine._iterations_run = iteration
         pending = metadata.get("pending_updates") or []
-        if pending:
+        if engine._update_queue.wal_preexisting:
+            # the workdir's WAL already holds every not-yet-applied change
+            # (and possibly already-applied ones garbage collection hasn't
+            # caught up with) — replay the tail after the checkpoint's
+            # committed sequence instead of trusting the manifest's pending
+            # list, which describes the same changes and would double-buffer
+            # them.  Sequence filtering makes the replay exactly-once.
+            applied = int(metadata.get("wal_applied_seq", -1))
+            engine._wal_replayed = engine._update_queue.replay_tail(applied)
+        elif pending:
             # changes buffered but not yet applied when the checkpoint was
             # taken resume their place in the queue, so the next iteration's
             # phase 5 applies exactly what an uninterrupted run would have
@@ -397,13 +423,146 @@ class KNNEngine:
     # -- execution -------------------------------------------------------------------
 
     def run_iteration(self) -> IterationResult:
-        """Run exactly one five-phase iteration and advance ``G(t)`` to ``G(t+1)``."""
+        """Run exactly one five-phase iteration and advance ``G(t)`` to ``G(t+1)``.
+
+        With :attr:`EngineConfig.durable` on, the iteration is bracketed by
+        commits: an initial commit of the pre-iteration state (first
+        iteration only) and a commit of the completed iteration, so a crash
+        at *any* instant leaves at least one verifiable epoch for
+        :meth:`recover`.
+        """
         self._ensure_open()
+        if self._config.durable:
+            self._ensure_initial_commit()
         result = self._iteration_runner.run(
             self._iterations_run, self._graph, self._update_queue)
         self._graph = result.graph
         self._iterations_run += 1
+        if self._config.durable:
+            self._commit_iteration()
         return result
+
+    # -- durable commits / crash recovery --------------------------------------
+
+    #: How many sealed epochs a durable engine retains.  Two, so that a
+    #: crash *during* a commit (after the old epochs were pruned, before the
+    #: new one sealed) still leaves a verifiable fallback; the WAL is only
+    #: ever truncated to the OLDEST kept epoch's applied sequence, so
+    #: falling back an epoch never loses updates.
+    COMMITS_KEPT = 2
+
+    @property
+    def commits_dir(self) -> Path:
+        return self._workdir / "commits"
+
+    @property
+    def wal_replayed(self) -> int:
+        """How many WAL records recovery reloaded into this engine's queue."""
+        return self._wal_replayed
+
+    def _ensure_initial_commit(self) -> None:
+        """Commit the pre-iteration state once, before the first iteration."""
+        if not _scan_commit_epochs(self.commits_dir):
+            self._commit_iteration()
+
+    def _commit_iteration(self) -> None:
+        """Atomically seal the current state as ``commits/epoch_NNNNN``.
+
+        Protocol: the whole epoch (graph, hard-linked profile snapshot,
+        score cache, manifest) is written into an ``.tmp`` directory,
+        sealed with ``checksums.json`` (written last — it doubles as the
+        completeness marker), and renamed into place in one atomic step.
+        Only then are stale epochs pruned and the WAL garbage-collected up
+        to the oldest *surviving* epoch's applied sequence.  A crash
+        between any two steps leaves either the previous epochs or the new
+        one — never a half-committed state that verifies.
+        """
+        fault = self._config.fault_plan
+        if fault is not None:
+            fault.point("commit.begin")
+        commits = self.commits_dir
+        commits.mkdir(parents=True, exist_ok=True)
+        epoch = self._iterations_run
+        final = commits / f"epoch_{epoch:05d}"
+        tmp = commits / f"epoch_{epoch:05d}.tmp"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        self.save_checkpoint(tmp, metadata={
+            "wal_applied_seq": self._update_queue.last_applied_seq})
+        write_checkpoint_checksums(tmp)
+        if fault is not None:
+            fault.point("commit.before_rename")
+        if final.exists():
+            shutil.rmtree(final)
+        os.rename(tmp, final)
+        if fault is not None:
+            fault.point("commit.committed")
+        epochs = _scan_commit_epochs(commits)
+        kept = epochs[-self.COMMITS_KEPT:]
+        for _, stale in epochs[:-self.COMMITS_KEPT]:
+            shutil.rmtree(stale, ignore_errors=True)
+        if fault is not None:
+            fault.point("commit.before_wal_truncate")
+        if self._update_queue.wal_path is not None and kept:
+            self._update_queue.truncate_wal(
+                self._commit_applied_seq(kept[0][1]))
+        if fault is not None:
+            fault.point("commit.done")
+
+    @staticmethod
+    def _commit_applied_seq(epoch_dir: Path) -> int:
+        """The WAL sequence a sealed epoch recorded as applied (-1 if none)."""
+        try:
+            manifest = json.loads((epoch_dir / "checkpoint.json").read_text())
+        except (OSError, ValueError):
+            return -1
+        metadata = manifest.get("metadata") or {}
+        return int(metadata.get("wal_applied_seq", -1))
+
+    @classmethod
+    def recover(cls, workdir: Union[str, Path],
+                config: Optional[EngineConfig] = None) -> "KNNEngine":
+        """Resume a crashed durable run from its workdir.
+
+        Walks the sealed epochs newest-first and restores the first one
+        whose checksums verify (:func:`verify_checkpoint`); unsealed
+        ``.tmp`` epochs and the crashed run's working profile/partition
+        copies are discarded — they are superseded by the verified
+        snapshot.  The durable WAL's tail (records after the restored
+        epoch's committed sequence) is replayed into the update queue, so
+        no enqueued change is lost and none is applied twice.  With
+        ``config=None`` the configuration sealed in the epoch is restored
+        (keep it ``None``, or keep ``durable=True``, or the WAL tail cannot
+        be replayed).
+        """
+        workdir = Path(workdir)
+        commits = workdir / "commits"
+        if not commits.is_dir():
+            raise FileNotFoundError(
+                f"no commits directory under {workdir}; was the crashed "
+                "run configured with durable=True?")
+        for tmp in commits.glob("epoch_*.tmp"):
+            # an epoch that never sealed — the crash hit mid-commit
+            shutil.rmtree(tmp, ignore_errors=True)
+        chosen = None
+        for _, path in reversed(_scan_commit_epochs(commits)):
+            if verify_checkpoint(path):
+                chosen = path
+                break
+            _logger.warning(
+                "commit %s fails checksum verification; falling back to "
+                "the previous epoch", path.name)
+        if chosen is None:
+            raise RuntimeError(
+                f"no commit under {commits} passes verification; the run "
+                "cannot be recovered")
+        _logger.info("recovering from %s", chosen)
+        # the crashed working copies may be torn mid-write; the verified
+        # epoch replaces the profiles, and partitions are derived state
+        # (phase 1 rebuilds them every iteration)
+        shutil.rmtree(workdir / "profiles", ignore_errors=True)
+        shutil.rmtree(workdir / "partitions", ignore_errors=True)
+        return cls.from_checkpoint(chosen, config=config, workdir=workdir)
 
     def run(self, num_iterations: int,
             convergence_threshold: Optional[float] = None,

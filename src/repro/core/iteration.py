@@ -31,14 +31,15 @@ things *do* survive across iterations:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.parallel import (ProcessScoringPool, SharedRowIndex,
-                                 fork_available, score_tuples)
+from repro.core.parallel import (ProcessScoringPool, ScoringPoolBroken,
+                                 SharedRowIndex, fork_available, score_tuples)
 from repro.core.update_queue import ProfileUpdateQueue
 from repro.graph.knn_graph import KNNGraph
 from repro.utils.arrays import counting_argsort
@@ -61,6 +62,14 @@ _logger = get_logger("core.iteration")
 #: Floor (in scored rows) for the phase-4 bulk-merge flush threshold; the
 #: effective threshold is ``max(4 * num_vertices * k, _SCORED_FLUSH_ROWS)``.
 _SCORED_FLUSH_ROWS = 262144
+
+#: Entries kept in the coordinator's merged row-index cache — one per
+#: ``(iteration, partition pair)``.  A pair recurring in the residency
+#: schedule (common under the paper's heuristics, which revisit a resident
+#: partition against several peers) then skips the argsort rebuild.  Each
+#: entry is two int64 arrays of the pair's combined vertex count, so a
+#: handful of slots bounds the footprint to a few partition-sized arrays.
+_ROW_INDEX_CACHE_SLOTS = 16
 
 #: Names of the five phases, used consistently in timers, logs and benches.
 PHASE_NAMES = (
@@ -381,6 +390,9 @@ class IterationResult:
     #: phase-4 score cache (the in-place galloping merge, or the full
     #: rebuild on full-rescore iterations).
     cache_merge_seconds: float = 0.0
+    #: Residency steps that reused the coordinator's cached merged row
+    #: index for their partition pair instead of rebuilding the argsort.
+    row_index_reuses: int = 0
 
     @property
     def load_unload_operations(self) -> int:
@@ -397,6 +409,7 @@ class IterationResult:
             "full_rescore": self.full_rescore,
             "lookups_skipped": self.lookups_skipped,
             "cache_merge_seconds": self.cache_merge_seconds,
+            "row_index_reuses": self.row_index_reuses,
             "load_unload_operations": self.load_unload_operations,
             "scheduled_load_unload_operations": self.schedule.load_unload_operations,
             "profile_updates_applied": self.profile_updates_applied,
@@ -415,6 +428,13 @@ class OutOfCoreIteration:
         self._profile_store = profile_store
         self._pool: Optional[ProcessScoringPool] = None
         self._warned_process_fallback = False
+        self._fault = config.fault_plan
+        # set when pool supervision exhausted its retries: the rest of the
+        # run scores in-process (bit-identical, just without the pool)
+        self._pool_degraded = False
+        # merged row-index cache, keyed (iteration, first, second) — see
+        # _ROW_INDEX_CACHE_SLOTS
+        self._row_index_cache: "OrderedDict[Tuple[int, int, int], Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         # survives across iterations, exactly like the scoring pool: the
         # cache holds the last scored generation's pair → score map
         self._score_cache = Phase4ScoreCache(config.score_cache_entries)
@@ -465,6 +485,8 @@ class OutOfCoreIteration:
         config = self._config
         if config.backend != "process":
             return None
+        if self._pool_degraded:
+            return None
         if config.num_workers == 1 or not fork_available():
             if not self._warned_process_fallback:
                 reason = ("num_workers=1" if config.num_workers == 1
@@ -475,8 +497,11 @@ class OutOfCoreIteration:
                 self._warned_process_fallback = True
             return None
         if self._pool is None:
-            self._pool = ProcessScoringPool(self._profile_store,
-                                            num_workers=config.num_workers)
+            self._pool = ProcessScoringPool(
+                self._profile_store,
+                num_workers=config.num_workers,
+                shard_timeout=config.shard_timeout_seconds,
+                fault_plan=config.fault_plan)
         return self._pool
 
     # -- public entry point -------------------------------------------------
@@ -485,6 +510,8 @@ class OutOfCoreIteration:
             update_queue: Optional[ProfileUpdateQueue] = None) -> IterationResult:
         """Run phases 1–5 once, turning ``G(t)`` into ``G(t+1)``."""
         config = self._config
+        if self._fault is not None:
+            self._fault.point("iteration.begin")
         timer = PhaseTimer()
         io_stats = IOStats()
         measure = config.measure or self._profile_store_default_measure()
@@ -505,8 +532,11 @@ class OutOfCoreIteration:
 
         with timer.phase(PHASE_NAMES[3]):
             (new_graph, evaluations, reused, full_rescore, lookups_skipped,
-             cache_merge_seconds) = self._phase4_knn(
+             cache_merge_seconds, row_index_reuses) = self._phase4_knn(
                 iteration, graph, table, steps, measure, io_stats)
+        if self._fault is not None:
+            # crash window: G(t+1) fully scored, phase-5 updates not applied
+            self._fault.point("phase4.done")
 
         with timer.phase(PHASE_NAMES[4]):
             updates_applied = self._phase5_profile_update(update_queue)
@@ -529,6 +559,7 @@ class OutOfCoreIteration:
             full_rescore=full_rescore,
             lookups_skipped=lookups_skipped,
             cache_merge_seconds=cache_merge_seconds,
+            row_index_reuses=row_index_reuses,
         )
         _logger.info(
             "iteration %d: %d tuples, %d similarity evaluations "
@@ -601,7 +632,7 @@ class OutOfCoreIteration:
     def _phase4_knn(self, iteration: int, graph: KNNGraph, table: TupleHashTable,
                     steps: Sequence[ResidencyStep], measure: str,
                     io_stats: IOStats
-                    ) -> Tuple[KNNGraph, int, int, bool, bool, float]:
+                    ) -> Tuple[KNNGraph, int, int, bool, bool, float, int]:
         config = self._config
         budget = (MemoryBudget(config.memory_budget_bytes)
                   if config.memory_budget_bytes is not None else None)
@@ -628,6 +659,7 @@ class OutOfCoreIteration:
         new_graph = KNNGraph(graph.num_vertices, config.k)
         evaluations = 0
         reused = 0
+        row_index_reuses = 0
         # candidate tuples whose endpoints are both untouched since the
         # cache's generation reuse the cached score verbatim; only the
         # remaining "dirty" tuples reach a similarity kernel (or the worker
@@ -712,18 +744,37 @@ class OutOfCoreIteration:
                 dirty = tuples if len(dirty_rows) == len(tuples) else tuples[dirty_rows]
                 reused += len(tuples) - len(dirty_rows)
             if len(dirty):
+                if self._fault is not None:
+                    # crash window: mid-phase-4, some steps scored, nothing
+                    # committed (placed outside the shared-index lifetime so
+                    # the injected crash itself never doubles as a leak)
+                    self._fault.point("phase4.step")
                 # the merged slice's id→row index (the stable argsort of the
-                # two partitions' concatenated ids) is built once here and
-                # shared with every consumer — in-process merges skip their
-                # per-step argsort, and pool workers receive it through a
-                # shared-memory segment instead of each re-deriving it
+                # two partitions' concatenated ids) is built once per
+                # (iteration, pair) — recurring pairs reuse it from a small
+                # LRU — and shared with every consumer: in-process merges
+                # skip their per-step argsort, and pool workers receive it
+                # through a shared-memory segment instead of each re-deriving
+                # it
                 index_users = index_order = None
                 if second != first:
-                    concat_ids = np.concatenate([partition_a.vertices,
-                                                 partition_b.vertices])
-                    index_order = np.argsort(concat_ids, kind="stable")
-                    index_users = concat_ids[index_order]
+                    index_key = (iteration, first, second)
+                    cached_index = self._row_index_cache.get(index_key)
+                    if cached_index is not None:
+                        index_users, index_order = cached_index
+                        self._row_index_cache.move_to_end(index_key)
+                        row_index_reuses += 1
+                    else:
+                        concat_ids = np.concatenate([partition_a.vertices,
+                                                     partition_b.vertices])
+                        index_order = np.argsort(concat_ids, kind="stable")
+                        index_users = concat_ids[index_order]
+                        self._row_index_cache[index_key] = (index_users,
+                                                            index_order)
+                        while len(self._row_index_cache) > _ROW_INDEX_CACHE_SLOTS:
+                            self._row_index_cache.popitem(last=False)
                 kernel_start = time.perf_counter()
+                fresh = None
                 if use_process:
                     # the workers load (mmap, zero-copy) the slices
                     # themselves; the coordinator only keeps the I/O
@@ -749,10 +800,23 @@ class OutOfCoreIteration:
                                            parts=parts,
                                            generation=store_generation,
                                            row_index=row_index)
+                    except ScoringPoolBroken:
+                        # supervision exhausted respawn-and-retry: finish
+                        # this step (and the rest of the run) in-process —
+                        # scores are per-pair deterministic, so the result
+                        # is bit-identical, just slower
+                        _logger.warning(
+                            "scoring pool failed repeatedly; degrading to "
+                            "in-process scoring for the rest of the run")
+                        self._pool_degraded = True
+                        pool.terminate()
+                        self._pool = None
+                        pool = None
+                        use_process = False
                     finally:
                         if shared_index is not None:
                             shared_index.close()
-                else:
+                if fresh is None:
                     self._sync_profile_slices(resident_profiles, needed)
                     merged = self._merged_slice(resident_profiles, first, second,
                                                 index_users, index_order)
@@ -810,7 +874,7 @@ class OutOfCoreIteration:
                 self._cache_policy.observe_lookups(lookup_seconds,
                                                    looked_tuples, reused)
         return (new_graph, evaluations, reused, full_rescore, lookups_skipped,
-                cache_merge_seconds)
+                cache_merge_seconds, row_index_reuses)
 
     @staticmethod
     def _evict_stale_profiles(cache: PartitionCache,
@@ -874,6 +938,10 @@ class OutOfCoreIteration:
     def _phase5_profile_update(self, update_queue: Optional[ProfileUpdateQueue]) -> int:
         if update_queue is None or len(update_queue) == 0:
             return 0
+        if self._fault is not None:
+            # crash window: updates scored and enqueued (WAL-durable when the
+            # engine runs durable) but not yet applied to the profile store
+            self._fault.point("phase5.before_apply")
         changes = update_queue.drain()
         return self._profile_store.apply_changes(changes)
 

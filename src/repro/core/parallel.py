@@ -23,9 +23,14 @@ to the serial path regardless of worker count.
 
 from __future__ import annotations
 
+import atexit
 import os
+import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Optional, Sequence, Tuple, Union
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple, Union
 
 import multiprocessing
 from multiprocessing import shared_memory
@@ -33,7 +38,10 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.storage.profile_store import OnDiskProfileStore, ProfileSlice
+from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive_int
+
+_logger = get_logger("core.parallel")
 
 #: Recognised values for the ``backend`` knob (config and ``score_tuples``).
 BACKENDS = ("serial", "thread", "process")
@@ -106,6 +114,48 @@ def fork_available() -> bool:
 
 # -- shared-memory merged-slice row index ------------------------------------
 
+#: Live (not yet closed) :class:`SharedRowIndex` instances.  Weak so an
+#: index dropped without ``close()`` can still be collected — its finalizer
+#: unlinks the segment — while the atexit sweep and the no-leak assertion in
+#: the crash-matrix suite can enumerate whatever is still open.
+_ACTIVE_ROW_INDEXES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unlink-then-close a segment, tolerating every already-gone state."""
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass  # double-unlink or tracker raced us
+    try:
+        shm.close()
+    except BufferError:
+        pass  # an exported view still references the mapping
+
+
+def _sweep_shared_row_indexes() -> None:
+    """Close every still-open :class:`SharedRowIndex` (crash-path cleanup).
+
+    Registered with ``atexit`` so an abnormal coordinator exit — e.g. an
+    injected crash raised between creating a segment and unlinking it —
+    never strands ``/dev/shm`` segments.  Instance finalizers cover the
+    garbage-collection path for indexes orphaned mid-run.
+    """
+    for index in list(_ACTIVE_ROW_INDEXES):
+        index.close()
+
+
+atexit.register(_sweep_shared_row_indexes)
+
+
+def active_shared_row_indexes() -> "List[SharedRowIndex]":
+    """The coordinator-side shared-index segments currently open.
+
+    The crash-matrix suite asserts this is empty after every kill/recover
+    cycle: a non-empty result means a crash path leaked a named segment.
+    """
+    return [index for index in _ACTIVE_ROW_INDEXES if index._shm is not None]
+
 
 class SharedRowIndex:
     """A merged-slice row index published once to every scoring worker.
@@ -144,6 +194,11 @@ class SharedRowIndex:
         del data  # drop the exported view so close() can succeed
         #: ``(segment name, row count)`` — what crosses the pipe.
         self.descriptor: Tuple[str, int] = (self._shm.name, n)
+        # crash safety: if this index is orphaned (exception between create
+        # and close) the finalizer unlinks the segment at GC or interpreter
+        # exit, and the atexit sweep catches whatever is still reachable
+        self._finalizer = weakref.finalize(self, _release_segment, self._shm)
+        _ACTIVE_ROW_INDEXES.add(self)
 
     def close(self) -> None:
         """Unlink and release the segment (idempotent).
@@ -156,14 +211,9 @@ class SharedRowIndex:
         if self._shm is None:
             return
         shm, self._shm = self._shm, None
-        try:
-            shm.unlink()
-        except (FileNotFoundError, OSError):
-            pass  # double-unlink or tracker raced us
-        try:
-            shm.close()
-        except BufferError:
-            pass  # an exported view still references the mapping
+        self._finalizer.detach()
+        _ACTIVE_ROW_INDEXES.discard(self)
+        _release_segment(shm)
 
     def __enter__(self) -> "SharedRowIndex":
         return self
@@ -290,7 +340,8 @@ def _worker_part_slice(part_key: object, user_ids: np.ndarray) -> ProfileSlice:
 def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
                  tuples: np.ndarray, measure: str,
                  generation: Optional[int] = None,
-                 row_index: Optional[Tuple[str, int]] = None) -> np.ndarray:
+                 row_index: Optional[Tuple[str, int]] = None,
+                 fault: Optional[Tuple[str, float]] = None) -> np.ndarray:
     """Score one tuple shard against the union of the given partition slices.
 
     ``parts`` is ``[(part_key, user_ids), ...]``; each partition is loaded
@@ -306,6 +357,14 @@ def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
     it is exactly equivalent (:meth:`ProfileSlice.merge_indexed`).
     """
     global _WORKER_SLICE, _WORKER_GENERATION
+    if fault is not None:
+        # injected worker fault (see repro.testing.faults): the coordinator
+        # attaches the directive to exactly one shard of one score attempt
+        mode, seconds = fault
+        if mode == "kill":
+            os._exit(43)  # hard death: no cleanup, no exception over the pipe
+        elif mode == "hang":
+            time.sleep(seconds)
     if generation is not None and generation != _WORKER_GENERATION:
         _WORKER_STORE.reload()
         _WORKER_PARTS.clear()
@@ -326,8 +385,18 @@ def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
     return _WORKER_SLICE[1].similarity_pairs(tuples, measure)
 
 
+class ScoringPoolBroken(RuntimeError):
+    """The scoring pool failed ``max_retries`` consecutive attempts.
+
+    Raised by :meth:`ProcessScoringPool.score` after respawn-and-retry is
+    exhausted; phase 4 catches it and degrades to the in-process path
+    (bit-identical results, just slower), so a persistently failing worker
+    environment never takes the iteration down.
+    """
+
+
 class ProcessScoringPool:
-    """A pool of scoring workers that re-open one profile store by path.
+    """A supervised pool of scoring workers that re-open one store by path.
 
     Tuple shards are split deterministically (``np.array_split`` order) and
     the per-shard score arrays are concatenated in submission order, so the
@@ -337,13 +406,40 @@ class ProcessScoringPool:
     through the ``generation`` argument of :meth:`score` whenever phase 5
     changes the store underneath.  Use as a context manager, or call
     :meth:`shutdown`.
+
+    Supervision: a dead worker surfaces as :class:`BrokenProcessPool`; a
+    hung worker is caught by the per-shard watchdog (``shard_timeout``
+    seconds per shard, ``None`` = wait forever).  Either way the pool is
+    torn down (leftover processes killed), respawned, and the whole shard
+    batch retried with capped exponential backoff — retrying the full batch
+    keeps the deterministic shard/concatenation order, so results stay
+    bit-identical under any kill schedule.  After ``max_retries``
+    consecutive failures :class:`ScoringPoolBroken` is raised for the
+    caller to degrade gracefully.
     """
 
+    RETRY_BACKOFF_BASE = 0.05
+    RETRY_BACKOFF_CAP = 1.0
+
     def __init__(self, store: Union[OnDiskProfileStore, str, os.PathLike],
-                 num_workers: int = 1):
+                 num_workers: int = 1,
+                 shard_timeout: Optional[float] = None,
+                 max_retries: int = 3,
+                 fault_plan=None):
         check_positive_int(num_workers, "num_workers")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive when given")
+        check_positive_int(max_retries, "max_retries")
         store_dir = store.base_dir if isinstance(store, OnDiskProfileStore) else store
+        self._store_dir = str(store_dir)
         self._num_workers = num_workers
+        self._shard_timeout = shard_timeout
+        self._max_retries = max_retries
+        self._fault_plan = fault_plan
+        self._respawns = 0
+        self._executor = self._build_executor()
+
+    def _build_executor(self) -> ProcessPoolExecutor:
         # workers must inherit a running resource tracker so shared-index
         # segments are tracked by one process, not one copy per worker
         _ensure_shared_resource_tracker()
@@ -351,16 +447,50 @@ class ProcessScoringPool:
         # the workers re-open the store themselves in the initializer
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else None)
-        self._executor = ProcessPoolExecutor(
-            max_workers=num_workers,
+        return ProcessPoolExecutor(
+            max_workers=self._num_workers,
             mp_context=context,
             initializer=_init_scoring_worker,
-            initargs=(str(store_dir),),
+            initargs=(self._store_dir,),
         )
+
+    def terminate(self) -> None:
+        """Tear down the executor without waiting on its workers.
+
+        ``shutdown(wait=False)`` alone leaves a *hung* worker running — the
+        executor only reaps workers that return — so any process still
+        alive after the shutdown is killed explicitly; otherwise a single
+        sleeping worker would pin its store mappings for the rest of the
+        run.  Safe to call repeatedly (and after :meth:`shutdown`).
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values())
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # a broken pool may refuse; the kills below still run
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+        for process in processes:
+            process.join(timeout=5.0)
+
+    def _respawn(self) -> None:
+        """Replace the (broken or hung) executor with a fresh one."""
+        self.terminate()
+        self._respawns += 1
+        self._executor = self._build_executor()
 
     @property
     def num_workers(self) -> int:
         return self._num_workers
+
+    @property
+    def respawns(self) -> int:
+        """How many times supervision replaced the worker pool."""
+        return self._respawns
 
     def score(self, user_ids: Optional[np.ndarray], tuples: np.ndarray,
               measure: str, key: object = None,
@@ -402,16 +532,62 @@ class ProcessScoringPool:
             parts = [(part_key, _compact_ids(user_ids))]
         else:
             parts = [(part_key, _compact_ids(ids)) for part_key, ids in parts]
-        shards = np.array_split(tuples, min(self._num_workers, len(tuples)))
-        futures = [
-            self._executor.submit(_score_shard, key, parts, shard, measure,
-                                  generation, row_index)
-            for shard in shards if len(shard)
-        ]
-        return np.concatenate([future.result() for future in futures])
+        shards = [shard for shard
+                  in np.array_split(tuples, min(self._num_workers, len(tuples)))
+                  if len(shard)]
+        for attempt in range(self._max_retries + 1):
+            fault = (self._fault_plan.take_worker_fault()
+                     if self._fault_plan is not None else None)
+            try:
+                return self._score_attempt(
+                    key, parts, shards, measure, generation, row_index, fault)
+            except (BrokenProcessPool, FutureTimeoutError) as exc:
+                kind = ("shard timeout" if isinstance(exc, FutureTimeoutError)
+                        else "worker died")
+                if attempt >= self._max_retries:
+                    raise ScoringPoolBroken(
+                        f"scoring pool failed {attempt + 1} consecutive "
+                        f"attempts (last: {kind})") from exc
+                delay = min(self.RETRY_BACKOFF_CAP,
+                            self.RETRY_BACKOFF_BASE * (2 ** attempt))
+                _logger.warning(
+                    "scoring pool %s (attempt %d/%d); respawning workers and "
+                    "retrying the shard batch in %.2fs",
+                    kind, attempt + 1, self._max_retries + 1, delay)
+                time.sleep(delay)
+                self._respawn()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _score_attempt(self, key, parts, shards, measure, generation,
+                       row_index, fault) -> np.ndarray:
+        """One submission of the full shard batch (the retry unit).
+
+        A ``fault`` directive ``(mode, shard_index, seconds)`` is attached
+        to exactly the targeted shard.  The per-shard watchdog applies the
+        timeout to each ``result()`` wait; on expiry the not-yet-started
+        shards are cancelled before the supervisor respawns the pool.
+        """
+        futures = []
+        for index, shard in enumerate(shards):
+            shard_fault = None
+            if fault is not None and index == fault[1] % len(shards):
+                shard_fault = (fault[0], fault[2])
+            futures.append(self._executor.submit(
+                _score_shard, key, parts, shard, measure, generation,
+                row_index, shard_fault))
+        try:
+            return np.concatenate(
+                [future.result(timeout=self._shard_timeout)
+                 for future in futures])
+        except FutureTimeoutError:
+            for future in futures:
+                future.cancel()
+            raise
 
     def shutdown(self) -> None:
-        self._executor.shutdown(wait=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     def __enter__(self) -> "ProcessScoringPool":
         return self

@@ -36,6 +36,12 @@ class PartitionStore:
         self._base_dir.mkdir(parents=True, exist_ok=True)
         self._disk = get_disk_model(disk_model)
         self.io_stats = io_stats if io_stats is not None else IOStats()
+        #: Optional :class:`repro.testing.faults.FaultPlan` consulted around
+        #: partition writes (engine-wired).  Partition files are derived
+        #: state — phase 1 rewrites them every iteration — so an injected
+        #: write failure here models a transient disk error during an
+        #: iteration, not durable-state corruption.
+        self.fault_plan = None
 
     # -- paths -------------------------------------------------------------
 
@@ -74,12 +80,16 @@ class PartitionStore:
             partition.num_unique_in_sources,
             partition.num_unique_out_destinations,
         ], dtype=np.int64)
+        if self.fault_plan is not None:
+            self.fault_plan.file_op("write", path)
         with path.open("wb") as handle:
             handle.write(_MAGIC)
             handle.write(header.tobytes())
             handle.write(vertices.tobytes())
             handle.write(in_edges.tobytes())
             handle.write(out_edges.tobytes())
+        if self.fault_plan is not None:
+            self.fault_plan.after_file_op("write", path)
         num_bytes = (len(_MAGIC) + header.nbytes + vertices.nbytes
                      + in_edges.nbytes + out_edges.nbytes)
         self.io_stats.record_write(num_bytes, self._disk.write_cost(num_bytes, sequential=True))

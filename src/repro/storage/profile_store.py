@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
@@ -73,23 +74,42 @@ DEFAULT_SEGMENT_ROWS = 4096
 _DELTA_LOG_LIMIT = 64
 
 
-def _atomic_tofile(array: np.ndarray, path: Path) -> None:
+class StoreCorruptionError(RuntimeError):
+    """A store file's content does not match its recorded CRC32."""
+
+
+def _atomic_tofile(array: np.ndarray, path: Path, fault_plan=None) -> None:
     """Write ``array`` to ``path`` via a temp file + rename.
 
     Replacing the file atomically gives it a fresh inode, so hard links taken
     by a portable checkpoint keep pointing at the old (immutable) bytes
     instead of being rewritten underneath the checkpoint.
+
+    ``fault_plan`` (see :mod:`repro.testing.faults`) can fail the write or
+    the rename, or truncate the published file, to model disk faults.
     """
     tmp = path.with_name(path.name + ".tmp")
+    if fault_plan is not None:
+        fault_plan.file_op("write", path)
     array.tofile(tmp)
+    if fault_plan is not None:
+        fault_plan.file_op("rename", path)
     os.replace(tmp, path)
+    if fault_plan is not None:
+        fault_plan.after_file_op("write", path)
 
 
-def _atomic_write_bytes(data: bytes, path: Path) -> None:
+def _atomic_write_bytes(data: bytes, path: Path, fault_plan=None) -> None:
     """Byte-level sibling of :func:`_atomic_tofile` (same hard-link contract)."""
     tmp = path.with_name(path.name + ".tmp")
+    if fault_plan is not None:
+        fault_plan.file_op("write", path)
     tmp.write_bytes(data)
+    if fault_plan is not None:
+        fault_plan.file_op("rename", path)
     os.replace(tmp, path)
+    if fault_plan is not None:
+        fault_plan.after_file_op("write", path)
 
 
 def partition_aligned_bounds(num_users: int, num_partitions: int) -> List[int]:
@@ -500,7 +520,8 @@ class OnDiskProfileStore:
                  io_stats: Optional[IOStats] = None,
                  format_version: int = FORMAT_VERSION,
                  segment_bounds: Optional[Sequence[int]] = None,
-                 journal_limit: Optional[int] = None):
+                 journal_limit: Optional[int] = None,
+                 verify: bool = False):
         # version 1 is read-only legacy (there has never been a v1 writer)
         if not 2 <= format_version <= FORMAT_VERSION:
             raise ValueError(f"format_version must be 2..{FORMAT_VERSION}, "
@@ -513,6 +534,10 @@ class OnDiskProfileStore:
         self._segment_bounds_hint = (list(segment_bounds)
                                      if segment_bounds is not None else None)
         self._journal_limit_override = journal_limit
+        #: Optional :class:`repro.testing.faults.FaultPlan` consulted around
+        #: file writes and at the store's named crash points (engine-wired).
+        self.fault_plan = None
+        self._verify_on_open = bool(verify)
         self._meta: Optional[dict] = None
         # lazily-opened memory maps shared by every slice this store serves
         # (invalidated when a rewrite replaces the files)
@@ -530,6 +555,8 @@ class OnDiskProfileStore:
         self._delta_log: List[Tuple[int, np.ndarray]] = []
         self._delta_floor: int = (int(self._meta.get("generation", 0))
                                   if self._meta else 0)
+        if self._verify_on_open and self._meta is not None:
+            self.verify_checksums(strict=True)
 
     # -- creation ------------------------------------------------------------
 
@@ -562,13 +589,15 @@ class OnDiskProfileStore:
         generation = self._next_generation()
         if isinstance(store, DenseProfileStore):
             matrix = store.matrix.astype(np.float64)
-            _atomic_tofile(matrix, self._base_dir / self._DENSE_NAME)
+            _atomic_tofile(matrix, self._base_dir / self._DENSE_NAME, self.fault_plan)
             norms = np.linalg.norm(matrix, axis=1)
-            _atomic_tofile(norms, self._base_dir / self._NORMS_NAME)
+            _atomic_tofile(norms, self._base_dir / self._NORMS_NAME, self.fault_plan)
             self._meta = {"kind": "dense", "num_users": store.num_users,
                           "dim": store.dim,
                           "format_version": self._target_version,
                           "generation": generation}
+            self._set_crc(self._DENSE_NAME, matrix)
+            self._set_crc(self._NORMS_NAME, norms)
             total = matrix.nbytes + norms.nbytes
             self.io_stats.record_write(total,
                                        self._disk.write_cost(total, sequential=True))
@@ -591,13 +620,17 @@ class OnDiskProfileStore:
         codes = np.asarray(csr.codes, dtype=np.int64)
         item_ids = (np.asarray(csr.item_ids, dtype=np.int64)
                     if csr.item_ids is not None else np.empty(0, dtype=np.int64))
-        _atomic_tofile(indptr, self._base_dir / self._SPARSE_INDPTR)
-        _atomic_tofile(codes, self._base_dir / self._SPARSE_ITEMS)
-        _atomic_tofile(item_ids, self._base_dir / self._SPARSE_ITEM_IDS)
+        _atomic_tofile(indptr, self._base_dir / self._SPARSE_INDPTR, self.fault_plan)
+        _atomic_tofile(codes, self._base_dir / self._SPARSE_ITEMS, self.fault_plan)
+        _atomic_tofile(item_ids, self._base_dir / self._SPARSE_ITEM_IDS,
+                       self.fault_plan)
         self._meta = {"kind": "sparse", "num_users": store.num_users,
                       "num_items": csr.num_items, "format_version": 2,
                       "row_codes_sorted": bool(csr.rows_sorted),
                       "generation": generation}
+        self._set_crc(self._SPARSE_INDPTR, indptr)
+        self._set_crc(self._SPARSE_ITEMS, codes)
+        self._set_crc(self._SPARSE_ITEM_IDS, item_ids)
         total = indptr.nbytes + codes.nbytes + item_ids.nbytes
         self.io_stats.record_write(total, self._disk.write_cost(total, sequential=True))
 
@@ -609,16 +642,24 @@ class OnDiskProfileStore:
                     if csr.item_ids is not None else np.empty(0, dtype=np.int64))
         bounds = self._resolve_segment_bounds(store.num_users)
         total = item_ids.nbytes
+        crcs: Dict[str, int] = {}
         for index in range(len(bounds) - 1):
             lo, hi = bounds[index], bounds[index + 1]
             local = (indptr[lo:hi + 1] - indptr[lo]).astype(np.int64)
             seg_codes = codes[indptr[lo]:indptr[hi]]
-            _atomic_tofile(local, self._base_dir / self._SEG_INDPTR_TMPL.format(index))
-            _atomic_tofile(seg_codes, self._base_dir / self._SEG_CODES_TMPL.format(index))
+            _atomic_tofile(local, self._base_dir / self._SEG_INDPTR_TMPL.format(index),
+                           self.fault_plan)
+            _atomic_tofile(seg_codes, self._base_dir / self._SEG_CODES_TMPL.format(index),
+                           self.fault_plan)
+            crcs[self._SEG_INDPTR_TMPL.format(index)] = zlib.crc32(local.tobytes())
+            crcs[self._SEG_CODES_TMPL.format(index)] = zlib.crc32(seg_codes.tobytes())
             total += local.nbytes + seg_codes.nbytes
-        _atomic_tofile(item_ids, self._base_dir / self._SPARSE_ITEM_IDS)
+        _atomic_tofile(item_ids, self._base_dir / self._SPARSE_ITEM_IDS,
+                       self.fault_plan)
+        crcs[self._SPARSE_ITEM_IDS] = zlib.crc32(item_ids.tobytes())
         for name in (self._JOURNAL_ROWS, self._JOURNAL_INDPTR, self._JOURNAL_CODES):
-            _atomic_write_bytes(b"", self._base_dir / name)
+            _atomic_write_bytes(b"", self._base_dir / name, self.fault_plan)
+            crcs[name] = 0  # zlib.crc32(b"")
         # stale files from other layouts (upgrades) or shrunken segment counts
         for name in (self._SPARSE_INDPTR, self._SPARSE_ITEMS):
             path = self._base_dir / name
@@ -631,7 +672,8 @@ class OnDiskProfileStore:
         self._meta = {"kind": "sparse", "num_users": store.num_users,
                       "num_items": csr.num_items, "format_version": 3,
                       "segment_bounds": [int(b) for b in bounds],
-                      "journal_entries": 0, "generation": generation}
+                      "journal_entries": 0, "generation": generation,
+                      "crc32": crcs}
         self.io_stats.record_write(total, self._disk.write_cost(total, sequential=True))
 
     def _resolve_segment_bounds(self, num_users: int) -> List[int]:
@@ -670,6 +712,8 @@ class OnDiskProfileStore:
         # the files may have been rewritten by another process; any delta
         # history collected through this handle no longer describes them
         self._reset_delta_log()
+        if self._verify_on_open and self._meta is not None:
+            self.verify_checksums(strict=True)
 
     # -- queries --------------------------------------------------------------
 
@@ -1153,10 +1197,16 @@ class OnDiskProfileStore:
                 num_bytes += 8
             self.io_stats.record_write(
                 num_bytes, self._disk.mapped_write_cost(num_bytes, sequential=False))
+        if self.fault_plan is not None:
+            # crash window: rows written in place, meta/generation not yet
+            # bumped — recovery must fall back to the last committed epoch
+            self.fault_plan.point("store.dense_rows_written")
         mm.flush()
+        self._set_crc(self._DENSE_NAME, mm.tobytes())
         del mm
         if norms_mm is not None:
             norms_mm.flush()
+            self._set_crc(self._NORMS_NAME, norms_mm.tobytes())
             del norms_mm
         self._bump_generation()
         self._record_delta(np.asarray(sorted(latest), dtype=np.int64))
@@ -1195,8 +1245,7 @@ class OnDiskProfileStore:
         appended_bytes = 0
         if new_items:
             arr = np.asarray(new_items, dtype=np.int64)
-            with (self._base_dir / self._SPARSE_ITEM_IDS).open("ab") as handle:
-                handle.write(arr.tobytes())
+            self._append_file(self._SPARSE_ITEM_IDS, arr)
             for item in new_items:
                 code_of[item] = len(code_of)
             appended_bytes += arr.nbytes
@@ -1212,11 +1261,14 @@ class OnDiskProfileStore:
                             count=len(row_codes))
         journal_indptr = np.concatenate(
             [state.j_indptr, int(state.j_indptr[-1]) + np.cumsum(sizes)])
-        with (self._base_dir / self._JOURNAL_ROWS).open("ab") as handle:
-            handle.write(rows.tobytes())
-        with (self._base_dir / self._JOURNAL_CODES).open("ab") as handle:
-            handle.write(new_codes.tobytes())
-        _atomic_tofile(journal_indptr, self._base_dir / self._JOURNAL_INDPTR)
+        self._append_file(self._JOURNAL_ROWS, rows)
+        self._append_file(self._JOURNAL_CODES, new_codes)
+        _atomic_tofile(journal_indptr, self._base_dir / self._JOURNAL_INDPTR,
+                       self.fault_plan)
+        self._set_crc(self._JOURNAL_INDPTR, journal_indptr)
+        if self.fault_plan is not None:
+            # crash window: journal appended, meta/generation not yet bumped
+            self.fault_plan.point("store.journal_appended")
         self._meta["journal_entries"] = len(state.j_rows) + len(rows)
         written = rows.nbytes + new_codes.nbytes + journal_indptr.nbytes + appended_bytes
         self.io_stats.record_write(
@@ -1235,6 +1287,22 @@ class OnDiskProfileStore:
         else:
             self._record_delta(rows)
         return len(sets)
+
+    def _append_file(self, name: str, data: np.ndarray) -> None:
+        """Append to one of the store's append-only files.
+
+        Rolls the file's running CRC32 forward over the appended bytes and
+        consults the fault plan around the write (appends are a distinct
+        torn-write surface from the atomic-replace paths).
+        """
+        path = self._base_dir / name
+        if self.fault_plan is not None:
+            self.fault_plan.file_op("write", path)
+        with path.open("ab") as handle:
+            handle.write(data.tobytes())
+        if self.fault_plan is not None:
+            self.fault_plan.after_file_op("write", path)
+        self._extend_crc(name, data)
 
     def _item_code_map(self, state: _SparseV3State) -> Dict[int, int]:
         """The item-id→code dict, built once per (re)coding of the table."""
@@ -1280,11 +1348,16 @@ class OnDiskProfileStore:
             # release the mapped views of this segment before replacing it
             state.seg_indptr[seg] = indptr
             state.seg_codes[seg] = codes
-            _atomic_tofile(indptr, self._base_dir / self._SEG_INDPTR_TMPL.format(int(seg)))
-            _atomic_tofile(codes, self._base_dir / self._SEG_CODES_TMPL.format(int(seg)))
+            _atomic_tofile(indptr, self._base_dir / self._SEG_INDPTR_TMPL.format(int(seg)),
+                           self.fault_plan)
+            _atomic_tofile(codes, self._base_dir / self._SEG_CODES_TMPL.format(int(seg)),
+                           self.fault_plan)
+            self._set_crc(self._SEG_INDPTR_TMPL.format(int(seg)), indptr)
+            self._set_crc(self._SEG_CODES_TMPL.format(int(seg)), codes)
             total += indptr.nbytes + codes.nbytes
         for name in (self._JOURNAL_ROWS, self._JOURNAL_INDPTR, self._JOURNAL_CODES):
-            _atomic_write_bytes(b"", self._base_dir / name)
+            _atomic_write_bytes(b"", self._base_dir / name, self.fault_plan)
+            self._set_crc(name, b"")
         self._meta["journal_entries"] = 0
         self.io_stats.record_write(total,
                                    self._disk.write_cost(total, sequential=True))
@@ -1293,6 +1366,52 @@ class OnDiskProfileStore:
     def _bump_generation(self) -> None:
         self._meta["generation"] = int(self._meta.get("generation", 0)) + 1
         (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
+
+    # -- checksums -------------------------------------------------------------
+
+    def _set_crc(self, name: str, data) -> None:
+        """Record a file's CRC32 in the meta (persisted by the next meta write)."""
+        blob = data.tobytes() if isinstance(data, np.ndarray) else data
+        self._meta.setdefault("crc32", {})[name] = zlib.crc32(blob)
+
+    def _extend_crc(self, name: str, appended) -> None:
+        """Roll an append-only file's CRC forward over the appended bytes.
+
+        ``crc32(old + new) == crc32(new, crc32(old))`` — the running value in
+        the meta is advanced without re-reading the file.
+        """
+        blob = appended.tobytes() if isinstance(appended, np.ndarray) else appended
+        crcs = self._meta.setdefault("crc32", {})
+        crcs[name] = zlib.crc32(blob, int(crcs.get(name, 0)))
+
+    def verify_checksums(self, strict: bool = False) -> List[str]:
+        """Check every recorded file CRC32 against the bytes on disk.
+
+        Returns the names of mismatching (or missing) files.  Stores written
+        before checksums existed record none and verify vacuously — recovery
+        then falls back on the checkpoint-level ``checksums.json``.  With
+        ``strict=True`` a non-empty result raises
+        :class:`StoreCorruptionError` instead.
+
+        Verification reads every store file, so it runs at the durability
+        boundaries only — open/reload with ``verify=True``, commit, and
+        crash recovery — never per slice load.
+        """
+        self._require_meta()
+        recorded = self._meta.get("crc32") or {}
+        mismatched: List[str] = []
+        for name, expected in sorted(recorded.items()):
+            path = self._base_dir / name
+            if not path.exists():
+                mismatched.append(name)
+                continue
+            if zlib.crc32(path.read_bytes()) != int(expected):
+                mismatched.append(name)
+        if mismatched and strict:
+            raise StoreCorruptionError(
+                f"profile store under {self._base_dir} is corrupt; CRC32 "
+                f"mismatch in: {', '.join(mismatched)}")
+        return mismatched
 
 
 def _contiguous_ranges(sorted_ids: Sequence[int]):

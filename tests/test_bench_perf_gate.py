@@ -9,7 +9,7 @@ from check_perf_regression import (PHASE4_KEY, compare_backend_sweep,
                                    compare_fingerprints,
                                    compare_incremental_parity, compare_phase4,
                                    compare_phase24, compare_phase45,
-                                   compare_resume)
+                                   compare_recovery, compare_resume)
 
 
 def _report(phase4_seconds, fingerprint="abc", phase45_seconds=None,
@@ -178,6 +178,31 @@ class TestCompareResume:
         """HEAD's suite always emits the section; losing it must not read
         as a silent pass."""
         ok, message = compare_resume(_report(1.0))
+        assert not ok
+        assert "FRESH" in message
+
+
+class TestCompareRecovery:
+    @staticmethod
+    def _recovery_section(matches=True):
+        return {"recovery": {"recovered_fingerprint_matches": matches,
+                             "recover_seconds": 0.05, "wal_replayed": 100,
+                             "resumed_at_iteration": 2}}
+
+    def test_matching_recovery_passes(self):
+        ok, message = compare_recovery(self._recovery_section())
+        assert ok
+        assert "fingerprint matches" in message
+
+    def test_fingerprint_divergence_fails(self):
+        ok, message = compare_recovery(self._recovery_section(matches=False))
+        assert not ok
+        assert "DIVERGES" in message
+
+    def test_missing_fresh_section_fails(self):
+        """HEAD's suite always emits the section; losing it must not read
+        as a silent pass."""
+        ok, message = compare_recovery(_report(1.0))
         assert not ok
         assert "FRESH" in message
 

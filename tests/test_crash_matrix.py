@@ -1,0 +1,187 @@
+"""The crash matrix: kill → recover → finish must equal never-crashed.
+
+For every named crash point — spanning phase-4 scoring, phase-5 update
+application, WAL appends, store writes and each stage of the commit
+protocol — a durable run is crashed mid-flight by an injected
+:class:`InjectedCrash`, recovered with :meth:`KNNEngine.recover`, and run
+to completion.  Across all three scoring backends the final graph's
+``edge_fingerprint`` and the final profile bytes must match an
+uninterrupted run exactly: no update lost, none applied twice, and no
+shared-memory segment leaked along the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KNNEngine, _scan_commit_epochs
+from repro.core.parallel import active_shared_row_indexes, fork_available
+from repro.similarity.workloads import ProfileChange, generate_dense_profiles
+from repro.testing import FaultPlan, InjectedCrash
+
+NUM_USERS = 50
+NUM_ITERATIONS = 4
+DIM = 8
+
+#: Every named crash point of the runtime, in rough execution order.  The
+#: CI fault-injection step greps for this list — renaming a point without
+#: updating its hook site breaks the matrix loudly, not silently.
+CRASH_POINTS = [
+    "iteration.begin",
+    "phase4.step",
+    "phase4.done",
+    "wal.appended",
+    "phase5.before_apply",
+    "store.dense_rows_written",
+    "commit.before_rename",
+    "commit.committed",
+    "commit.before_wal_truncate",
+]
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+def _profiles():
+    return generate_dense_profiles(NUM_USERS, dim=DIM, num_communities=3,
+                                   seed=1)
+
+
+def _config(backend, **overrides):
+    return EngineConfig(k=5, num_partitions=4, seed=7, backend=backend,
+                        num_workers=2, **overrides)
+
+
+def _once_feed():
+    """A stateful change feed: each iteration's batch is produced once ever.
+
+    Models the real-world producer that does not replay its stream after a
+    consumer crash — recovering those changes is the WAL's job, and a feed
+    that silently re-fed them would mask double-application bugs.
+    """
+    fed = set()
+
+    def feed(iteration):
+        if iteration in fed or iteration not in (1, 2):
+            return []
+        fed.add(iteration)
+        rng = np.random.default_rng(100 + iteration)
+        return [ProfileChange(user=int(u), kind="set",
+                              vector=rng.random(DIM))
+                for u in rng.choice(NUM_USERS, size=3, replace=False)]
+
+    return feed
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Fingerprint + final profile bytes of an uninterrupted serial run."""
+    with KNNEngine(_profiles(), _config("serial")) as engine:
+        engine.run(NUM_ITERATIONS, profile_change_feed=_once_feed())
+        fingerprint = engine.graph.edge_fingerprint()
+        dense = (engine.profile_store.base_dir / "profiles_dense.bin").read_bytes()
+    return fingerprint, dense
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_crash_recover_finish_matches_uninterrupted(point, backend, tmp_path,
+                                                    reference):
+    if backend == "process" and not fork_available():
+        pytest.skip("process backend needs fork")
+    ref_fingerprint, ref_dense = reference
+    workdir = tmp_path / "work"
+    plan = FaultPlan().crash_at(point, occurrence=2)
+    feed = _once_feed()
+    engine = KNNEngine(_profiles(),
+                       _config(backend, durable=True, fault_plan=plan),
+                       workdir=workdir)
+    try:
+        with pytest.raises(InjectedCrash):
+            engine.run(NUM_ITERATIONS, profile_change_feed=feed)
+    finally:
+        engine.close()
+    assert "crash" in plan.fired_kinds()
+
+    recovered = KNNEngine.recover(workdir)
+    try:
+        remaining = NUM_ITERATIONS - recovered.iterations_run
+        assert remaining > 0
+        recovered.run(remaining, profile_change_feed=feed)
+        assert recovered.iterations_run == NUM_ITERATIONS
+        assert recovered.graph.edge_fingerprint() == ref_fingerprint
+        # zero lost and zero double-applied updates: the profile matrix is
+        # byte-identical to the uninterrupted run's
+        dense = (recovered.profile_store.base_dir
+                 / "profiles_dense.bin").read_bytes()
+        assert dense == ref_dense
+        # the store the run finished on passes its own checksums
+        assert recovered.profile_store.verify_checksums() == []
+        # commit GC holds: at most the two newest epochs survive
+        assert len(_scan_commit_epochs(recovered.commits_dir)) <= 2
+    finally:
+        recovered.close()
+    # no shared-memory row-index segments leaked across the crash
+    assert active_shared_row_indexes() == []
+
+
+def test_random_crash_sweep_is_recoverable(tmp_path):
+    """Seeded random multi-crash schedule: crash, recover, crash again."""
+    plan = FaultPlan(seed=17).crash_at_random(CRASH_POINTS[:6], count=2,
+                                              max_occurrence=3)
+    workdir = tmp_path / "work"
+    feed = _once_feed()
+    engine = KNNEngine(_profiles(),
+                       _config("serial", durable=True, fault_plan=plan),
+                       workdir=workdir)
+    completed = 0
+    try:
+        engine.run(NUM_ITERATIONS, profile_change_feed=feed)
+        completed = engine.iterations_run
+    except InjectedCrash:
+        pass
+    finally:
+        engine.close()
+    attempts = 0
+    while completed < NUM_ITERATIONS:
+        attempts += 1
+        assert attempts <= 10
+        engine = KNNEngine.recover(workdir)
+        try:
+            engine.run(NUM_ITERATIONS - engine.iterations_run,
+                       profile_change_feed=feed)
+            completed = engine.iterations_run
+        except InjectedCrash:
+            completed = 0
+        finally:
+            engine.close()
+    with KNNEngine(_profiles(), _config("serial")) as clean:
+        clean.run(NUM_ITERATIONS, profile_change_feed=_once_feed())
+        assert engine.graph.edge_fingerprint() == clean.graph.edge_fingerprint()
+
+
+def test_recover_refuses_a_workdir_without_commits(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        KNNEngine.recover(tmp_path)
+
+
+def test_recover_falls_back_when_newest_epoch_is_corrupt(tmp_path):
+    workdir = tmp_path / "work"
+    engine = KNNEngine(_profiles(), _config("serial", durable=True),
+                       workdir=workdir)
+    engine.run(2)
+    engine.close()
+    epochs = _scan_commit_epochs(workdir / "commits")
+    assert len(epochs) == 2
+    newest = epochs[-1][1]
+    victim = newest / "checkpoint.json"
+    victim.write_text(victim.read_text() + " ")  # CRC now mismatches
+    recovered = KNNEngine.recover(workdir)
+    try:
+        # fell back one epoch and can still finish the run
+        assert recovered.iterations_run == epochs[-2][0]
+        recovered.run(2 - recovered.iterations_run)
+        assert recovered.iterations_run == 2
+    finally:
+        recovered.close()
