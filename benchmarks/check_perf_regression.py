@@ -14,7 +14,9 @@ when the update workload's incremental-phase-4 run no longer produces the
 same fingerprint as its full-rescore run (the score cache must be
 bit-transparent), or when the resume bench reports that
 ``KNNEngine.from_checkpoint`` materialised a profile copy instead of
-hard-linking the snapshot (or resumed to a diverging fingerprint).  It prints a behaviour warning when the graph fingerprint
+hard-linking the snapshot (or resumed to a diverging fingerprint), or when
+the dirty-scheduling bench reports a dirty-vs-full fingerprint or
+profile-byte divergence — or a steady-state skip rate below 60%.  It prints a behaviour warning when the graph fingerprint
 changed between baseline and fresh (a fingerprint change is legitimate when
 an algorithmic PR intends it — the diff to the committed baseline makes it
 explicit — so it warns rather than fails).  Baselines predating the update
@@ -177,6 +179,45 @@ def compare_recovery(fresh: dict) -> "tuple[bool, str]":
         "fingerprint matches")
 
 
+#: Floor on the dirty-scheduling bench's worst-backend skip rate.
+MIN_SKIP_RATE = 0.6
+
+
+def compare_dirty_scheduling(fresh: dict) -> "tuple[bool, str]":
+    """Gate the dirty-partition scheduling path (fresh report only).
+
+    Fails when a dirty-scheduled run's final graph fingerprint or final
+    profile bytes diverge from the full-schedule reference on any backend
+    (skipping a residency step must never change a result bit), when the
+    steady-state skip rate drops below ``MIN_SKIP_RATE`` on any backend,
+    or when the section disappears from the fresh report — the bench
+    breaking must not read as a silent pass.
+    """
+    section = fresh.get("dirty_scheduling")
+    if section is None:
+        return False, ("dirty_scheduling section missing from the FRESH "
+                       "report — run_perf_suite no longer measures the "
+                       "dirty-vs-full schedule parity")
+    if not section.get("fingerprints_match", False):
+        return False, ("dirty-scheduled fingerprints DIVERGE from the full "
+                       "schedule — skipping a residency step changed a "
+                       "result bit")
+    if not section.get("profiles_match", False):
+        return False, ("dirty-scheduled final profile bytes DIVERGE from "
+                       "the full schedule — phase 5 applied different "
+                       "updates under skipping")
+    skip_rate = section.get("min_skip_rate")
+    if skip_rate is None or skip_rate < MIN_SKIP_RATE:
+        return False, (f"dirty-scheduling skip rate {skip_rate} fell below "
+                       f"{MIN_SKIP_RATE:.0%} — the steady-state drift "
+                       "workload no longer skips clean residency steps")
+    return True, (
+        f"dirty scheduling ok: worst-backend skip rate {skip_rate:.0%}, "
+        f"drift-window phase 4 {section.get('phase4_seconds_dirty', 0.0):.4f}s "
+        f"vs full {section.get('phase4_seconds_full', 0.0):.4f}s, "
+        "fingerprints and profile bytes match on every backend")
+
+
 def compare_backend_sweep(baseline: dict, fresh: dict,
                           tolerance: float) -> "tuple[bool, list]":
     """Per-row backend-sweep gate, cpu-count-aware for parallel rows.
@@ -258,6 +299,8 @@ def main() -> int:
     print(resume_message)
     ok_recovery, recovery_message = compare_recovery(fresh)
     print(recovery_message)
+    ok_dirty, dirty_message = compare_dirty_scheduling(fresh)
+    print(dirty_message)
     ok_sweep, sweep_messages = compare_backend_sweep(baseline, fresh,
                                                      args.tolerance)
     for sweep_message in sweep_messages:
@@ -265,7 +308,7 @@ def main() -> int:
     same, fp_message = compare_fingerprints(baseline, fresh)
     print(("" if same else "WARNING: ") + fp_message)
     return 0 if (ok and ok45 and ok24 and ok_parity and ok_resume
-                 and ok_recovery and ok_sweep) else 1
+                 and ok_recovery and ok_dirty and ok_sweep) else 1
 
 
 if __name__ == "__main__":

@@ -57,6 +57,7 @@ The quantities recorded:
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import multiprocessing
 import os
@@ -251,6 +252,131 @@ def run_update_workload_bench() -> dict:
         "incremental_fingerprints_match": (
             dense["graph_fingerprint"] == dense_full["graph_fingerprint"]
             and sparse["graph_fingerprint"] == sparse_full["graph_fingerprint"]),
+    }
+
+
+#: Shape of the dirty-scheduling workload: the serving-loop steady state.
+#: The same 10k users / 8 partitions / 500-row churn as the update
+#: workload, but localised — the churned rows all live in the first
+#: partition's row range and drift by a small Gaussian step instead of
+#: being redrawn — and applied to a *converged* graph.  Uniform redraw
+#: churn dirties every partition every iteration (nothing can skip, by
+#: design); the localised drift leaves seven of eight partitions clean,
+#: which is exactly the regime dirty scheduling exists for.
+DIRTY_DRIFT_ITERATIONS = 4
+DIRTY_DRIFT_SCALE = 0.02
+DIRTY_WARMUP_CAP = 20
+#: (backend, workers) points of the dirty-vs-full parity matrix.
+DIRTY_BACKENDS = (("serial", 1), ("thread", 4), ("process", 2))
+
+
+def _run_dirty_workload(dirty_scheduling: bool, backend: str = "serial",
+                        workers: int = 1) -> dict:
+    """One converged-then-drift run; drift-window schedule and parity stats.
+
+    Warm-up runs until the graph stops changing (fingerprint-stable, capped)
+    so the drift window measures the steady state, not residual convergence
+    churn.  The warm-up length is a pure function of the data and therefore
+    identical across backends and across the dirty-on/off twin runs.
+    """
+    profiles = generate_dense_profiles(UPDATE_USERS, dim=16,
+                                       num_communities=8, seed=SEED)
+    matrix = profiles.matrix.copy()
+    rng = np.random.default_rng(7)
+    hot_rows = UPDATE_USERS // UPDATE_PARTITIONS   # the first partition
+    overrides = {"backend": backend}
+    if backend == "thread":
+        overrides["num_threads"] = workers
+    elif backend == "process":
+        overrides["num_workers"] = workers
+    config = EngineConfig(k=K, num_partitions=UPDATE_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED,
+                          dirty_scheduling=dirty_scheduling, **overrides)
+
+    def drift_batch():
+        users = rng.choice(hot_rows, size=UPDATE_CHURN, replace=False)
+        changes = []
+        for user in users:
+            matrix[user] = (matrix[user]
+                            + rng.normal(scale=DIRTY_DRIFT_SCALE, size=16))
+            changes.append(ProfileChange(user=int(user), kind="set",
+                                         vector=matrix[user].copy()))
+        return changes
+
+    with KNNEngine(profiles, config) as engine:
+        previous = engine.graph.edge_fingerprint()
+        warmup = 0
+        while warmup < DIRTY_WARMUP_CAP:
+            fingerprint = engine.run_iteration().graph.edge_fingerprint()
+            warmup += 1
+            if fingerprint == previous:
+                break
+            previous = fingerprint
+        drift_results = []
+        start = time.perf_counter()
+        for _ in range(DIRTY_DRIFT_ITERATIONS):
+            engine.enqueue_profile_changes(drift_batch())
+            drift_results.append(engine.run_iteration())
+        drift_wall = time.perf_counter() - start
+        final_fingerprint = engine.graph.edge_fingerprint()
+        profile_sha256 = hashlib.sha256(
+            (engine.profile_store.base_dir
+             / "profiles_dense.bin").read_bytes()).hexdigest()
+    steps_total = sum(result.steps_total for result in drift_results)
+    steps_skipped = sum(result.steps_skipped for result in drift_results)
+    phase4 = sum(result.phase_timer.as_dict()[PHASE_NAMES[3]]
+                 for result in drift_results)
+    return {
+        "backend": backend,
+        "workers": workers,
+        "dirty_scheduling": dirty_scheduling,
+        "warmup_iterations": warmup,
+        "steps_skipped": steps_skipped,
+        "steps_total": steps_total,
+        "skip_rate": (round(steps_skipped / steps_total, 4)
+                      if steps_total else None),
+        "phase4_seconds": round(phase4, 4),
+        "drift_wall_seconds": round(drift_wall, 4),
+        "load_unload_operations": sum(result.load_unload_operations
+                                      for result in drift_results),
+        "similarity_evaluations": sum(result.similarity_evaluations
+                                      for result in drift_results),
+        "graph_fingerprint": final_fingerprint,
+        "profile_sha256": profile_sha256,
+    }
+
+
+def run_dirty_scheduling_bench() -> dict:
+    """Dirty-vs-full parity and skip-rate matrix (the PR-7 gate).
+
+    One full-schedule reference run plus a dirty-scheduled run per backend
+    over the identical converged-then-drift workload.  Gated quantities:
+    ``fingerprints_match`` and ``profiles_match`` must stay true (skipping
+    a step must never change a result bit — graphs *and* final profile
+    bytes), and ``min_skip_rate`` must stay ≥ 0.6 (the steady-state saving
+    that justifies the machinery).
+    """
+    full = _run_dirty_workload(False)
+    rows = [_run_dirty_workload(True, backend, workers)
+            for backend, workers in DIRTY_BACKENDS]
+    skip_rates = [row["skip_rate"] for row in rows if row["skip_rate"] is not None]
+    return {
+        "num_users": UPDATE_USERS,
+        "num_partitions": UPDATE_PARTITIONS,
+        "churn_per_iteration": UPDATE_CHURN,
+        "drift_scale": DIRTY_DRIFT_SCALE,
+        "drift_iterations": DIRTY_DRIFT_ITERATIONS,
+        "full_schedule": full,
+        "dirty": rows,
+        "min_skip_rate": round(min(skip_rates), 4) if skip_rates else None,
+        "fingerprints_match": all(
+            row["graph_fingerprint"] == full["graph_fingerprint"]
+            for row in rows),
+        "profiles_match": all(
+            row["profile_sha256"] == full["profile_sha256"]
+            for row in rows),
+        "phase4_seconds_full": full["phase4_seconds"],
+        "phase4_seconds_dirty": rows[0]["phase4_seconds"],
     }
 
 
@@ -511,6 +637,9 @@ def main() -> None:
         # part of --quick: the CI gate fails when a crashed durable run
         # does not recover to the uninterrupted fingerprint
         "recovery": run_recovery_bench(),
+        # part of --quick: the CI gate fails on dirty-vs-full fingerprint
+        # or profile-byte divergence, or a skip rate below 60%
+        "dirty_scheduling": run_dirty_scheduling_bench(),
     }
     if not quick:
         report["thread_sweep"] = run_thread_sweep()

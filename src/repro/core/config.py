@@ -78,6 +78,18 @@ class EngineConfig:
         pair, so the produced graphs are **bit-identical** with the toggle
         on or off; iterations after the first just rescore only tuples with
         at least one touched endpoint (plus never-seen pairs).
+    dirty_scheduling:
+        Plan each iteration's residency steps around the partitions the
+        update churn actually touched: steps whose two partitions are both
+        clean and whose pair was scored at the score cache's generation are
+        served from the cache without loading a partition, and the
+        remaining steps run dirty-first (convergence-driven ordering).
+        Needs ``incremental_phase4``; every situation the delta history
+        cannot vouch for (reload, compaction, recovery) falls back to the
+        full schedule.  Produced graphs are **bit-identical** with the
+        toggle on or off — per-tuple cache validity is still checked
+        against the touched-row mask, and the G(t+1) merge is a pure
+        function of the scored candidate multiset.
     score_cache_entries:
         Capacity of the phase-4 score cache in (pair, score) entries
         (16 bytes each).  An iteration whose scored tuple set exceeds the
@@ -133,6 +145,7 @@ class EngineConfig:
     num_workers: int = 1
     profile_segment_rows: Optional[int] = None
     incremental_phase4: bool = True
+    dirty_scheduling: bool = True
     score_cache_entries: int = 4_000_000
     adaptive_score_cache: bool = False
     seed: Optional[int] = 0

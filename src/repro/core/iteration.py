@@ -46,7 +46,8 @@ from repro.utils.arrays import counting_argsort
 from repro.partition.model import Partition, build_partitions
 from repro.partition.partitioners import get_partitioner
 from repro.pigraph.pi_graph import PIGraph
-from repro.pigraph.scheduler import ScheduleResult, simulate_schedule
+from repro.pigraph.scheduler import (DirtySchedule, ScheduleResult,
+                                     plan_dirty_schedule, simulate_schedule)
 from repro.pigraph.traversal import ResidencyStep, get_heuristic
 from repro.storage.io_stats import IOStats
 from repro.storage.memory_manager import MemoryBudget, PartitionCache
@@ -393,6 +394,14 @@ class IterationResult:
     #: Residency steps that reused the coordinator's cached merged row
     #: index for their partition pair instead of rebuilding the argsort.
     row_index_reuses: int = 0
+    #: Residency steps that never acquired their partition pair under dirty
+    #: scheduling: scores came from the score cache, plus at most a small
+    #: row-level residual gather for never-seen pairs.  Always 0 when
+    #: ``dirty_scheduling`` is off or the delta history could not vouch for
+    #: the churn (full schedule).
+    steps_skipped: int = 0
+    #: Residency steps in the full traversal plan this iteration.
+    steps_total: int = 0
 
     @property
     def load_unload_operations(self) -> int:
@@ -410,12 +419,30 @@ class IterationResult:
             "lookups_skipped": self.lookups_skipped,
             "cache_merge_seconds": self.cache_merge_seconds,
             "row_index_reuses": self.row_index_reuses,
+            "steps_skipped": self.steps_skipped,
+            "steps_total": self.steps_total,
             "load_unload_operations": self.load_unload_operations,
             "scheduled_load_unload_operations": self.schedule.load_unload_operations,
             "profile_updates_applied": self.profile_updates_applied,
             "simulated_io_seconds": self.io_stats.simulated_io_seconds,
             "phase_seconds": self.phase_timer.as_dict(),
         }
+
+
+@dataclass
+class _Phase4Outcome:
+    """Internal bundle of everything phase 4 measures (see IterationResult)."""
+
+    graph: KNNGraph
+    schedule: ScheduleResult
+    evaluations: int
+    reused: int
+    full_rescore: bool
+    lookups_skipped: bool
+    cache_merge_seconds: float
+    row_index_reuses: int
+    steps_skipped: int
+    steps_total: int
 
 
 class OutOfCoreIteration:
@@ -438,6 +465,14 @@ class OutOfCoreIteration:
         # survives across iterations, exactly like the scoring pool: the
         # cache holds the last scored generation's pair → score map
         self._score_cache = Phase4ScoreCache(config.score_cache_entries)
+        # normalised (min, max) partition pair → store generation at which
+        # the pair's tuples were last fully covered by the score cache.
+        # Deliberately *not* checkpointed: a fresh runner (resume, recovery)
+        # starts empty, which only costs executing clean pairs once — dirty
+        # scheduling must never trust a pair the current cache can't vouch
+        # for.  Rebuilt wholesale every non-overflow iteration, so entries
+        # from older partition assignments cannot accumulate.
+        self._pair_generations: Dict[Tuple[int, int], int] = {}
         # measured lookup/kernel economics (only consulted when
         # config.adaptive_score_cache is on)
         self._cache_policy = AdaptiveCachePolicy()
@@ -531,9 +566,8 @@ class OutOfCoreIteration:
             pi_graph, steps, schedule = self._phase3_pi_graph(table)
 
         with timer.phase(PHASE_NAMES[3]):
-            (new_graph, evaluations, reused, full_rescore, lookups_skipped,
-             cache_merge_seconds, row_index_reuses) = self._phase4_knn(
-                iteration, graph, table, steps, measure, io_stats)
+            outcome = self._phase4_knn(iteration, graph, table, steps, measure,
+                                       io_stats, assignment, schedule)
         if self._fault is not None:
             # crash window: G(t+1) fully scored, phase-5 updates not applied
             self._fault.point("phase4.done")
@@ -545,26 +579,29 @@ class OutOfCoreIteration:
         io_stats.merge(store_stats)
         result = IterationResult(
             iteration=iteration,
-            graph=new_graph,
+            graph=outcome.graph,
             assignment=assignment,
-            schedule=schedule,
+            schedule=outcome.schedule,
             num_candidate_tuples=table.num_tuples,
-            similarity_evaluations=evaluations,
+            similarity_evaluations=outcome.evaluations,
             profile_updates_applied=updates_applied,
             phase_timer=timer,
             io_stats=io_stats,
             profile_io_stats=profile_stats,
-            rescored_tuples=evaluations,
-            reused_scores=reused,
-            full_rescore=full_rescore,
-            lookups_skipped=lookups_skipped,
-            cache_merge_seconds=cache_merge_seconds,
-            row_index_reuses=row_index_reuses,
+            rescored_tuples=outcome.evaluations,
+            reused_scores=outcome.reused,
+            full_rescore=outcome.full_rescore,
+            lookups_skipped=outcome.lookups_skipped,
+            cache_merge_seconds=outcome.cache_merge_seconds,
+            row_index_reuses=outcome.row_index_reuses,
+            steps_skipped=outcome.steps_skipped,
+            steps_total=outcome.steps_total,
         )
         _logger.info(
             "iteration %d: %d tuples, %d similarity evaluations "
-            "(%d reused from cache), %d load/unload ops",
-            iteration, result.num_candidate_tuples, evaluations, reused,
+            "(%d reused from cache), %d/%d steps skipped, %d load/unload ops",
+            iteration, result.num_candidate_tuples, outcome.evaluations,
+            outcome.reused, outcome.steps_skipped, outcome.steps_total,
             result.load_unload_operations,
         )
         return result
@@ -629,10 +666,29 @@ class OutOfCoreIteration:
         mask[touched[touched < graph.num_vertices]] = True
         return mask
 
+    def _plan_dirty(self, steps: Sequence[ResidencyStep],
+                    assignment: np.ndarray) -> Optional[DirtySchedule]:
+        """The iteration's dirty-partition plan, or ``None`` for the full one.
+
+        ``None`` covers every situation where planning cannot help or
+        cannot be trusted: the toggle is off, the cache is unusable this
+        iteration (cold, wrong measure, full rescore, adaptive skip), or
+        the delta history cannot vouch for the churn — reload, compaction
+        rollover and recovery all surface as ``touched_partitions_since``
+        returning ``None``, and the only safe answer is to run everything.
+        """
+        score_cache = self._score_cache
+        dirty_partitions = self._profile_store.touched_partitions_since(
+            score_cache.generation, assignment)
+        plan = plan_dirty_schedule(steps, dirty_partitions,
+                                   self._pair_generations,
+                                   score_cache.generation)
+        return None if plan.assume_all_dirty else plan
+
     def _phase4_knn(self, iteration: int, graph: KNNGraph, table: TupleHashTable,
                     steps: Sequence[ResidencyStep], measure: str,
-                    io_stats: IOStats
-                    ) -> Tuple[KNNGraph, int, int, bool, bool, float, int]:
+                    io_stats: IOStats, assignment: np.ndarray,
+                    schedule: ScheduleResult) -> _Phase4Outcome:
         config = self._config
         budget = (MemoryBudget(config.memory_budget_bytes)
                   if config.memory_budget_bytes is not None else None)
@@ -679,6 +735,26 @@ class OutOfCoreIteration:
         # the end-of-iteration merge) — or explicitly disarm it, so marks
         # left over from an aborted iteration can never leak into merge()
         score_cache.begin_iteration(record_hits=do_lookups)
+        # dirty-partition planning: steps whose partitions are both clean
+        # and whose pair the cache vouches for run lookup-only (no partition
+        # acquired unless a lookup misses); everything else runs dirty-first
+        dirty_plan = (self._plan_dirty(steps, assignment)
+                      if config.dirty_scheduling and do_lookups else None)
+        if dirty_plan is not None:
+            ordered_steps = ([(step, False) for step in dirty_plan.executed]
+                             + [(step, True) for step in dirty_plan.cached])
+        else:
+            ordered_steps = [(step, False) for step in steps]
+        # the steps that actually touched the partition cache, in order —
+        # re-simulated at the end so the reported ScheduleResult keeps the
+        # plan == actual load/unload invariant under any amount of skipping
+        executed_sequence: List[ResidencyStep] = []
+        steps_skipped = 0
+        # per-partition row counts, for the residual-gather economics of
+        # cached steps (see below); only needed when a dirty plan exists
+        partition_rows = (np.bincount(assignment,
+                                      minlength=config.num_partitions)
+                          if dirty_plan is not None else None)
         lookup_seconds = 0.0
         looked_tuples = 0
         kernel_seconds = 0.0
@@ -712,20 +788,51 @@ class OutOfCoreIteration:
             scored_values.clear()
             pending_rows = 0
 
-        for first, second, edges in steps:
-            partition_a, partition_b = partition_cache.acquire_pair(first, second)
-            needed = {first: partition_a, second: partition_b}
-            # profile slices are loaded (and their reads charged) only when
-            # the step has dirty tuples — a fully cache-hit step touches no
-            # profile bytes at all; the eviction side still runs every step
-            # so the slice set never outgrows the resident partitions
-            self._evict_stale_profiles(partition_cache, resident_profiles,
-                                       charged_profiles)
+        def tally_step(tuples, scores, pair_keys, dirty_rows, num_dirty) -> None:
+            """Per-step tail: counters, cache accumulation, graph flush."""
+            nonlocal evaluations, cache_overflow, pending_rows
+            evaluations += num_dirty
+            if not cache_overflow:
+                # only the *dirty* (rescored) pairs are accumulated for the
+                # cache update; reused pairs are already cache rows and are
+                # carried over through the lookup hit marks
+                if dirty_rows is None:
+                    cache_keys.append(pair_keys)
+                    cache_values.append(scores)
+                elif len(dirty_rows):
+                    cache_keys.append(pair_keys[dirty_rows])
+                    cache_values.append(scores[dirty_rows])
+                if (reused + sum(len(chunk) for chunk in cache_keys)
+                        > score_cache.max_entries):
+                    cache_keys.clear()
+                    cache_values.clear()
+                    cache_overflow = True
+            scored_tuples.append(tuples)
+            scored_values.append(scores)
+            pending_rows += len(tuples)
+            if pending_rows >= flush_threshold:
+                flush_scored()
+
+        for step, from_cache in ordered_steps:
+            first, second, edges = step
+            partition_a = partition_b = None
+            if not from_cache:
+                partition_a, partition_b = partition_cache.acquire_pair(first, second)
+                executed_sequence.append(step)
+                # profile slices are loaded (and their reads charged) only
+                # when the step has dirty tuples — a fully cache-hit step
+                # touches no profile bytes at all; the eviction side still
+                # runs every acquiring step so the slice set never outgrows
+                # the resident partitions
+                self._evict_stale_profiles(partition_cache, resident_profiles,
+                                           charged_profiles)
             # concatenate every PI edge of the residency step into one batch
             # and score it with a single (parallel) scoring call
             chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
             chunks = [chunk for chunk in chunks if len(chunk)]
             if not chunks:
+                if from_cache:
+                    steps_skipped += 1
                 continue
             tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
             pair_keys = (tuples[:, 0] * np.int64(graph.num_vertices) + tuples[:, 1]
@@ -744,6 +851,43 @@ class OutOfCoreIteration:
                 dirty = tuples if len(dirty_rows) == len(tuples) else tuples[dirty_rows]
                 reused += len(tuples) - len(dirty_rows)
             if len(dirty):
+                if from_cache:
+                    # the plan called this pair clean, but graph churn
+                    # elsewhere minted candidate tuples the cache has never
+                    # seen (neighbour lists keep moving even between clean
+                    # partitions).  A small residue is scored off a
+                    # row-level gather of exactly the needed profiles — no
+                    # partition acquired, the step still skips; a large one
+                    # means the pair genuinely needs its partitions, so the
+                    # step falls back to executing.  The 4x rule is a pure
+                    # function of the data, so every backend and every
+                    # resume makes the same choice.
+                    residual_rows = np.unique(dirty.ravel())
+                    pair_span = int(partition_rows[first]
+                                    + (partition_rows[second]
+                                       if second != first else 0))
+                    if len(residual_rows) * 4 <= pair_span:
+                        kernel_start = time.perf_counter()
+                        residual_slice = self._profile_store.load_users(
+                            residual_rows)
+                        fresh = score_tuples(residual_slice, dirty, measure,
+                                             num_threads=config.num_threads,
+                                             backend=inprocess_backend)
+                        kernel_seconds += time.perf_counter() - kernel_start
+                        scores[dirty_rows] = fresh
+                        steps_skipped += 1
+                        tally_step(tuples, scores, pair_keys, dirty_rows,
+                                   len(dirty))
+                        continue
+                    # fall back to executing the step — acquire on demand,
+                    # score the misses against the resident pair, stay exact
+                    partition_a, partition_b = partition_cache.acquire_pair(
+                        first, second)
+                    executed_sequence.append(step)
+                    self._evict_stale_profiles(partition_cache,
+                                               resident_profiles,
+                                               charged_profiles)
+                needed = {first: partition_a, second: partition_b}
                 if self._fault is not None:
                     # crash window: mid-phase-4, some steps scored, nothing
                     # committed (placed outside the shared-index lifetime so
@@ -828,33 +972,18 @@ class OutOfCoreIteration:
                     scores = fresh
                 else:
                     scores[dirty_rows] = fresh
-            evaluations += len(dirty)
-            if not cache_overflow:
-                # only the *dirty* (rescored) pairs are accumulated for the
-                # cache update; reused pairs are already cache rows and are
-                # carried over through the lookup hit marks
-                if dirty_rows is None:
-                    cache_keys.append(pair_keys)
-                    cache_values.append(scores)
-                elif len(dirty_rows):
-                    cache_keys.append(pair_keys[dirty_rows])
-                    cache_values.append(scores[dirty_rows])
-                if (reused + sum(len(chunk) for chunk in cache_keys)
-                        > score_cache.max_entries):
-                    cache_keys.clear()
-                    cache_values.clear()
-                    cache_overflow = True
-            scored_tuples.append(tuples)
-            scored_values.append(scores)
-            pending_rows += len(tuples)
-            if pending_rows >= flush_threshold:
-                flush_scored()
+            elif from_cache:
+                # every tuple answered from the cache: the step never
+                # touched the partition cache, a profile byte or a kernel
+                steps_skipped += 1
+            tally_step(tuples, scores, pair_keys, dirty_rows, len(dirty))
         partition_cache.flush()
         resident_profiles.clear()
         flush_scored()
         cache_merge_seconds = 0.0
         if cache_overflow:
             score_cache.clear()
+            self._pair_generations.clear()
             if config.incremental_phase4:
                 score_cache.evictions += 1
         else:
@@ -868,13 +997,42 @@ class OutOfCoreIteration:
             score_cache.merge(cache_keys, cache_values, measure,
                               store_generation, graph.num_vertices)
             cache_merge_seconds = time.perf_counter() - merge_start
+            # after the merge the cache covers every tuple of every step in
+            # this iteration's plan — executed steps contributed rescored
+            # chunks, cached steps marked their hits as kept rows — all
+            # tagged with this phase 4's store generation.  Rebuilding the
+            # map wholesale drops pairs from older partition assignments.
+            self._pair_generations = {
+                ((first, second) if first <= second else (second, first)):
+                store_generation
+                for first, second, _ in steps}
         if config.adaptive_score_cache:
             self._cache_policy.observe_kernel(kernel_seconds, evaluations)
             if do_lookups:
                 self._cache_policy.observe_lookups(lookup_seconds,
                                                    looked_tuples, reused)
-        return (new_graph, evaluations, reused, full_rescore, lookups_skipped,
-                cache_merge_seconds, row_index_reuses)
+        if dirty_plan is not None:
+            # the plan changed which steps reach the partition cache and in
+            # what order; re-simulating over the acquired sequence keeps the
+            # schedule's load/unload counts equal to the executed ones
+            schedule = simulate_schedule(
+                executed_sequence,
+                heuristic_name=schedule.heuristic,
+                num_partitions=schedule.num_partitions,
+                cache_slots=config.max_resident_partitions,
+            )
+        return _Phase4Outcome(
+            graph=new_graph,
+            schedule=schedule,
+            evaluations=evaluations,
+            reused=reused,
+            full_rescore=full_rescore,
+            lookups_skipped=lookups_skipped,
+            cache_merge_seconds=cache_merge_seconds,
+            row_index_reuses=row_index_reuses,
+            steps_skipped=steps_skipped,
+            steps_total=len(steps),
+        )
 
     @staticmethod
     def _evict_stale_profiles(cache: PartitionCache,

@@ -165,8 +165,12 @@ class KNNGraph:
         two paths may legitimately differ: the sequential heap evicts the
         tied-worst neighbour with the smallest id, which is path-dependent
         and not expressible as a top-K under any static order.  The batch
-        path is deterministic instead — ties keep incumbent neighbours
-        first, then earlier rows.  Both are valid KNN graphs; only the
+        path ranks by ``(-score, destination)`` instead, a strict total
+        order per source (destinations are unique after dedup), so the
+        merged neighbour lists are a pure function of the offered candidate
+        *multiset*: re-splitting, re-sharding or reordering the same
+        candidates — as dirty-first scheduling does to residency steps —
+        cannot move the result.  Both are valid KNN graphs; only the
         arbitrary choice among equal-score neighbours can differ.  Returns
         the number of offered edges that *survive* in the updated neighbour
         lists (inserted, or improving an incumbent's score) — unlike summing
@@ -223,18 +227,22 @@ class KNNGraph:
                 c_src = np.concatenate([np.asarray(ex_src, dtype=np.int64), src])
                 c_dst = np.concatenate([np.asarray(ex_dst, dtype=np.int64), dst])
                 c_sc = np.concatenate([np.asarray(ex_sc, dtype=np.float64), sc])
-                # tie-break rank: incumbents (0) beat new candidates on equal
-                # scores, and among new candidates the earlier row wins,
-                # reproducing the sequential arrival order
+                # survivor marker: incumbents (0) vs new candidate rows
+                # (1..n), consumed only by the `changed` count below — the
+                # ranking itself never looks at arrival order
                 c_tie = np.concatenate([np.zeros(len(ex_src), dtype=np.int64),
                                         np.arange(1, num_new + 1, dtype=np.int64)])
         if c_tie is None:
             c_src, c_dst, c_sc = src, dst, sc
 
-        # order every entry by descending score; the tie rank is nondecreasing
-        # in row order, so a stable pass on the score alone realises the
-        # (-score, tie) ordering without a multi-key lexsort
-        order = _descending_score_argsort(c_sc)
+        # order every entry by (-score, destination): a stable counting pass
+        # on the destination composed with the stable score pass realises
+        # the two-key ordering, making the ranking independent of arrival
+        # order.  Equal (score, destination) entries can only be duplicates
+        # of one edge; incumbents precede new rows there, so the dedup keeps
+        # the incumbent and the `changed` count stays honest.
+        by_dst = _counting_argsort(c_dst, self.num_vertices - 1)
+        order = by_dst[_descending_score_argsort(c_sc[by_dst])]
         if not (c_tie is None and assume_unique):
             # keep only each edge's best entry: its first occurrence in the
             # score ordering.  A stable counting sort groups equal edge keys

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.pigraph.pi_graph import PIGraph
 from repro.pigraph.traversal import ResidencyStep, TraversalHeuristic, get_heuristic
@@ -58,6 +59,82 @@ def plan_schedule(pi_graph: PIGraph,
     if isinstance(heuristic, str):
         heuristic = get_heuristic(heuristic)
     return heuristic.plan(pi_graph)
+
+
+@dataclass
+class DirtySchedule:
+    """A full traversal plan split by what the update churn can still touch.
+
+    ``executed`` keeps every step that must run against the partition cache,
+    reordered dirty-first; ``cached`` holds the steps whose partitions are
+    both clean *and* whose pair was already scored at the score cache's
+    generation — their tuples are answerable from the cache without loading
+    a profile.  ``executed + cached`` is always a permutation of the input
+    steps: dirty scheduling never drops candidate tuples, it only changes
+    where their scores come from.
+    """
+
+    executed: List[ResidencyStep]
+    cached: List[ResidencyStep]
+    dirty_partitions: Optional[Tuple[int, ...]]
+    assume_all_dirty: bool
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.executed) + len(self.cached)
+
+
+def _normalised_pair(first: int, second: int) -> Tuple[int, int]:
+    return (first, second) if first <= second else (second, first)
+
+
+def plan_dirty_schedule(steps: Sequence[ResidencyStep],
+                        dirty_partitions: Optional[Iterable[int]],
+                        pair_generations: Mapping[Tuple[int, int], int],
+                        cache_generation: Optional[int]) -> DirtySchedule:
+    """Split and reorder a traversal plan around the partitions churn touched.
+
+    A *pure* function of its four inputs — no wall clock, no ambient state —
+    so every backend, every resume and every re-plan of the same iteration
+    produces the same schedule:
+
+    - ``dirty_partitions``: partitions holding at least one row that changed
+      since the score cache's generation, as reported by
+      ``OnDiskProfileStore.touched_partitions_since``.  ``None`` propagates
+      that method's "cannot vouch" answer: every step executes, in the
+      heuristic's original order (reload, compaction rollover and recovery
+      all land here — the only safe answer is "run everything").
+    - ``pair_generations``: store generation at which each normalised
+      partition pair ``(min, max)`` last had its tuples fully scored.
+    - ``cache_generation``: the generation the phase-4 score cache currently
+      matches, or ``None`` when there is no usable cache.
+
+    A step may be served from the cache only when *both* partitions are
+    clean and its pair is recorded as scored at exactly ``cache_generation``.
+    Clean-pair steps whose scores are not vouched for still execute — after
+    the dirty steps, so the partitions most likely to change the graph are
+    visited first (convergence-driven ordering).  Relative order within each
+    class is preserved, keeping the heuristic's residency locality.
+    """
+    all_steps = list(steps)
+    if dirty_partitions is None or cache_generation is None:
+        return DirtySchedule(executed=all_steps, cached=[],
+                             dirty_partitions=None, assume_all_dirty=True)
+    dirty = frozenset(int(p) for p in dirty_partitions)
+    dirty_steps: List[ResidencyStep] = []
+    clean_unscored: List[ResidencyStep] = []
+    cached: List[ResidencyStep] = []
+    for step in all_steps:
+        first, second, _ = step
+        if first in dirty or second in dirty:
+            dirty_steps.append(step)
+        elif pair_generations.get(_normalised_pair(first, second)) == cache_generation:
+            cached.append(step)
+        else:
+            clean_unscored.append(step)
+    return DirtySchedule(executed=dirty_steps + clean_unscored, cached=cached,
+                         dirty_partitions=tuple(sorted(dirty)),
+                         assume_all_dirty=False)
 
 
 def simulate_schedule(steps: Sequence[ResidencyStep],

@@ -807,6 +807,36 @@ class OnDiskProfileStore:
             return np.empty(0, dtype=np.int64)
         return np.unique(np.concatenate(rows))
 
+    def touched_partitions_since(self, generation: int,
+                                 partition_of: np.ndarray) -> Optional[np.ndarray]:
+        """Partitions holding a row that changed after ``generation``, or ``None``.
+
+        The partition-level rollup of :meth:`touched_rows_since` that
+        dirty-partition scheduling plans against.  ``partition_of`` maps each
+        row id to its partition for the *current* iteration — the store knows
+        nothing about partitioning, so the caller supplies the assignment it
+        is about to schedule with.
+
+        The ``None`` contract is inherited verbatim, never widened: whenever
+        the row-level answer is unknown (generation outside the tracked
+        window, store rewritten, compacted or reloaded in between) this
+        returns ``None`` — assume every partition is dirty.  An empty array
+        means no partition changed; a non-empty one is the exact sorted set
+        of partitions containing at least one touched row.
+        """
+        rows = self.touched_rows_since(generation)
+        if rows is None:
+            return None
+        partition_of = np.asarray(partition_of, dtype=np.int64)
+        if len(partition_of) != self.num_users:
+            raise ValueError(
+                f"partition_of maps {len(partition_of)} rows but the store "
+                f"holds {self.num_users}"
+            )
+        if len(rows) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(partition_of[rows])
+
     def _require_meta(self) -> None:
         if self._meta is None:
             raise RuntimeError(

@@ -5,7 +5,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from check_perf_regression import (PHASE4_KEY, compare_backend_sweep,
+from check_perf_regression import (MIN_SKIP_RATE, PHASE4_KEY,
+                                   compare_backend_sweep,
+                                   compare_dirty_scheduling,
                                    compare_fingerprints,
                                    compare_incremental_parity, compare_phase4,
                                    compare_phase24, compare_phase45,
@@ -252,6 +254,54 @@ class TestBackendSweepCpuAware:
                                              tolerance=0.20)
         assert ok
         assert any("skipped" in m for m in messages)
+
+
+class TestCompareDirtyScheduling:
+    """The dirty-scheduling gate: parity is hard-failed, never warned."""
+
+    @staticmethod
+    def _section(fingerprints=True, profiles=True, skip_rate=0.78):
+        return {"dirty_scheduling": {
+            "fingerprints_match": fingerprints,
+            "profiles_match": profiles,
+            "min_skip_rate": skip_rate,
+            "phase4_seconds_full": 1.0,
+            "phase4_seconds_dirty": 0.4,
+        }}
+
+    def test_matching_section_passes(self):
+        ok, message = compare_dirty_scheduling(self._section())
+        assert ok
+        assert "skip rate" in message
+
+    def test_missing_section_fails(self):
+        ok, message = compare_dirty_scheduling({})
+        assert not ok
+        assert "missing" in message
+
+    def test_fingerprint_divergence_fails(self):
+        ok, message = compare_dirty_scheduling(self._section(fingerprints=False))
+        assert not ok
+        assert "DIVERGE" in message
+
+    def test_profile_byte_divergence_fails(self):
+        ok, message = compare_dirty_scheduling(self._section(profiles=False))
+        assert not ok
+        assert "profile bytes" in message
+
+    def test_skip_rate_below_floor_fails(self):
+        ok, message = compare_dirty_scheduling(
+            self._section(skip_rate=MIN_SKIP_RATE - 0.01))
+        assert not ok
+        assert "skip rate" in message
+
+    def test_exactly_at_the_floor_passes(self):
+        ok, _ = compare_dirty_scheduling(self._section(skip_rate=MIN_SKIP_RATE))
+        assert ok
+
+    def test_missing_skip_rate_fails(self):
+        ok, _ = compare_dirty_scheduling(self._section(skip_rate=None))
+        assert not ok
 
 
 class TestCompareFingerprints:

@@ -263,6 +263,75 @@ class TestDeltaLogBoundary:
         assert reopened.touched_rows_since(2) is None
 
 
+class TestPartitionRollupBoundary(TestDeltaLogBoundary):
+    """``touched_partitions_since`` at the same window edges, pinned exactly.
+
+    The partition rollup inherits the row-level ``None`` contract verbatim
+    — it must never widen "unknown" into "clean" — and where the rows *are*
+    known it reports exactly the partitions holding a touched row under the
+    caller-supplied assignment.  Reuses the delta-log harness so the two
+    boundary suites stay pinned to the same generations.
+    """
+
+    #: 80 users spread over 5 partitions of 16 contiguous rows each.
+    _ASSIGNMENT = np.repeat(np.arange(5, dtype=np.int64), 16)
+
+    def _expected_partitions(self, touched_by_generation, generation):
+        rows = self._expected_since(touched_by_generation, generation)
+        return sorted({int(self._ASSIGNMENT[row]) for row in rows})
+
+    def test_exactly_at_the_floor_after_evictions(self, tmp_path):
+        from repro.storage.profile_store import _DELTA_LOG_LIMIT
+        num_batches = _DELTA_LOG_LIMIT + 6
+        store, touched = self._store_with_batches(tmp_path, num_batches)
+        floor = num_batches - _DELTA_LOG_LIMIT
+        answer = store.touched_partitions_since(floor, self._ASSIGNMENT)
+        assert answer is not None
+        assert answer.tolist() == self._expected_partitions(touched, floor)
+
+    def test_one_below_the_floor_is_unknown(self, tmp_path):
+        from repro.storage.profile_store import _DELTA_LOG_LIMIT
+        num_batches = _DELTA_LOG_LIMIT + 6
+        store, _ = self._store_with_batches(tmp_path, num_batches)
+        floor = num_batches - _DELTA_LOG_LIMIT
+        assert store.touched_partitions_since(floor - 1,
+                                              self._ASSIGNMENT) is None
+        assert store.touched_partitions_since(0, self._ASSIGNMENT) is None
+
+    def test_future_generation_is_unknown_current_is_empty(self, tmp_path):
+        store, _ = self._store_with_batches(tmp_path, 3)
+        current = store.generation
+        assert store.touched_partitions_since(
+            current, self._ASSIGNMENT).tolist() == []
+        assert store.touched_partitions_since(current + 1,
+                                              self._ASSIGNMENT) is None
+
+    def test_window_interior_is_exact_without_evictions(self, tmp_path):
+        store, touched = self._store_with_batches(tmp_path, 5)
+        for generation in range(0, 6):
+            answer = store.touched_partitions_since(generation,
+                                                    self._ASSIGNMENT)
+            assert answer is not None
+            assert answer.tolist() == self._expected_partitions(touched,
+                                                                generation)
+
+    def test_fresh_handle_floor_is_the_open_generation(self, tmp_path):
+        store, _ = self._store_with_batches(tmp_path, 3)
+        reopened = OnDiskProfileStore(store.base_dir)
+        assert reopened.touched_partitions_since(
+            3, self._ASSIGNMENT).tolist() == []
+        assert reopened.touched_partitions_since(2, self._ASSIGNMENT) is None
+
+    def test_wrong_length_assignment_is_rejected(self, tmp_path):
+        """A stale assignment (wrong row count) raises — even when nothing
+        changed, so repartitioned callers fail loudly, not intermittently."""
+        store, _ = self._store_with_batches(tmp_path, 3)
+        with pytest.raises(ValueError, match="partition_of maps"):
+            store.touched_partitions_since(3, self._ASSIGNMENT[:-1])
+        with pytest.raises(ValueError, match="partition_of maps"):
+            store.touched_partitions_since(1, np.zeros(81, dtype=np.int64))
+
+
 class TestToggleAndCapacity:
     def test_incremental_disabled_never_reuses(self, tmp_path):
         profiles = generate_dense_profiles(NUM_USERS, dim=6, seed=17)
