@@ -15,6 +15,10 @@ same fingerprint as its full-rescore run (the score cache must be
 bit-transparent), or when the resume bench reports that
 ``KNNEngine.from_checkpoint`` materialised a profile copy instead of
 hard-linking the snapshot (or resumed to a diverging fingerprint), or when
+the resume peak-RSS delta grows beyond the baseline's ratio-plus-slack
+limit (resume must stay O(partition) memory), or when the serving load
+bench records any failed read, an unproven snapshot-isolation verdict, or
+a burst phase that shed nothing, or when
 the dirty-scheduling bench reports a dirty-vs-full fingerprint or
 profile-byte divergence — or a steady-state skip rate below 60%.  It prints a behaviour warning when the graph fingerprint
 changed between baseline and fresh (a fingerprint change is legitimate when
@@ -179,6 +183,88 @@ def compare_recovery(fresh: dict) -> "tuple[bool, str]":
         "fingerprint matches")
 
 
+#: Absolute slack (KB) on top of the resume peak-RSS ratio gate.  The
+#: delta is the forked bench child's high-water mark minus the parent's
+#: fork-time RSS, which wobbles by tens of MB run-to-run (allocator, CoW
+#: sharing, parent state at fork) — so the gate is a coarse *explosion*
+#: detector; the precise zero-copy gate is the byte-level accounting in
+#: ``compare_resume`` (``full_profile_copy``).
+RESUME_RSS_SLACK_KB = 131072
+
+#: Allowed fractional growth of the resume peak-RSS delta (looser than the
+#: wall-clock tolerance for the same noise reason).
+RESUME_RSS_TOLERANCE = 0.5
+
+
+def compare_resume_rss(baseline: dict, fresh: dict) -> "tuple[bool, str]":
+    """Gate the resume bench's peak-RSS delta against the baseline.
+
+    ``KNNEngine.from_checkpoint`` promises O(partition) memory — resuming
+    must not page the whole profile store in.  A fresh delta beyond
+    ``baseline * (1 + RESUME_RSS_TOLERANCE) + RESUME_RSS_SLACK_KB`` fails:
+    generous enough for the measurement's inherent noise (see
+    ``RESUME_RSS_SLACK_KB``), tight enough to flag resume regressing to
+    O(store) allocations on the bench tiers above it.  Baselines
+    predating the record skip; a fresh report without it fails (the bench
+    silently dropping the measurement must not read as a pass).
+    """
+    fresh_value = (fresh.get("resume") or {}).get("peak_rss_kb_delta")
+    if fresh_value is None:
+        return False, ("resume.peak_rss_kb_delta missing from the FRESH "
+                       "report — run_perf_suite no longer measures resume "
+                       "memory")
+    base_value = (baseline.get("resume") or {}).get("peak_rss_kb_delta")
+    if base_value is None:
+        return True, ("resume peak-RSS gate skipped "
+                      "(baseline predates the record)")
+    limit = base_value * (1.0 + RESUME_RSS_TOLERANCE) + RESUME_RSS_SLACK_KB
+    message = (f"resume peak-RSS delta: baseline {base_value} KB, "
+               f"fresh {fresh_value} KB (limit {limit:.0f} KB)")
+    if fresh_value > limit:
+        return False, message + (" — REGRESSION: resume materialises far "
+                                 "more memory than the baseline")
+    return True, message + " — within limit"
+
+
+def compare_serving(fresh: dict) -> "tuple[bool, str]":
+    """Gate the serving load bench (fresh report only, like resume).
+
+    Fails when any simulated client's read failed under load, when the
+    snapshot-isolation proof did not hold (reads must land while a refresh
+    iteration is in flight with a p99 far below the fastest refresh
+    cycle — asserted, not assumed), when the burst phase failed to shed
+    load (admission control queueing unboundedly), or when the section
+    disappears from the fresh report.  The p99 latencies are trajectory
+    records, not gated values.
+    """
+    section = fresh.get("serving")
+    if section is None:
+        return False, ("serving section missing from the FRESH report — "
+                       "run_perf_suite no longer measures the serving "
+                       "runtime under load")
+    failures = section.get("query_failures", -1)
+    if failures != 0:
+        return False, (f"serving bench recorded {failures} failed reads "
+                       "under load — the availability SLO broke")
+    if not section.get("snapshot_isolation_proven", False):
+        return False, (
+            "serving snapshot isolation UNPROVEN: "
+            f"{section.get('queries_during_refresh', 0)} reads mid-refresh, "
+            f"worst p99 {max(section.get('p99_sustained_seconds', 0.0), section.get('p99_burst_seconds', 0.0)):.6f}s "
+            f"vs fastest refresh {section.get('min_refresh_seconds')}s — "
+            "reads may be blocking on in-flight iterations")
+    if section.get("burst_shed_changes", 0) <= 0:
+        return False, ("serving burst phase shed nothing — admission "
+                       "control no longer bounds the update backlog")
+    return True, (
+        f"serving ok: {section.get('queries', 0)} reads, 0 failed, "
+        f"{section.get('queries_during_refresh', 0)} answered mid-refresh, "
+        f"p99 {section.get('p99_sustained_seconds', 0.0) * 1e6:.0f}µs sustained / "
+        f"{section.get('p99_burst_seconds', 0.0) * 1e6:.0f}µs burst vs "
+        f"{section.get('min_refresh_seconds')}s fastest refresh, "
+        f"{section.get('burst_shed_changes', 0)} changes shed under burst")
+
+
 #: Floor on the dirty-scheduling bench's worst-backend skip rate.
 MIN_SKIP_RATE = 0.6
 
@@ -297,6 +383,10 @@ def main() -> int:
     print(parity_message)
     ok_resume, resume_message = compare_resume(fresh)
     print(resume_message)
+    ok_rss, rss_message = compare_resume_rss(baseline, fresh)
+    print(rss_message)
+    ok_serving, serving_message = compare_serving(fresh)
+    print(serving_message)
     ok_recovery, recovery_message = compare_recovery(fresh)
     print(recovery_message)
     ok_dirty, dirty_message = compare_dirty_scheduling(fresh)
@@ -308,7 +398,8 @@ def main() -> int:
     same, fp_message = compare_fingerprints(baseline, fresh)
     print(("" if same else "WARNING: ") + fp_message)
     return 0 if (ok and ok45 and ok24 and ok_parity and ok_resume
-                 and ok_recovery and ok_dirty and ok_sweep) else 1
+                 and ok_rss and ok_serving and ok_recovery and ok_dirty
+                 and ok_sweep) else 1
 
 
 if __name__ == "__main__":

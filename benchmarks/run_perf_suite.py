@@ -44,6 +44,14 @@ The quantities recorded:
   tail replay).  Records the recovery wall-clock, how many WAL records
   were replayed, and whether the recovered run's final fingerprint matches
   the uninterrupted run (CI-gated);
+* ``serving`` — the serving load bench: N simulated reader clients issue
+  ``neighbors()`` queries against a live ``ServingRuntime`` while a writer
+  streams profile-update batches, in a *sustained* phase (under the
+  admission capacity) and a *burst* phase (overflowing it).  Records p99
+  query latency and shed-request counts per phase, and the CI-gated
+  verdicts: zero failed reads, snapshot isolation proven (reads landed
+  mid-refresh with p99 far below the fastest refresh cycle), and burst
+  load actually shed;
 * ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
   4 scoring threads;
 * ``backend_sweep`` — phase-4 seconds of one engine iteration per backend
@@ -582,6 +590,106 @@ def run_recovery_bench() -> dict:
     }
 
 
+#: Shape of the serving load bench: N simulated clients querying an
+#: always-on :class:`ServingRuntime` while a writer streams update batches.
+SERVING_USERS = 1500
+SERVING_READERS = 4
+SERVING_CAPACITY = 1000
+SERVING_SUSTAINED_SECONDS = 3.0
+SERVING_BURST_SECONDS = 2.0
+SERVING_SUSTAINED_BATCH = 20
+SERVING_BURST_BATCH = 600
+
+
+def run_serving_bench() -> dict:
+    """Sustained concurrent read+write against the serving runtime.
+
+    Two phases: ``sustained`` (steady update stream under the admission
+    capacity) and ``burst`` (oversized batches that must overflow the
+    bound and be shed — proving admission control actually sheds instead
+    of queueing unboundedly).  The gated quantities:
+
+    * ``query_failures`` must be 0 — every read under load is answered
+      within its deadline, refresh or no refresh;
+    * ``snapshot_isolation_proven`` must be true — reads landed *while* a
+      refresh iteration was in flight, and their p99 is far below the
+      fastest full refresh cycle, so no read ever blocked on one
+      (asserted, not assumed);
+    * ``burst_shed_changes`` must be > 0 — the backpressure signal fired.
+
+    The p99 latencies per phase are trajectory records.
+    """
+    from random import Random
+
+    from repro.service import LoadGenerator, ServingRuntime, dense_set_batch
+
+    profiles = generate_dense_profiles(SERVING_USERS, dim=16,
+                                       num_communities=8, seed=SEED)
+    config = EngineConfig(k=K, num_partitions=UPDATE_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED)
+    rng = Random(SEED)
+    with ServingRuntime(profiles, config,
+                        admission_capacity=SERVING_CAPACITY,
+                        default_deadline_seconds=5.0,
+                        refresh_poll_interval=0.01) as service:
+        generator = LoadGenerator(service, num_users=SERVING_USERS,
+                                  num_readers=SERVING_READERS,
+                                  deadline_seconds=5.0, seed=SEED)
+
+        def sustained_writer():
+            service.submit_updates(dense_set_batch(
+                SERVING_USERS, 16, SERVING_SUSTAINED_BATCH, rng))
+
+        def burst_writer():
+            service.submit_updates(dense_set_batch(
+                SERVING_USERS, 16, SERVING_BURST_BATCH, rng))
+
+        sustained = generator.run_phase(
+            "sustained", SERVING_SUSTAINED_SECONDS,
+            writer=sustained_writer, writer_interval=0.05)
+        # the isolation proof needs at least one *completed* refresh cycle
+        # as the timing yardstick; on a slow machine the sustained window
+        # may end mid-iteration, so wait the cycle out before bursting
+        wait_deadline = time.monotonic() + 120.0
+        while (service.supervisor.refreshes < 1
+               and time.monotonic() < wait_deadline):
+            time.sleep(0.05)
+        burst = generator.run_phase(
+            "burst", SERVING_BURST_SECONDS,
+            writer=burst_writer, writer_interval=0.005)
+        min_refresh = service.supervisor.min_refresh_seconds
+        stats = service.stats()
+        service.stop(drain=True)
+
+    query_failures = sustained.query_failures + burst.query_failures
+    during_refresh = (sustained.queries_during_refresh
+                      + burst.queries_during_refresh)
+    worst_p99 = max(sustained.p99_query_seconds, burst.p99_query_seconds)
+    # a read that blocked on the in-flight iteration would take at least
+    # one refresh cycle; p99 far below the *fastest* cycle proves none did
+    isolation_proven = bool(during_refresh > 0
+                            and min_refresh is not None
+                            and worst_p99 < min_refresh / 10.0)
+    return {
+        "num_users": SERVING_USERS,
+        "num_readers": SERVING_READERS,
+        "admission_capacity": SERVING_CAPACITY,
+        "phases": {"sustained": sustained.as_dict(), "burst": burst.as_dict()},
+        "queries": sustained.queries + burst.queries,
+        "query_failures": query_failures,
+        "queries_during_refresh": during_refresh,
+        "p99_sustained_seconds": sustained.p99_query_seconds,
+        "p99_burst_seconds": burst.p99_query_seconds,
+        "min_refresh_seconds": (round(min_refresh, 4)
+                                if min_refresh is not None else None),
+        "refreshes": stats["refreshes"],
+        "restarts": stats["restarts"],
+        "accepted_changes": stats["accepted_changes"],
+        "burst_shed_changes": burst.shed_changes,
+        "snapshot_isolation_proven": isolation_proven,
+    }
+
+
 def run_thread_sweep(thread_counts=(1, 2, 4)) -> list:
     rows = []
     profiles = generate_dense_profiles(NUM_USERS, dim=16, num_communities=8,
@@ -640,6 +748,9 @@ def main() -> None:
         # part of --quick: the CI gate fails on dirty-vs-full fingerprint
         # or profile-byte divergence, or a skip rate below 60%
         "dirty_scheduling": run_dirty_scheduling_bench(),
+        # part of --quick: the CI gate fails on any failed read under load,
+        # on unproven snapshot isolation, or when burst load is not shed
+        "serving": run_serving_bench(),
     }
     if not quick:
         report["thread_sweep"] = run_thread_sweep()

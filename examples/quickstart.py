@@ -42,7 +42,10 @@ def main() -> None:
     #    For a crash-safe deployment add durable=True (+ a workdir): every
     #    iteration commits atomically and streamed profile updates land in a
     #    write-ahead log, so a killed run resumes bit-identically via
-    #    KNNEngine.recover(workdir).  See docs/robustness.md.
+    #    KNNEngine.recover(workdir).  See docs/robustness.md.  For an
+    #    always-on deployment — snapshot-isolated queries + streaming
+    #    updates around this same engine — see examples/serving.py and
+    #    docs/serving.md.
     config = EngineConfig(
         k=10,
         num_partitions=8,

@@ -14,6 +14,7 @@ Commands
 ``memory``      sweep the number of partitions (memory pressure)
 ``disks``       compare the HDD and SSD device models
 ``quality``     engine vs NN-Descent vs brute force recall
+``serve``       run the always-on serving runtime under simulated load
 """
 
 from __future__ import annotations
@@ -71,6 +72,27 @@ def build_parser() -> argparse.ArgumentParser:
     quality.add_argument("--k", type=int, default=10)
     quality.add_argument("--iterations", type=int, default=4)
     quality.add_argument("--seed", type=int, default=3)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on serving runtime under simulated load "
+                      "(SIGTERM/SIGINT drain gracefully)")
+    serve.add_argument("--users", type=int, default=2000)
+    serve.add_argument("--dim", type=int, default=16)
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--partitions", type=int, default=8)
+    serve.add_argument("--duration", type=float, default=10.0,
+                       help="seconds of simulated load to run")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent reader threads")
+    serve.add_argument("--update-batch", type=int, default=50,
+                       help="profile changes per writer batch")
+    serve.add_argument("--admission-capacity", type=int, default=4096,
+                       help="max pending changes before load is shed")
+    serve.add_argument("--deadline-ms", type=float, default=1000.0,
+                       help="per-query deadline in milliseconds")
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument("--workdir", default=None,
+                       help="durable state directory (default: a tempdir)")
 
     return parser
 
@@ -145,6 +167,77 @@ def _cmd_quality(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    from random import Random
+
+    from repro.core.config import EngineConfig
+    from repro.service import LoadGenerator, ServingRuntime, dense_set_batch
+    from repro.similarity.workloads import generate_dense_profiles
+
+    profiles = generate_dense_profiles(args.users, dim=args.dim,
+                                       num_communities=8, seed=args.seed)
+    config = EngineConfig(k=args.k, num_partitions=args.partitions,
+                          durable=True, seed=args.seed)
+    service = ServingRuntime(profiles, config, workdir=args.workdir,
+                             admission_capacity=args.admission_capacity,
+                             default_deadline_seconds=args.deadline_ms / 1000.0)
+    interrupted = {"flag": False}
+
+    def _drain_handler(signum, _frame):
+        print(f"\nsignal {signum}: draining gracefully "
+              "(admission closed, flushing WAL, sealing final epoch)")
+        interrupted["flag"] = True
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _drain_handler)
+    try:
+        service.start()
+        print(f"serving {args.users} users (k={args.k}) from epoch "
+              f"{service.current_epoch}; load: {args.clients} clients for "
+              f"{args.duration:.0f}s (ctrl-c drains gracefully)")
+        rng = Random(args.seed)
+        generator = LoadGenerator(service, num_users=args.users,
+                                  num_readers=args.clients,
+                                  deadline_seconds=args.deadline_ms / 1000.0,
+                                  seed=args.seed)
+
+        def writer():
+            if not interrupted["flag"]:
+                service.submit_updates(dense_set_batch(
+                    args.users, args.dim, args.update_batch, rng))
+
+        remaining = args.duration
+        slice_seconds = min(1.0, args.duration)
+        while remaining > 0 and not interrupted["flag"]:
+            report = generator.run_phase("serve", min(slice_seconds, remaining),
+                                         writer=writer)
+            remaining -= slice_seconds
+            health = service.health()
+            print(f"  epoch {health.serving_epoch:>3}  "
+                  f"qps {report.queries / max(report.duration_seconds, 1e-9):>8.0f}  "
+                  f"p99 {report.p99_query_seconds * 1000:>7.2f}ms  "
+                  f"failures {report.query_failures:>3}  "
+                  f"shed {report.shed_changes:>5}  "
+                  f"pending {health.pending_updates:>5}  "
+                  f"state {health.refresh_state}")
+        service.stop(drain=True)
+        stats = service.stats()
+        print("drained: final epoch "
+              f"{service.engine.latest_sealed_epoch()[0]}, "
+              f"{stats['queries_served']} queries served, "
+              f"{stats['query_failures']} failed, "
+              f"{stats['accepted_changes']} changes applied, "
+              f"{stats['shed_changes']} shed, "
+              f"{stats['restarts']} refresh restarts")
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        service.close()
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "table1": _cmd_table1,
@@ -153,6 +246,7 @@ _COMMANDS = {
     "memory": _cmd_memory,
     "disks": _cmd_disks,
     "quality": _cmd_quality,
+    "serve": _cmd_serve,
 }
 
 

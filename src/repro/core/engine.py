@@ -465,6 +465,36 @@ class KNNEngine:
         if not _scan_commit_epochs(self.commits_dir):
             self._commit_iteration()
 
+    def ensure_initial_commit(self) -> None:
+        """Seal the current (pre-iteration) state as epoch 0 if none exists.
+
+        The serving runtime calls this before accepting queries so that a
+        snapshot view exists from the very first moment — ``G(0)`` is a
+        valid (random) KNN graph, and serving it beats serving nothing.
+        Requires ``durable=True``.
+        """
+        self._ensure_open()
+        if not self._config.durable:
+            raise RuntimeError(
+                "ensure_initial_commit requires EngineConfig(durable=True); "
+                "non-durable engines have no commit protocol")
+        self._ensure_initial_commit()
+
+    def sealed_epochs(self) -> List[Tuple[int, Path]]:
+        """``(epoch, path)`` of every sealed commit directory, ascending.
+
+        The snapshot/swap seam of the serving runtime: each entry is a
+        self-contained, checksummed portable checkpoint whose files are
+        immutable once sealed — safe to hard-link into a serving snapshot
+        (the clone survives this engine pruning the epoch later).
+        """
+        return _scan_commit_epochs(self.commits_dir)
+
+    def latest_sealed_epoch(self) -> Optional[Tuple[int, Path]]:
+        """The newest sealed epoch, or ``None`` when nothing committed yet."""
+        epochs = self.sealed_epochs()
+        return epochs[-1] if epochs else None
+
     def _commit_iteration(self) -> None:
         """Atomically seal the current state as ``commits/epoch_NNNNN``.
 

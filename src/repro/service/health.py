@@ -1,0 +1,60 @@
+"""Liveness / readiness probes for the serving runtime.
+
+Two orthogonal questions, mirroring orchestrator conventions:
+
+* **live** — is the process worth keeping?  ``True`` from construction
+  until :meth:`ServingRuntime.close`; a supervisor in ``failed`` state is
+  still *live* (queries are served from the last good snapshot — restart
+  policy is the operator's call, not the probe's).
+* **ready** — can it answer queries right now?  ``True`` once the first
+  snapshot is swapped in and until the runtime closes.
+
+:func:`build_health` also carries the degradation signals an operator
+dashboards: supervisor state, restart count, last refresh error, pending
+backlog and whether admission is accepting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class HealthStatus:
+    """One consistent health sample of a :class:`ServingRuntime`."""
+
+    live: bool
+    ready: bool
+    #: Supervisor state: ``idle`` / ``refreshing`` / ``recovering`` /
+    #: ``failed`` / ``stopped``.
+    refresh_state: str
+    #: Epoch of the snapshot currently answering queries (-1 before the
+    #: first swap).
+    serving_epoch: int
+    #: Accepted-but-unapplied profile changes (the backpressure signal).
+    pending_updates: int
+    #: Successful refresh-loop recoveries so far.
+    restarts: int
+    #: Whether the admission controller accepts new batches.
+    accepting: bool
+    #: Last refresh failure, ``None`` when the loop is healthy.
+    last_error: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def build_health(runtime) -> HealthStatus:
+    """Sample a runtime's health (safe from any thread)."""
+    supervisor = runtime.supervisor
+    return HealthStatus(
+        live=not runtime.closed,
+        ready=runtime.ready and not runtime.closed,
+        refresh_state=supervisor.state if supervisor is not None else "stopped",
+        serving_epoch=runtime.current_epoch,
+        pending_updates=runtime.pending_updates,
+        restarts=supervisor.restarts if supervisor is not None else 0,
+        accepting=runtime.accepting,
+        last_error=supervisor.last_error if supervisor is not None else None,
+    )

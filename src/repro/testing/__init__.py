@@ -6,6 +6,8 @@ engine, the stores and the scoring pool can consult an injected
 without importing anything test-only.
 """
 
-from repro.testing.faults import (FaultPlan, InjectedCrash, InjectedIOError)
+from repro.testing.faults import (SERVICE_CRASH_POINTS, FaultPlan,
+                                  InjectedCrash, InjectedIOError)
 
-__all__ = ["FaultPlan", "InjectedCrash", "InjectedIOError"]
+__all__ = ["FaultPlan", "InjectedCrash", "InjectedIOError",
+           "SERVICE_CRASH_POINTS"]

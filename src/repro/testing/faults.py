@@ -37,6 +37,25 @@ import threading
 from typing import List, Optional, Sequence, Tuple
 
 
+#: Service-level crash points consulted by the serving runtime
+#: (:mod:`repro.service`), alongside the engine-level points the crash
+#: matrix exercises.  ``service.admission`` fires on the ingestion path
+#: right before a batch enters the update queue (client thread);
+#: ``service.before_swap``/``service.after_swap`` bracket the atomic
+#: serving-snapshot swap in the background refresh loop; ``service.drain``
+#: fires at the start of a graceful shutdown, after admission has closed
+#: but before the final epoch is sealed.  The service chaos wall
+#: (``tests/test_service_chaos.py``) kills the runtime at each of these
+#: and asserts queries keep being answered from the last committed
+#: snapshot while recovery brings the refresh loop back.
+SERVICE_CRASH_POINTS = (
+    "service.admission",
+    "service.before_swap",
+    "service.after_swap",
+    "service.drain",
+)
+
+
 class InjectedCrash(RuntimeError):
     """Raised by :meth:`FaultPlan.point` to simulate a crash at a named point."""
 

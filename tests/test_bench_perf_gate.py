@@ -6,12 +6,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
 from check_perf_regression import (MIN_SKIP_RATE, PHASE4_KEY,
+                                   RESUME_RSS_SLACK_KB, RESUME_RSS_TOLERANCE,
                                    compare_backend_sweep,
                                    compare_dirty_scheduling,
                                    compare_fingerprints,
                                    compare_incremental_parity, compare_phase4,
                                    compare_phase24, compare_phase45,
-                                   compare_recovery, compare_resume)
+                                   compare_recovery, compare_resume,
+                                   compare_resume_rss, compare_serving)
 
 
 def _report(phase4_seconds, fingerprint="abc", phase45_seconds=None,
@@ -182,6 +184,105 @@ class TestCompareResume:
         ok, message = compare_resume(_report(1.0))
         assert not ok
         assert "FRESH" in message
+
+
+class TestCompareResumeRss:
+    """The resume peak-RSS gate: ratio-plus-slack, baseline-skippable."""
+
+    @staticmethod
+    def _with_rss(delta):
+        return {"resume": {"peak_rss_kb_delta": delta}}
+
+    def test_unchanged_rss_passes(self):
+        ok, message = compare_resume_rss(self._with_rss(37728),
+                                         self._with_rss(37728))
+        assert ok
+        assert "within limit" in message
+
+    def test_growth_within_limit_passes(self):
+        baseline = 37728
+        limit = baseline * (1.0 + RESUME_RSS_TOLERANCE) + RESUME_RSS_SLACK_KB
+        ok, _ = compare_resume_rss(self._with_rss(baseline),
+                                   self._with_rss(int(limit)))
+        assert ok
+
+    def test_growth_beyond_limit_fails(self):
+        baseline = 37728
+        limit = baseline * (1.0 + RESUME_RSS_TOLERANCE) + RESUME_RSS_SLACK_KB
+        ok, message = compare_resume_rss(self._with_rss(baseline),
+                                         self._with_rss(int(limit) + 1))
+        assert not ok
+        assert "REGRESSION" in message
+
+    def test_small_baseline_protected_by_absolute_slack(self):
+        """RSS noise on a tiny baseline must not trip the ratio alone."""
+        ok, _ = compare_resume_rss(self._with_rss(100),
+                                   self._with_rss(100 + RESUME_RSS_SLACK_KB))
+        assert ok
+
+    def test_old_baseline_skips(self):
+        ok, message = compare_resume_rss({"resume": {}},
+                                         self._with_rss(999999))
+        assert ok
+        assert "skipped" in message
+
+    def test_missing_fresh_value_fails(self):
+        """The bench dropping the measurement must not read as a pass."""
+        ok, message = compare_resume_rss(self._with_rss(37728),
+                                         {"resume": {}})
+        assert not ok
+        assert "FRESH" in message
+
+
+class TestCompareServing:
+    """The serving load-bench gate: availability, isolation, backpressure."""
+
+    @staticmethod
+    def _section(failures=0, isolation=True, shed=28200,
+                 during_refresh=815067, min_refresh=2.39):
+        return {"serving": {
+            "queries": 843435,
+            "query_failures": failures,
+            "queries_during_refresh": during_refresh,
+            "p99_sustained_seconds": 1.2e-05,
+            "p99_burst_seconds": 1.2e-05,
+            "min_refresh_seconds": min_refresh,
+            "burst_shed_changes": shed,
+            "snapshot_isolation_proven": isolation,
+        }}
+
+    def test_healthy_section_passes(self):
+        ok, message = compare_serving(self._section())
+        assert ok
+        assert "0 failed" in message
+        assert "shed" in message
+
+    def test_missing_section_fails(self):
+        ok, message = compare_serving({})
+        assert not ok
+        assert "FRESH" in message
+
+    def test_any_failed_read_fails(self):
+        ok, message = compare_serving(self._section(failures=1))
+        assert not ok
+        assert "failed reads" in message
+
+    def test_missing_failure_count_fails(self):
+        """A section without the SLO counter must not read as zero failures."""
+        section = self._section()
+        del section["serving"]["query_failures"]
+        ok, _ = compare_serving(section)
+        assert not ok
+
+    def test_unproven_isolation_fails(self):
+        ok, message = compare_serving(self._section(isolation=False))
+        assert not ok
+        assert "UNPROVEN" in message
+
+    def test_nothing_shed_fails(self):
+        ok, message = compare_serving(self._section(shed=0))
+        assert not ok
+        assert "shed nothing" in message
 
 
 class TestCompareRecovery:

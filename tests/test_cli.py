@@ -70,3 +70,15 @@ class TestCommands:
 
     def test_verbose_flag(self, capsys):
         assert main(["--verbose", "datasets"]) == 0
+
+    def test_serve_runs_and_drains(self, capsys, tmp_path):
+        code = main(["serve", "--users", "80", "--dim", "8", "--k", "5",
+                     "--partitions", "4", "--duration", "1.0",
+                     "--clients", "2", "--update-batch", "5",
+                     "--seed", "7", "--workdir", str(tmp_path / "svc")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 80 users" in out
+        assert "p99" in out
+        assert "drained: final epoch" in out
+        assert " 0 failed" in out

@@ -1,0 +1,302 @@
+"""Serving runtime semantics: snapshots, admission, deadlines, probes, drain.
+
+The chaos wall (``test_service_chaos.py``) proves the service survives
+being killed; this module pins the *contract* of each component — snapshot
+view lifetimes, bounded admission with explicit shed reasons, per-request
+deadlines, health/readiness probes, graceful drain, and degradation to a
+parked-but-serving state when the refresh loop exhausts its restart
+budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.service import (DeadlineExceeded, ServiceUnavailable,
+                           ServingRuntime, SnapshotView)
+from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
+                                        generate_sparse_profiles)
+from repro.testing import FaultPlan
+
+NUM_USERS = 60
+DIM = 8
+
+
+def _profiles():
+    return generate_dense_profiles(NUM_USERS, dim=DIM, num_communities=3,
+                                   seed=1)
+
+
+def _config(**overrides):
+    return EngineConfig(k=5, num_partitions=4, seed=7, **overrides)
+
+
+def _batch(index, size=3):
+    rng = np.random.default_rng(200 + index)
+    return [ProfileChange(user=int(u), kind="set", vector=rng.random(DIM))
+            for u in rng.choice(NUM_USERS, size=size, replace=False)]
+
+
+def _runtime(workdir, **overrides):
+    kwargs = dict(admission_capacity=64, refresh_poll_interval=0.005,
+                  backoff_base=0.005, backoff_cap=0.05, max_restarts=10)
+    kwargs.update(overrides)
+    return ServingRuntime(_profiles(), _config(durable=True),
+                          workdir=workdir, **kwargs)
+
+
+def _await(predicate, timeout=30.0, message="condition"):
+    deadline = time.time() + timeout
+    while not predicate():
+        assert time.time() < deadline, f"timed out waiting for {message}"
+        time.sleep(0.005)
+
+
+class TestLifecycleAndQueries:
+    def test_ready_from_the_first_moment(self, tmp_path):
+        """Epoch 0 (the pre-iteration state) is served before any refresh."""
+        with _runtime(tmp_path / "svc") as service:
+            health = service.health()
+            assert health.live and health.ready
+            assert service.current_epoch == 0
+            assert len(service.neighbors(3)) == 5
+
+    def test_durable_mode_is_forced_on(self, tmp_path):
+        service = ServingRuntime(_profiles(), _config(),  # durable=False
+                                 workdir=tmp_path / "svc")
+        assert service.config.durable
+        service.close()
+
+    def test_query_before_start_is_unavailable(self, tmp_path):
+        service = _runtime(tmp_path / "svc")
+        with pytest.raises(ServiceUnavailable):
+            service.neighbors(0, deadline_seconds=0.05)
+        service.close()
+
+    def test_query_after_close_is_unavailable(self, tmp_path):
+        service = _runtime(tmp_path / "svc").start()
+        service.close()
+        with pytest.raises(ServiceUnavailable):
+            service.neighbors(0)
+        assert not service.health().live
+
+    def test_updates_advance_the_serving_epoch(self, tmp_path):
+        with _runtime(tmp_path / "svc") as service:
+            before = service.neighbors(5)
+            assert service.submit_updates(_batch(0)).accepted
+            _await(lambda: service.current_epoch >= 1
+                   and service.pending_updates == 0, message="epoch 1")
+            after = service.neighbors(5)
+            assert len(after) == 5
+            # epoch 0 is a random zero-score graph; one refresh scores it
+            assert before != after
+
+    def test_recommend_serves_from_sparse_snapshots(self, tmp_path):
+        profiles = generate_sparse_profiles(NUM_USERS, num_items=200,
+                                            items_per_user=12, seed=3)
+        with ServingRuntime(profiles, _config(durable=True),
+                            workdir=tmp_path / "svc",
+                            refresh_poll_interval=0.005) as service:
+            service.submit_updates([ProfileChange(user=1, kind="add", item=7)])
+            _await(lambda: service.current_epoch >= 1
+                   and service.pending_updates == 0, message="epoch 1")
+            items = service.recommend(1, top_n=4)
+            assert len(items) <= 4
+            assert all(isinstance(item, int) for item in items)
+
+    def test_recommend_rejects_dense_snapshots(self, tmp_path):
+        with _runtime(tmp_path / "svc") as service:
+            with pytest.raises(ValueError, match="sparse"):
+                service.recommend(1)
+
+
+class TestAdmissionControl:
+    def test_over_capacity_load_is_shed_with_a_reason(self, tmp_path):
+        with _runtime(tmp_path / "svc", admission_capacity=4) as service:
+            # wedge the refresh loop so the backlog cannot drain under us
+            service.supervisor.stop()
+            assert service.submit_updates(_batch(0, size=3)).accepted
+            result = service.submit_updates(_batch(1, size=3))
+            assert not result.accepted
+            assert result.shed_reason == "capacity"
+            assert result.pending == 3
+            assert result.batch_size == 3
+            stats = service.stats()
+            assert stats["shed_batches"] == 1
+            assert stats["shed_changes"] == 3
+            assert stats["accepted_changes"] == 3
+
+    def test_draining_service_sheds_new_work(self, tmp_path):
+        with _runtime(tmp_path / "svc") as service:
+            service.stop(drain=True)
+            result = service.submit_updates(_batch(0))
+            assert not result.accepted
+            assert result.shed_reason in ("draining", "closed")
+            assert not service.accepting
+
+    def test_batch_larger_than_capacity_is_always_shed(self, tmp_path):
+        with _runtime(tmp_path / "svc", admission_capacity=2) as service:
+            result = service.submit_updates(_batch(0, size=3))
+            assert not result.accepted
+            assert result.shed_reason == "capacity"
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_when_no_snapshot_can_be_acquired(self, tmp_path):
+        service = _runtime(tmp_path / "svc").start()
+        try:
+            # simulate "no snapshot yet" by clearing the view under the lock
+            with service._view_lock:
+                view, service._view = service._view, None
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceeded):
+                service.neighbors(0, deadline_seconds=0.05)
+            assert time.monotonic() - started < 5.0
+            assert service.stats()["query_failures"] == 1
+            with service._view_lock:
+                service._view = view
+        finally:
+            service.close()
+
+    def test_default_deadline_is_used_when_not_overridden(self, tmp_path):
+        service = _runtime(tmp_path / "svc",
+                           default_deadline_seconds=0.05).start()
+        try:
+            with service._view_lock:
+                service._view = None
+            with pytest.raises(DeadlineExceeded):
+                service.neighbors(0)
+        finally:
+            service.close()
+
+
+class TestSnapshotViews:
+    def test_retired_view_survives_until_last_reader_releases(self, tmp_path):
+        with _runtime(tmp_path / "svc") as service:
+            with service._view_lock:
+                view = service._view
+            assert view.acquire()
+            service.submit_updates(_batch(0))
+            _await(lambda: service.current_epoch >= 1, message="swap")
+            # the old view is retired but pinned: its files must still exist
+            assert view.directory.is_dir()
+            assert view.neighbors(0)  # still readable mid-retirement
+            view.release()
+            _await(lambda: not view.directory.exists(),
+                   message="retired view disposal")
+            # the new snapshot is untouched by the old view's disposal
+            assert len(service.neighbors(0)) == 5
+
+    def test_snapshot_survives_engine_commit_gc(self, tmp_path):
+        """Hard links keep a served epoch alive after the engine prunes it."""
+        with _runtime(tmp_path / "svc") as service:
+            with service._view_lock:
+                epoch0 = service._view
+            assert epoch0.acquire()
+            try:
+                for index in range(3):  # COMMITS_KEPT=2: epoch 0 gets pruned
+                    service.submit_updates(_batch(index))
+                    _await(lambda i=index: service.current_epoch >= i + 1
+                           and service.pending_updates == 0,
+                           message=f"epoch {index + 1}")
+                engine_epochs = [e for e, _ in service.engine.sealed_epochs()]
+                assert 0 not in engine_epochs
+                assert epoch0.neighbors(0)  # pruned upstream, readable here
+            finally:
+                epoch0.release()
+
+    def test_acquire_after_dispose_fails_cleanly(self, tmp_path):
+        with _runtime(tmp_path / "svc") as service:
+            with service._view_lock:
+                view = service._view
+        # close() retired the final view with no readers: it is disposed
+        assert not view.acquire()
+
+
+class TestDegradation:
+    def test_exhausted_restart_budget_parks_failed_but_keeps_serving(
+            self, tmp_path):
+        # every refresh attempt dies at its first instruction, forever
+        plan = FaultPlan()
+        for occurrence in range(1, 40):
+            plan.crash_at("iteration.begin", occurrence=occurrence)
+        service = ServingRuntime(
+            _profiles(), _config(durable=True, fault_plan=plan),
+            workdir=tmp_path / "svc", admission_capacity=64,
+            refresh_poll_interval=0.005, backoff_base=0.001,
+            backoff_cap=0.005, max_restarts=2)
+        service.start()
+        try:
+            service.submit_updates(_batch(0))
+            _await(lambda: service.supervisor.state == "failed",
+                   message="supervisor parking")
+            health = service.health()
+            assert health.refresh_state == "failed"
+            assert health.last_error is not None
+            assert health.live and health.ready  # degraded, not down
+            assert len(service.neighbors(9)) == 5  # reads still answered
+            service.stop(drain=False)
+        finally:
+            service.close()
+
+    def test_health_reports_backlog_and_restarts(self, tmp_path):
+        plan = FaultPlan().crash_at("service.before_swap", occurrence=1)
+        service = ServingRuntime(
+            _profiles(), _config(durable=True, fault_plan=plan),
+            workdir=tmp_path / "svc", admission_capacity=64,
+            refresh_poll_interval=0.005, backoff_base=0.001,
+            backoff_cap=0.01, max_restarts=10)
+        service.start()
+        try:
+            service.submit_updates(_batch(0))
+            _await(lambda: service.restarts >= 1 and service.current_epoch >= 1,
+                   message="recovery")
+            health = service.health()
+            assert health.restarts >= 1
+            assert health.serving_epoch >= 1
+            assert health.as_dict()["restarts"] == health.restarts
+        finally:
+            service.close()
+
+
+class TestGracefulDrain:
+    def test_drain_seals_the_pending_backlog_into_a_final_epoch(self, tmp_path):
+        service = _runtime(tmp_path / "svc").start()
+        try:
+            # freeze the loop so the batch is still pending at stop() time
+            service.supervisor.stop()
+            assert service.submit_updates(_batch(0)).accepted
+            assert service.pending_updates == 3
+            service.stop(drain=True)
+            assert service.pending_updates == 0
+            assert service.engine.latest_sealed_epoch()[0] == 1
+            assert not service.accepting
+        finally:
+            service.close()
+
+    def test_stop_without_drain_leaves_the_backlog_in_the_wal(self, tmp_path):
+        workdir = tmp_path / "svc"
+        service = _runtime(workdir).start()
+        service.supervisor.stop()
+        assert service.submit_updates(_batch(0)).accepted
+        service.stop(drain=False)
+        service.close()
+        recovered = ServingRuntime.recover(
+            workdir, config=_config(durable=True),
+            refresh_poll_interval=0.005)
+        try:
+            _await(lambda: recovered.current_epoch >= 1
+                   and recovered.pending_updates == 0,
+                   message="replayed backlog")
+        finally:
+            recovered.close()
+
+    def test_stop_is_idempotent(self, tmp_path):
+        with _runtime(tmp_path / "svc") as service:
+            service.stop(drain=True)
+            service.stop(drain=True)
+            service.stop(drain=False)
