@@ -20,7 +20,13 @@ limit (resume must stay O(partition) memory), or when the serving load
 bench records any failed read, an unproven snapshot-isolation verdict, or
 a burst phase that shed nothing, or when
 the dirty-scheduling bench reports a dirty-vs-full fingerprint or
-profile-byte divergence — or a steady-state skip rate below 60%.  It prints a behaviour warning when the graph fingerprint
+profile-byte divergence — or a steady-state skip rate below 60% — or when
+the sharded bench reports a sharded-vs-unsharded fingerprint or
+profile-byte divergence, a worker breaking its per-worker memory budget,
+or (on machines with ≥4 cores) a process-over-thread phase-4 speedup
+below 2x; smaller machines skip the speedup clause with an explicit
+message because a 1-core process pool measures overhead, not
+parallelism.  It prints a behaviour warning when the graph fingerprint
 changed between baseline and fresh (a fingerprint change is legitimate when
 an algorithmic PR intends it — the diff to the committed baseline makes it
 explicit — so it warns rather than fails).  Baselines predating the update
@@ -304,6 +310,82 @@ def compare_dirty_scheduling(fresh: dict) -> "tuple[bool, str]":
         "fingerprints and profile bytes match on every backend")
 
 
+#: Minimum process-over-thread phase-4 speedup required from the sharded
+#: bench when the fresh run had real cores to parallelise across.  Below
+#: four cores a process pool mostly measures fork/pickle overhead, so the
+#: speedup clause skips honestly (reported, not silently dropped) — the
+#: parity and budget clauses still gate unconditionally.
+SHARDED_MIN_SPEEDUP = 2.0
+SHARDED_SPEEDUP_MIN_CPUS = 4
+
+
+def compare_sharded(fresh: dict) -> "tuple[bool, str]":
+    """Gate the shard-parallel execution path (fresh report only).
+
+    Fails when any sharded backend's final graph fingerprint or final
+    profile bytes diverge from the unsharded reference (shard-parallel
+    execution must be bit-transparent), when any worker's peak resident
+    bytes exceeded the per-worker memory budget, or when the section
+    disappears from the fresh report — the bench breaking must not read
+    as a silent pass.  The process-over-thread speedup is gated at
+    ``SHARDED_MIN_SPEEDUP`` only when the fresh run saw at least
+    ``SHARDED_SPEEDUP_MIN_CPUS`` cores; on smaller machines the clause
+    skips with an explicit message rather than faking a multicore
+    verdict.  The optional ``sharded_million`` tier (``--million`` runs)
+    is checked when present: its worker residency must stay within the
+    budget carved out of the 1M-user store.
+    """
+    section = fresh.get("sharded")
+    if section is None:
+        return False, ("sharded section missing from the FRESH report — "
+                       "run_perf_suite no longer measures shard-parallel "
+                       "parity")
+    if not section.get("fingerprints_match", False):
+        return False, ("sharded fingerprints DIVERGE from the unsharded "
+                       "reference — shard-parallel execution changed a "
+                       "result bit")
+    if not section.get("profiles_match", False):
+        return False, ("sharded final profile bytes DIVERGE from the "
+                       "unsharded reference — phase 5 applied different "
+                       "updates under sharding")
+    if not section.get("within_budget", False):
+        return False, ("sharded worker residency exceeded the per-worker "
+                       "memory budget — shard execution no longer bounds "
+                       "resident profile bytes")
+    million = fresh.get("sharded_million")
+    million_note = ""
+    if million is not None:
+        if not million.get("within_budget", False):
+            return False, (
+                f"1M-user tier worker residency "
+                f"{million.get('peak_worker_bytes')} bytes broke its "
+                f"{million.get('worker_budget_bytes')}-byte budget — the "
+                "sharded path no longer scales out-of-core")
+        million_note = (
+            f"; 1M-user tier ok (peak worker "
+            f"{million.get('peak_worker_bytes')} of "
+            f"{million.get('worker_budget_bytes')} budget bytes, "
+            f"phase 4 {million.get('phase4_seconds', 0.0):.1f}s)")
+    cpus = fresh.get("cpu_count") or section.get("cpu_count") or 0
+    speedup = section.get("process_speedup_over_thread")
+    if cpus >= SHARDED_SPEEDUP_MIN_CPUS:
+        if speedup is None or speedup < SHARDED_MIN_SPEEDUP:
+            return False, (
+                f"sharded process-over-thread speedup {speedup} fell below "
+                f"{SHARDED_MIN_SPEEDUP}x on a {cpus}-core machine — the "
+                "process backend no longer beats the GIL")
+        speedup_note = f"process {speedup:.2f}x over thread on {cpus} cores"
+    else:
+        speedup_note = (
+            f"speedup clause skipped honestly (cpu_count={cpus} < "
+            f"{SHARDED_SPEEDUP_MIN_CPUS}; measured {speedup}x is overhead, "
+            "not parallelism)")
+    return True, (
+        "sharded ok: fingerprints and profile bytes bit-identical on "
+        "serial/thread/process, worker residency within budget, "
+        + speedup_note + million_note)
+
+
 def compare_backend_sweep(baseline: dict, fresh: dict,
                           tolerance: float) -> "tuple[bool, list]":
     """Per-row backend-sweep gate, cpu-count-aware for parallel rows.
@@ -391,6 +473,8 @@ def main() -> int:
     print(recovery_message)
     ok_dirty, dirty_message = compare_dirty_scheduling(fresh)
     print(dirty_message)
+    ok_sharded, sharded_message = compare_sharded(fresh)
+    print(sharded_message)
     ok_sweep, sweep_messages = compare_backend_sweep(baseline, fresh,
                                                      args.tolerance)
     for sweep_message in sweep_messages:
@@ -399,7 +483,7 @@ def main() -> int:
     print(("" if same else "WARNING: ") + fp_message)
     return 0 if (ok and ok45 and ok24 and ok_parity and ok_resume
                  and ok_rss and ok_serving and ok_recovery and ok_dirty
-                 and ok_sweep) else 1
+                 and ok_sharded and ok_sweep) else 1
 
 
 if __name__ == "__main__":

@@ -52,6 +52,16 @@ The quantities recorded:
   verdicts: zero failed reads, snapshot isolation proven (reads landed
   mid-refresh with p99 far below the fastest refresh cycle), and burst
   load actually shed;
+* ``sharded`` — the shard-parallel matrix: the 10k-user churned workload
+  with whole-step wave execution on (serial/thread/process) and off,
+  recording phase-4 wall-clock, per-worker ``peak_worker_bytes`` against
+  the byte budget, the process-over-thread speedup, and the CI-gated
+  parity verdicts (graph fingerprints and final profile bytes must be
+  identical to the step-at-a-time reference);
+* ``sharded_million`` (``--million`` only) — one sharded iteration over
+  1M users in 64 partitions with the per-worker resident-bytes cap set to
+  an eighth of the profile store, proving the tier runs out-of-core under
+  a hard ``MemoryError``-enforced budget;
 * ``thread_sweep`` — evaluations/second of one engine iteration at 1, 2 and
   4 scoring threads;
 * ``backend_sweep`` — phase-4 seconds of one engine iteration per backend
@@ -690,6 +700,186 @@ def run_serving_bench() -> dict:
     }
 
 
+#: Shape of the shard-parallel workload: the update workload's 10k users
+#: and uniform churn, run with ``shard_parallel`` on and off.  Thread and
+#: process rows use the same worker count so the recorded
+#: ``process_speedup_over_thread`` compares like with like; the gate only
+#: enforces it on machines with ≥ 4 cores (GIL-bound thread scoring vs
+#: fork workers needs real parallelism to show).
+SHARDED_ITERATIONS = 3
+SHARDED_WORKERS = max(2, min(4, os.cpu_count() or 1))
+SHARDED_BACKENDS = (("serial", 1), ("thread", SHARDED_WORKERS),
+                    ("process", SHARDED_WORKERS))
+#: Per-worker resident-bytes cap for the sharded rows (generous: the
+#: 10k-user store is ~1.3 MB; the cap exists so the bench records real
+#: ``peak_worker_bytes`` accounting, not to constrain this tier).
+SHARDED_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+def _run_sharded_workload(shard_parallel: bool, backend: str = "serial",
+                          workers: int = 1,
+                          budget_bytes: float = None) -> dict:
+    """One churned run with whole-step wave execution on or off."""
+    profiles = generate_dense_profiles(UPDATE_USERS, dim=16,
+                                       num_communities=8, seed=SEED)
+    overrides = {"backend": backend}
+    if backend == "thread":
+        overrides["num_threads"] = workers
+    elif backend == "process":
+        overrides["num_workers"] = workers
+    config = EngineConfig(k=K, num_partitions=UPDATE_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED,
+                          shard_parallel=shard_parallel,
+                          memory_budget_bytes=budget_bytes, **overrides)
+    rng = np.random.default_rng(7)
+
+    def churn(_iteration: int):
+        users = rng.choice(UPDATE_USERS, size=UPDATE_CHURN, replace=False)
+        return [ProfileChange(user=int(u), kind="set", vector=rng.random(16))
+                for u in users]
+
+    with KNNEngine(profiles, config) as engine:
+        start = time.perf_counter()
+        run = engine.run(num_iterations=SHARDED_ITERATIONS,
+                         profile_change_feed=churn)
+        wall = time.perf_counter() - start
+        coordinator = engine._iteration_runner.shard_coordinator
+        peak_worker_bytes = (coordinator.peak_worker_bytes
+                             if coordinator is not None else None)
+        coordinator_backend = (coordinator.backend
+                               if coordinator is not None else None)
+        profile_sha256 = hashlib.sha256(
+            (engine.profile_store.base_dir
+             / "profiles_dense.bin").read_bytes()).hexdigest()
+    phase4 = sum(result.phase_timer.as_dict()[PHASE_NAMES[3]]
+                 for result in run.iterations)
+    return {
+        "backend": backend,
+        "workers": workers,
+        "shard_parallel": shard_parallel,
+        "coordinator_backend": coordinator_backend,
+        "wall_seconds": round(wall, 4),
+        "phase4_seconds": round(phase4, 4),
+        "load_unload_operations": sum(result.load_unload_operations
+                                      for result in run.iterations),
+        "similarity_evaluations": sum(result.similarity_evaluations
+                                      for result in run.iterations),
+        "peak_worker_bytes": peak_worker_bytes,
+        "worker_budget_bytes": budget_bytes,
+        "graph_fingerprint": run.final_graph.edge_fingerprint(),
+        "profile_sha256": profile_sha256,
+    }
+
+
+def run_sharded_bench() -> dict:
+    """Shard-parallel parity + speedup matrix (the PR-9 gate).
+
+    One step-at-a-time reference run plus a sharded run per backend over
+    the identical churned workload.  Gated quantities:
+    ``fingerprints_match`` and ``profiles_match`` must stay true (wave
+    execution must never change a result bit — graphs *and* final profile
+    bytes), every sharded row must respect its per-worker byte budget
+    (``within_budget``), and on machines with ≥ 4 cores
+    ``process_speedup_over_thread`` must stay ≥ 2.0 (the reason the
+    process backend exists; honestly skipped below 4 cores).
+    """
+    reference = _run_sharded_workload(False)
+    rows = [_run_sharded_workload(True, backend, workers,
+                                  budget_bytes=SHARDED_BUDGET_BYTES)
+            for backend, workers in SHARDED_BACKENDS]
+    by_backend = {row["backend"]: row for row in rows}
+    thread_phase4 = by_backend["thread"]["phase4_seconds"]
+    process_phase4 = by_backend["process"]["phase4_seconds"]
+    return {
+        "num_users": UPDATE_USERS,
+        "num_partitions": UPDATE_PARTITIONS,
+        "num_iterations": SHARDED_ITERATIONS,
+        "churn_per_iteration": UPDATE_CHURN,
+        "cpu_count": os.cpu_count(),
+        "workers": SHARDED_WORKERS,
+        "reference": reference,
+        "sharded": rows,
+        "fingerprints_match": all(
+            row["graph_fingerprint"] == reference["graph_fingerprint"]
+            for row in rows),
+        "profiles_match": all(
+            row["profile_sha256"] == reference["profile_sha256"]
+            for row in rows),
+        "within_budget": all(
+            row["peak_worker_bytes"] is not None
+            and row["peak_worker_bytes"] <= SHARDED_BUDGET_BYTES
+            for row in rows),
+        "phase4_seconds_reference": reference["phase4_seconds"],
+        "phase4_seconds_thread": thread_phase4,
+        "phase4_seconds_process": process_phase4,
+        "process_speedup_over_thread": (
+            round(thread_phase4 / process_phase4, 4)
+            if process_phase4 else None),
+    }
+
+
+#: Shape of the million-user tier (run with ``--million``): one sharded
+#: iteration over 1M dense users in 64 partitions, with the per-worker
+#: resident-bytes cap set to an eighth of the profile store — the
+#: out-of-core claim at serving scale, enforced (MemoryError, not a
+#: silent spill) by ``MemoryBudget.record_transient``.
+MILLION_USERS = 1_000_000
+MILLION_PARTITIONS = 64
+MILLION_DIM = 8
+MILLION_K = 4
+
+
+def run_million_user_bench() -> dict:
+    """One shard-parallel iteration at ≥ 1M users under a hard byte budget.
+
+    The gated quantities (checked only when the section is present):
+    ``within_budget`` must be true — the peak per-worker resident slice
+    bytes stayed under a budget that is itself a small fraction of the
+    store (``budget_fraction_of_store``), so the tier genuinely ran
+    out-of-core.  A budget overflow raises ``MemoryError`` and fails the
+    bench outright, so ``within_budget`` doubles as the did-it-run flag.
+    """
+    profiles = generate_dense_profiles(MILLION_USERS, dim=MILLION_DIM,
+                                       num_communities=16, seed=SEED)
+    store_bytes = int(profiles.matrix.nbytes)
+    # two resident partitions per worker is ~1/32 of the store; an eighth
+    # leaves 4x headroom while still forcing out-of-core execution
+    budget_bytes = store_bytes // 8
+    workers = max(1, min(4, os.cpu_count() or 1))
+    config = EngineConfig(k=MILLION_K, num_partitions=MILLION_PARTITIONS,
+                          heuristic="degree-low-high", seed=SEED,
+                          shard_parallel=True, backend="process",
+                          num_workers=workers,
+                          memory_budget_bytes=budget_bytes,
+                          max_pairs_per_bridge=1)
+    start = time.perf_counter()
+    with KNNEngine(profiles, config) as engine:
+        result = engine.run_iteration()
+        wall = time.perf_counter() - start
+        coordinator = engine._iteration_runner.shard_coordinator
+        peak_worker_bytes = coordinator.peak_worker_bytes
+        coordinator_backend = coordinator.backend
+    phase4 = result.phase_timer.as_dict()[PHASE_NAMES[3]]
+    return {
+        "num_users": MILLION_USERS,
+        "num_partitions": MILLION_PARTITIONS,
+        "dim": MILLION_DIM,
+        "k": MILLION_K,
+        "workers": workers,
+        "coordinator_backend": coordinator_backend,
+        "store_bytes": store_bytes,
+        "worker_budget_bytes": budget_bytes,
+        "budget_fraction_of_store": round(budget_bytes / store_bytes, 4),
+        "peak_worker_bytes": peak_worker_bytes,
+        "within_budget": bool(0 < peak_worker_bytes <= budget_bytes),
+        "wall_seconds": round(wall, 4),
+        "phase4_seconds": round(phase4, 4),
+        "similarity_evaluations": result.similarity_evaluations,
+        "load_unload_operations": result.load_unload_operations,
+        "graph_fingerprint": result.graph.edge_fingerprint(),
+    }
+
+
 def run_thread_sweep(thread_counts=(1, 2, 4)) -> list:
     rows = []
     profiles = generate_dense_profiles(NUM_USERS, dim=16, num_communities=8,
@@ -729,6 +919,10 @@ def main() -> None:
     parser.add_argument("--quick", action="store_true",
                         help="pipeline + update-workload benches only "
                              "(what the CI gate compares)")
+    parser.add_argument("--million", action="store_true",
+                        help="also run the 1M-user shard-parallel tier "
+                             "(minutes of wall-clock; gated only when "
+                             "present in the report)")
     args = parser.parse_args()
     quick = args.quick or args.skip_threads
 
@@ -751,7 +945,13 @@ def main() -> None:
         # part of --quick: the CI gate fails on any failed read under load,
         # on unproven snapshot isolation, or when burst load is not shed
         "serving": run_serving_bench(),
+        # part of --quick: the CI gate fails on sharded-vs-serial
+        # fingerprint/profile divergence or a busted per-worker budget,
+        # and (on ≥ 4 cores) on a process-over-thread speedup below 2x
+        "sharded": run_sharded_bench(),
     }
+    if args.million:
+        report["sharded_million"] = run_million_user_bench()
     if not quick:
         report["thread_sweep"] = run_thread_sweep()
     if not (quick or args.skip_backends):

@@ -107,6 +107,21 @@ class EngineConfig:
         (``IterationResult.reused_scores``/``lookups_skipped``) then vary
         by hardware, which reproducibility-sensitive experiments may not
         want.
+    shard_parallel:
+        Execute *whole residency steps* concurrently instead of one step at
+        a time: the dirty-scheduled step sequence is colored into waves of
+        pairwise partition-disjoint steps (``plan_shard_schedule``) and each
+        wave's steps run in parallel on the configured backend, every worker
+        exclusively owning its step's partitions for the wave
+        (:class:`~repro.core.parallel.ShardCoordinator`).  Per-shard deltas
+        are pre-reduced to each source's top-K and merged through the
+        order-independent sharded batch merge, so produced graphs and
+        profile bytes stay **bit-identical** with the toggle on or off, on
+        every backend.  ``memory_budget_bytes`` then caps each *worker's*
+        resident profile bytes (its step's slices — the sharded analogue of
+        the serial two-resident-partitions envelope) instead of the
+        partition cache.  Off by default: one-step-at-a-time residency is
+        the paper's cost model and the right shape for single-core boxes.
     seed:
         Seed for the random initial KNN graph.
     shard_timeout_seconds:
@@ -148,6 +163,7 @@ class EngineConfig:
     dirty_scheduling: bool = True
     score_cache_entries: int = 4_000_000
     adaptive_score_cache: bool = False
+    shard_parallel: bool = False
     seed: Optional[int] = 0
     shard_timeout_seconds: Optional[float] = None
     durable: bool = False

@@ -39,7 +39,9 @@ import numpy as np
 
 from repro.core.config import EngineConfig
 from repro.core.parallel import (ProcessScoringPool, ScoringPoolBroken,
-                                 SharedRowIndex, fork_available, score_tuples)
+                                 ShardCoordinator, ShardStepTask,
+                                 SharedRowIndex, _compact_ids, fork_available,
+                                 score_tuples)
 from repro.core.update_queue import ProfileUpdateQueue
 from repro.graph.knn_graph import KNNGraph
 from repro.utils.arrays import counting_argsort
@@ -47,7 +49,8 @@ from repro.partition.model import Partition, build_partitions
 from repro.partition.partitioners import get_partitioner
 from repro.pigraph.pi_graph import PIGraph
 from repro.pigraph.scheduler import (DirtySchedule, ScheduleResult,
-                                     plan_dirty_schedule, simulate_schedule)
+                                     plan_dirty_schedule, plan_shard_schedule,
+                                     simulate_schedule)
 from repro.pigraph.traversal import ResidencyStep, get_heuristic
 from repro.storage.io_stats import IOStats
 from repro.storage.memory_manager import MemoryBudget, PartitionCache
@@ -459,6 +462,11 @@ class OutOfCoreIteration:
         # set when pool supervision exhausted its retries: the rest of the
         # run scores in-process (bit-identical, just without the pool)
         self._pool_degraded = False
+        # shard-parallel wave executor (config.shard_parallel); like the
+        # scoring pool it lives for the whole run and degrades to serial
+        # waves when process-pool supervision exhausts its retries
+        self._coordinator: Optional[ShardCoordinator] = None
+        self._coordinator_degraded = False
         # merged row-index cache, keyed (iteration, first, second) — see
         # _ROW_INDEX_CACHE_SLOTS
         self._row_index_cache: "OrderedDict[Tuple[int, int, int], Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
@@ -504,10 +512,18 @@ class OutOfCoreIteration:
         self._score_cache = cache
 
     def close(self) -> None:
-        """Shut down the persistent scoring pool (idempotent)."""
+        """Shut down the persistent scoring pool and coordinator (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._coordinator is not None:
+            self._coordinator.shutdown()
+            self._coordinator = None
+
+    @property
+    def shard_coordinator(self) -> Optional[ShardCoordinator]:
+        """The live shard coordinator, if any (benchmarks read its budget)."""
+        return self._coordinator
 
     def _scoring_pool(self) -> Optional[ProcessScoringPool]:
         """The run-lifetime process pool, or ``None`` for in-process scoring.
@@ -538,6 +554,50 @@ class OutOfCoreIteration:
                 shard_timeout=config.shard_timeout_seconds,
                 fault_plan=config.fault_plan)
         return self._pool
+
+    def _shard_coordinator(self) -> ShardCoordinator:
+        """The run-lifetime wave executor for ``config.shard_parallel``.
+
+        The backend maps directly: ``serial`` runs waves sequentially (the
+        reference semantics), ``thread`` scores a wave's steps on
+        ``num_threads`` threads, ``process`` ships whole steps to
+        ``num_workers`` fork workers.  The same fallbacks as
+        :meth:`_scoring_pool` apply — a process backend without ``fork`` or
+        with a single worker, or one whose supervision exhausted its
+        retries, executes serial waves (bit-identical, just sequential).
+        """
+        if self._coordinator is not None:
+            return self._coordinator
+        config = self._config
+        backend = config.backend
+        workers = 1
+        if backend == "thread":
+            workers = config.num_threads
+        elif backend == "process":
+            workers = config.num_workers
+            if self._coordinator_degraded:
+                backend, workers = "serial", 1
+            elif config.num_workers == 1 or not fork_available():
+                if not self._warned_process_fallback:
+                    reason = ("num_workers=1" if config.num_workers == 1
+                              else "fork is unavailable on this platform")
+                    _logger.warning(
+                        "backend='process' with %s: skipping the worker pool "
+                        "and scoring in-process (results are identical)",
+                        reason)
+                    self._warned_process_fallback = True
+                backend, workers = "serial", 1
+        if backend == "thread" and workers == 1:
+            backend = "serial"
+        self._coordinator = ShardCoordinator(
+            self._profile_store,
+            backend=backend,
+            num_workers=max(1, workers),
+            shard_timeout=config.shard_timeout_seconds,
+            worker_budget_bytes=config.memory_budget_bytes,
+            bytes_per_user=self._profile_store.estimated_bytes_per_user(),
+            fault_plan=config.fault_plan)
+        return self._coordinator
 
     # -- public entry point -------------------------------------------------
 
@@ -690,6 +750,10 @@ class OutOfCoreIteration:
                     io_stats: IOStats, assignment: np.ndarray,
                     schedule: ScheduleResult) -> _Phase4Outcome:
         config = self._config
+        if config.shard_parallel:
+            return self._phase4_knn_sharded(iteration, graph, table, steps,
+                                            measure, io_stats, assignment,
+                                            schedule)
         budget = (MemoryBudget(config.memory_budget_bytes)
                   if config.memory_budget_bytes is not None else None)
         partition_cache = PartitionCache(
@@ -1030,6 +1094,312 @@ class OutOfCoreIteration:
             lookups_skipped=lookups_skipped,
             cache_merge_seconds=cache_merge_seconds,
             row_index_reuses=row_index_reuses,
+            steps_skipped=steps_skipped,
+            steps_total=len(steps),
+        )
+
+    def _phase4_knn_sharded(self, iteration: int, graph: KNNGraph,
+                            table: TupleHashTable,
+                            steps: Sequence[ResidencyStep], measure: str,
+                            io_stats: IOStats, assignment: np.ndarray,
+                            schedule: ScheduleResult) -> _Phase4Outcome:
+        """Phase 4 with waves of partition-disjoint steps executed in parallel.
+
+        Two passes over the dirty-scheduled step order:
+
+        1. *Classify* — exactly the serial path's per-step lookup logic:
+           cache hits are taken, fully-hit steps and small cached-step
+           residues finish inline, and every step that still needs its
+           partitions becomes a pending record.
+        2. *Execute* — the pending steps are colored into waves of
+           partition-disjoint steps (:func:`plan_shard_schedule`) and each
+           wave runs concurrently on the :class:`ShardCoordinator`, every
+           worker exclusively owning its step's partitions for the wave.
+
+        Bit-identity with the serial path holds by construction, not by
+        luck: similarity scores are a pure function of the two endpoint
+        profiles (no worker observes phase-5 writes mid-iteration — they run
+        after phase 4), each worker's per-source top-K pre-reduction ranks
+        by the same ``(-score, destination)`` order as the merge (so dropped
+        rows are provably dominated), and the G(t+1) merge itself is a pure
+        function of the offered candidate multiset — the invariant the
+        dirty-scheduling wall already proves.  Reordering steps into waves
+        therefore cannot move a single edge or byte.
+
+        Accounting: each wave loads its distinct partitions once and drops
+        them at the wave barrier, so loads = unloads = the plan's
+        ``total_partition_residencies``; one profile-slice read is charged
+        per (wave, partition).  The reported :class:`ScheduleResult` is
+        rebuilt from the wave plan, keeping the schedule == actual
+        load/unload invariant the serial path maintains.
+        """
+        config = self._config
+        coordinator = self._shard_coordinator()
+        store_generation = self._profile_store.generation
+        merge_shards = (config.num_workers
+                        if coordinator.backend == "process" else 1)
+        new_graph = KNNGraph(graph.num_vertices, config.k)
+        evaluations = 0
+        reused = 0
+        score_cache = self._score_cache
+        touched_mask = (self._touched_mask(graph, measure)
+                        if config.incremental_phase4 else None)
+        full_rescore = touched_mask is None
+        lookups_skipped = bool(not full_rescore and config.adaptive_score_cache
+                               and not self._cache_policy.use_lookups())
+        do_lookups = not full_rescore and not lookups_skipped
+        score_cache.begin_iteration(record_hits=do_lookups)
+        dirty_plan = (self._plan_dirty(steps, assignment)
+                      if config.dirty_scheduling and do_lookups else None)
+        if dirty_plan is not None:
+            ordered_steps = ([(step, False) for step in dirty_plan.executed]
+                             + [(step, True) for step in dirty_plan.cached])
+        else:
+            ordered_steps = [(step, False) for step in steps]
+        partition_rows = np.bincount(assignment,
+                                     minlength=config.num_partitions)
+        steps_skipped = 0
+        lookup_seconds = 0.0
+        looked_tuples = 0
+        kernel_seconds = 0.0
+        cache_keys: List[np.ndarray] = []
+        cache_values: List[np.ndarray] = []
+        cache_overflow = not config.incremental_phase4
+        scored_tuples: List[np.ndarray] = []
+        scored_values: List[np.ndarray] = []
+        pending_rows = 0
+        flush_threshold = max(4 * graph.num_vertices * config.k,
+                              _SCORED_FLUSH_ROWS)
+
+        def flush_scored() -> None:
+            nonlocal pending_rows
+            if not scored_tuples:
+                return
+            tuples_block = (scored_tuples[0] if len(scored_tuples) == 1
+                            else np.concatenate(scored_tuples))
+            scores_block = (scored_values[0] if len(scored_values) == 1
+                            else np.concatenate(scored_values))
+            new_graph.add_candidates_sharded(tuples_block[:, 0],
+                                             tuples_block[:, 1], scores_block,
+                                             num_shards=merge_shards,
+                                             assume_unique=True)
+            scored_tuples.clear()
+            scored_values.clear()
+            pending_rows = 0
+
+        def stage_for_graph(tuples_rows: np.ndarray,
+                            scores_rows: np.ndarray) -> None:
+            nonlocal pending_rows
+            if not len(tuples_rows):
+                return
+            scored_tuples.append(tuples_rows)
+            scored_values.append(scores_rows)
+            pending_rows += len(tuples_rows)
+            if pending_rows >= flush_threshold:
+                flush_scored()
+
+        def account_cache(pair_keys, scores, dirty_rows) -> None:
+            nonlocal cache_overflow
+            if cache_overflow:
+                return
+            if dirty_rows is None:
+                cache_keys.append(pair_keys)
+                cache_values.append(scores)
+            elif len(dirty_rows):
+                cache_keys.append(pair_keys[dirty_rows])
+                cache_values.append(scores[dirty_rows])
+            if (reused + sum(len(chunk) for chunk in cache_keys)
+                    > score_cache.max_entries):
+                cache_keys.clear()
+                cache_values.clear()
+                cache_overflow = True
+
+        # -- pass 1: per-step lookup/classification (serial-path semantics) --
+        # pending: steps that must execute — (step, tuples, pair_keys,
+        # scores, dirty_rows, dirty); hit rows of pending steps are staged
+        # for the graph here, their dirty scores arrive from the waves
+        pending: List[tuple] = []
+        for step, from_cache in ordered_steps:
+            first, second, edges = step
+            chunks = [table.tuples_for(edge.src, edge.dst) for edge in edges]
+            chunks = [chunk for chunk in chunks if len(chunk)]
+            if not chunks:
+                if from_cache:
+                    steps_skipped += 1
+                continue
+            tuples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            pair_keys = (tuples[:, 0] * np.int64(graph.num_vertices)
+                         + tuples[:, 1]
+                         if not cache_overflow or do_lookups else None)
+            if not do_lookups:
+                pending.append((step, tuples, pair_keys, None, None, tuples))
+                continue
+            lookup_start = time.perf_counter()
+            scores, hit_mask = score_cache.lookup(tuples, touched_mask,
+                                                  pair_keys=pair_keys)
+            lookup_seconds += time.perf_counter() - lookup_start
+            looked_tuples += len(tuples)
+            dirty_rows = np.flatnonzero(~hit_mask)
+            dirty = (tuples if len(dirty_rows) == len(tuples)
+                     else tuples[dirty_rows])
+            reused += len(tuples) - len(dirty_rows)
+            if not len(dirty):
+                if from_cache:
+                    steps_skipped += 1
+                account_cache(pair_keys, scores, dirty_rows)
+                stage_for_graph(tuples, scores)
+                continue
+            if from_cache:
+                # same residual-gather economics as the serial path: a small
+                # never-seen residue of a clean pair is scored off a
+                # row-level gather right here (the 4x rule is a pure
+                # function of the data); a large one falls through and the
+                # step executes in a wave
+                residual_rows = np.unique(dirty.ravel())
+                pair_span = int(partition_rows[first]
+                                + (partition_rows[second]
+                                   if second != first else 0))
+                if len(residual_rows) * 4 <= pair_span:
+                    kernel_start = time.perf_counter()
+                    residual_slice = self._profile_store.load_users(
+                        residual_rows)
+                    fresh = score_tuples(residual_slice, dirty, measure,
+                                         backend="serial")
+                    kernel_seconds += time.perf_counter() - kernel_start
+                    scores[dirty_rows] = fresh
+                    steps_skipped += 1
+                    evaluations += len(dirty)
+                    account_cache(pair_keys, scores, dirty_rows)
+                    stage_for_graph(tuples, scores)
+                    continue
+            hit_rows = np.flatnonzero(hit_mask)
+            stage_for_graph(tuples[hit_rows], scores[hit_rows])
+            pending.append((step, tuples, pair_keys, scores, dirty_rows,
+                            dirty))
+
+        # -- pass 2: wave-plan the pending steps and execute ------------------
+        shard_plan = plan_shard_schedule([item[0] for item in pending])
+        wave_items: List[List[tuple]] = [[] for _ in range(shard_plan.num_waves)]
+        for item, wave_index in zip(pending, shard_plan.wave_of):
+            wave_items[wave_index].append(item)
+        part_ids_cache: Dict[int, np.ndarray] = {}
+
+        def part_ids(pid: int) -> np.ndarray:
+            ids = part_ids_cache.get(pid)
+            if ids is None:
+                ids = np.flatnonzero(assignment == pid)
+                part_ids_cache[pid] = ids
+            return ids
+
+        tuples_executed = 0
+        total_residencies = 0
+        for wave in wave_items:
+            tasks: List[ShardStepTask] = []
+            wave_partitions: List[int] = []
+            seen_partitions: Set[int] = set()
+            for (step, tuples, pair_keys, scores, dirty_rows, dirty) in wave:
+                first, second, edges = step
+                if self._fault is not None:
+                    # crash window: mid-phase-4, some steps scored, nothing
+                    # committed — one firing per executed step, matching the
+                    # serial path's schedule
+                    self._fault.point("phase4.step")
+                parts = [((iteration, first), _compact_ids(part_ids(first)))]
+                if second != first:
+                    parts.append(((iteration, second),
+                                  _compact_ids(part_ids(second))))
+                tasks.append(ShardStepTask(
+                    key=(iteration, first, second), parts=tuple(parts),
+                    tuples=dirty, measure=measure,
+                    generation=store_generation, k=config.k))
+                tuples_executed += sum(edge.weight for edge in edges)
+                for pid in (first, second):
+                    if pid not in seen_partitions:
+                        seen_partitions.add(pid)
+                        wave_partitions.append(pid)
+            # each wave loads its distinct partitions once — in the workers'
+            # address spaces, so the coordinator attributes the operations
+            # and one slice read per (wave, partition), exactly like
+            # _sync_profile_charges does for the scoring pool — and drops
+            # them at the wave barrier
+            for pid in wave_partitions:
+                io_stats.record_partition_load()
+                self._profile_store.charge_slice_read(part_ids(pid))
+            kernel_start = time.perf_counter()
+            try:
+                deltas = coordinator.execute_wave(tasks)
+            except ScoringPoolBroken:
+                # wave supervision exhausted respawn-and-retry: tasks are
+                # pure, so re-running the whole wave serially is
+                # bit-identical — degrade for the rest of the run
+                _logger.warning(
+                    "shard coordinator failed repeatedly; degrading to "
+                    "serial wave execution for the rest of the run")
+                self._coordinator_degraded = True
+                coordinator.shutdown()
+                self._coordinator = None
+                coordinator = self._shard_coordinator()
+                deltas = coordinator.execute_wave(tasks)
+            kernel_seconds += time.perf_counter() - kernel_start
+            for pid in wave_partitions:
+                io_stats.record_partition_unload()
+            total_residencies += len(wave_partitions)
+            for item, delta in zip(wave, deltas):
+                step, tuples, pair_keys, scores, dirty_rows, dirty = item
+                evaluations += len(dirty)
+                if dirty_rows is None:
+                    # full rescore / lookups skipped: the whole step is dirty
+                    account_cache(pair_keys, delta.scores, None)
+                    stage_for_graph(dirty[delta.topk_rows],
+                                    delta.scores[delta.topk_rows])
+                else:
+                    scores[dirty_rows] = delta.scores
+                    account_cache(pair_keys, scores, dirty_rows)
+                    stage_for_graph(dirty[delta.topk_rows],
+                                    delta.scores[delta.topk_rows])
+        flush_scored()
+
+        cache_merge_seconds = 0.0
+        if cache_overflow:
+            score_cache.clear()
+            self._pair_generations.clear()
+            if config.incremental_phase4:
+                score_cache.evictions += 1
+        else:
+            merge_start = time.perf_counter()
+            score_cache.merge(cache_keys, cache_values, measure,
+                              store_generation, graph.num_vertices)
+            cache_merge_seconds = time.perf_counter() - merge_start
+            self._pair_generations = {
+                ((first, second) if first <= second else (second, first)):
+                store_generation
+                for first, second, _ in steps}
+        if config.adaptive_score_cache:
+            self._cache_policy.observe_kernel(kernel_seconds, evaluations)
+            if do_lookups:
+                self._cache_policy.observe_lookups(lookup_seconds,
+                                                   looked_tuples, reused)
+        # the executed-residency ScheduleResult of the wave model: loads and
+        # unloads both equal the per-wave distinct-partition count, so the
+        # schedule == actual invariant holds by construction
+        executed_schedule = ScheduleResult(
+            heuristic=schedule.heuristic,
+            num_partitions=schedule.num_partitions,
+            num_steps=len(pending),
+            loads=total_residencies,
+            unloads=total_residencies,
+            cache_hits=0,
+            tuples_scheduled=tuples_executed,
+        )
+        return _Phase4Outcome(
+            graph=new_graph,
+            schedule=executed_schedule,
+            evaluations=evaluations,
+            reused=reused,
+            full_rescore=full_rescore,
+            lookups_skipped=lookups_skipped,
+            cache_merge_seconds=cache_merge_seconds,
+            row_index_reuses=0,
             steps_skipped=steps_skipped,
             steps_total=len(steps),
         )

@@ -30,13 +30,16 @@ import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import multiprocessing
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.graph.knn_graph import topk_candidate_rows
+from repro.storage.memory_manager import MemoryBudget
 from repro.storage.profile_store import OnDiskProfileStore, ProfileSlice
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive_int
@@ -385,6 +388,28 @@ def _score_shard(key: object, parts: "Sequence[Tuple[object, np.ndarray]]",
     return _WORKER_SLICE[1].similarity_pairs(tuples, measure)
 
 
+def _terminate_executor(executor: Optional[ProcessPoolExecutor]) -> None:
+    """Kill-and-reap teardown shared by the pool and the shard coordinator.
+
+    ``shutdown(wait=False)`` alone leaves a *hung* worker running — the
+    executor only reaps workers that return — so any process still alive
+    after the shutdown is killed explicitly.  Tolerates broken executors
+    and ``None``.
+    """
+    if executor is None:
+        return
+    processes = list(getattr(executor, "_processes", {}).values())
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass  # a broken pool may refuse; the kills below still run
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+    for process in processes:
+        process.join(timeout=5.0)
+
+
 class ScoringPoolBroken(RuntimeError):
     """The scoring pool failed ``max_retries`` consecutive attempts.
 
@@ -464,18 +489,7 @@ class ProcessScoringPool:
         run.  Safe to call repeatedly (and after :meth:`shutdown`).
         """
         executor, self._executor = self._executor, None
-        if executor is None:
-            return
-        processes = list(getattr(executor, "_processes", {}).values())
-        try:
-            executor.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass  # a broken pool may refuse; the kills below still run
-        for process in processes:
-            if process.is_alive():
-                process.kill()
-        for process in processes:
-            process.join(timeout=5.0)
+        _terminate_executor(executor)
 
     def _respawn(self) -> None:
         """Replace the (broken or hung) executor with a fresh one."""
@@ -590,6 +604,300 @@ class ProcessScoringPool:
             self._executor = None
 
     def __enter__(self) -> "ProcessScoringPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+# -- shard-parallel wave execution --------------------------------------------
+#
+# The pool above parallelises *within* one residency step (tuple shards of a
+# single partition pair).  The coordinator below parallelises *across* steps:
+# ``plan_shard_schedule`` colors the step sequence into waves of pairwise
+# partition-disjoint steps, and within a wave each worker executes whole
+# steps — exclusively owning its step's partitions for the wave — against its
+# own mmap slices.  The worker contract is deliberately narrow and
+# serialisable: a ShardStepTask descriptor goes in, a ShardDelta comes out,
+# and nothing else crosses the boundary, so a multi-node RPC backend can
+# replace the process pool without touching phase 4.
+
+
+@dataclass(frozen=True)
+class ShardStepTask:
+    """Serialisable work order for one residency step (the RPC-ready contract).
+
+    Everything a worker needs crosses the boundary in this one object: the
+    step identity (``key`` — scoped per iteration so caches never serve a
+    stale pair), the owned partitions as ``(part_key, user_ids)`` descriptors
+    (contiguous runs travel as O(1) ranges via :func:`_compact_ids`), the
+    dirty tuple batch to score, the similarity measure, the store generation
+    the worker must have loaded, and the per-source ``k`` of the delta
+    reduction.  Workers never receive profile bytes — they open the store by
+    path (today: the pool initializer; later: an RPC server's own replica) —
+    so routing a task to a remote shard server is a pure placement decision.
+    """
+
+    key: Tuple[int, int, int]
+    parts: "Tuple[Tuple[object, Union[range, np.ndarray]], ...]"
+    tuples: np.ndarray
+    measure: str
+    generation: Optional[int]
+    k: int
+
+
+@dataclass(frozen=True)
+class ShardDelta:
+    """One worker's answer for one step.
+
+    ``scores`` is aligned with the task's tuples row for row (the score
+    cache needs every dirty pair's score); ``topk_rows`` indexes the rows
+    that can still matter to the graph merge — each source's ``k`` best by
+    the merge's own ``(-score, destination)`` order
+    (:func:`~repro.graph.knn_graph.topk_candidate_rows`), so merging only
+    these rows is provably identical to merging them all.
+    """
+
+    scores: np.ndarray
+    topk_rows: np.ndarray
+
+
+def _execute_shard_step(task: ShardStepTask,
+                        fault: Optional[Tuple[str, float]] = None) -> ShardDelta:
+    """Worker entry point: score one whole residency step, reduce to a delta.
+
+    Runs in a pool worker for the process backend (reusing the worker-global
+    store/slice caches of :func:`_score_shard`) and inline for the
+    serial/thread backends' scoring half.
+    """
+    scores = _score_shard(task.key, task.parts, task.tuples, task.measure,
+                          task.generation, None, fault)
+    rows = topk_candidate_rows(task.tuples[:, 0], task.tuples[:, 1], scores,
+                               task.k)
+    return ShardDelta(scores=scores, topk_rows=rows)
+
+
+def _ids_array(ids: "Union[range, np.ndarray]") -> np.ndarray:
+    if isinstance(ids, range):
+        return np.arange(ids.start, ids.stop, dtype=np.int64)
+    return np.ascontiguousarray(ids, dtype=np.int64)
+
+
+class ShardCoordinator:
+    """Executes waves of partition-disjoint residency steps concurrently.
+
+    Ownership model: within one wave no two steps share a partition
+    (guaranteed by ``plan_shard_schedule``), so the worker executing a step
+    holds exclusive ownership of that step's partitions for the wave — there
+    is no cross-worker coordination on profile state, only the barrier
+    between waves.  Each backend realises the same contract:
+
+    * ``serial`` — steps run inline, one after another (the degrade target).
+    * ``thread`` — the coordinator materialises each step's merged mmap
+      slice serially (keeping store access single-threaded), then scores the
+      wave's steps on a thread pool; the kernels are NumPy and release the
+      GIL.
+    * ``process`` — tasks ship to a supervised fork pool whose workers
+      re-open the store by path (the :func:`_init_scoring_worker` /
+      :func:`_score_shard` infrastructure), with the same dead/hung-worker
+      respawn-and-retry discipline as :class:`ProcessScoringPool`; the retry
+      unit is the whole wave, which is safe because tasks are pure.  After
+      ``max_retries`` consecutive failures :class:`ScoringPoolBroken`
+      surfaces for the caller to degrade to serial.
+
+    Per-worker memory budget: ``worker_budget_bytes`` caps the resident
+    profile bytes a single worker may hold — one step's partitions, the
+    sharded analogue of the serial path's two-resident-partitions envelope.
+    Each task's slice bytes are charged transiently against a
+    :class:`~repro.storage.memory_manager.MemoryBudget` before dispatch
+    (``MemoryError`` on overflow, never a silent spill), and the high-water
+    mark is reported via :attr:`peak_worker_bytes`.
+    """
+
+    RETRY_BACKOFF_BASE = 0.05
+    RETRY_BACKOFF_CAP = 1.0
+
+    def __init__(self, store: Union[OnDiskProfileStore, str, os.PathLike],
+                 backend: str = "serial",
+                 num_workers: int = 1,
+                 shard_timeout: Optional[float] = None,
+                 max_retries: int = 3,
+                 worker_budget_bytes: Optional[float] = None,
+                 bytes_per_user: int = 0,
+                 fault_plan=None):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}")
+        check_positive_int(num_workers, "num_workers")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive when given")
+        check_positive_int(max_retries, "max_retries")
+        store_dir = store.base_dir if isinstance(store, OnDiskProfileStore) else store
+        self._store_dir = str(store_dir)
+        self._backend = backend
+        self._num_workers = num_workers
+        self._shard_timeout = shard_timeout
+        self._max_retries = max_retries
+        self._budget = (MemoryBudget(worker_budget_bytes)
+                        if worker_budget_bytes else None)
+        self._bytes_per_user = int(bytes_per_user)
+        self._fault_plan = fault_plan
+        self._respawns = 0
+        self._executor = None  # lazily built (thread or process, per backend)
+        # in-process slice state for serial/thread (instance-scoped mirror of
+        # the worker globals; slices are mmap views, the bound is on mapping
+        # count, not bytes)
+        self._local_store: Optional[OnDiskProfileStore] = None
+        self._local_parts: "Dict[object, ProfileSlice]" = {}
+        self._local_generation: Optional[int] = None
+        self._part_cache_slots = max(_WORKER_PART_CACHE_SLOTS, 2 * num_workers)
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def respawns(self) -> int:
+        """How many times supervision replaced the worker pool."""
+        return self._respawns
+
+    @property
+    def peak_worker_bytes(self) -> float:
+        """High-water mark of any single worker's resident slice bytes."""
+        return self._budget.peak_bytes if self._budget is not None else 0.0
+
+    @property
+    def worker_budget_bytes(self) -> Optional[float]:
+        return self._budget.capacity_bytes if self._budget is not None else None
+
+    # -- wave execution ------------------------------------------------------
+
+    def execute_wave(self, tasks: Sequence[ShardStepTask]) -> List[ShardDelta]:
+        """Run one wave of partition-disjoint step tasks; deltas in task order.
+
+        The caller is responsible for wave membership (tasks must not share
+        partitions — ``plan_shard_schedule`` guarantees it); the coordinator
+        is indifferent, but the ownership story above assumes it.
+        """
+        if not tasks:
+            return []
+        for task in tasks:
+            self._charge(task)
+        if self._backend == "process":
+            return self._execute_wave_process(tasks)
+        merged = [self._local_merged(task) for task in tasks]
+        if self._backend == "thread" and self._num_workers > 1 and len(tasks) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(max_workers=self._num_workers)
+            futures = [self._executor.submit(self._score_merged, piece, task)
+                       for piece, task in zip(merged, tasks)]
+            return [future.result() for future in futures]
+        return [self._score_merged(piece, task)
+                for piece, task in zip(merged, tasks)]
+
+    @staticmethod
+    def _score_merged(merged: ProfileSlice, task: ShardStepTask) -> ShardDelta:
+        scores = merged.similarity_pairs(task.tuples, task.measure)
+        rows = topk_candidate_rows(task.tuples[:, 0], task.tuples[:, 1],
+                                   scores, task.k)
+        return ShardDelta(scores=scores, topk_rows=rows)
+
+    def _charge(self, task: ShardStepTask) -> None:
+        if self._budget is None:
+            return
+        resident = sum(len(ids) for _, ids in task.parts) * self._bytes_per_user
+        self._budget.record_transient(resident)
+
+    def _local_merged(self, task: ShardStepTask) -> ProfileSlice:
+        store = self._local_store
+        if store is None:
+            # own read-only handle with the free device model: phase 4
+            # attributes slice reads itself, once per (wave, partition)
+            store = self._local_store = OnDiskProfileStore(
+                self._store_dir, disk_model="instant")
+        if task.generation is not None and task.generation != self._local_generation:
+            store.reload()
+            self._local_parts.clear()
+            self._local_generation = task.generation
+        merged: Optional[ProfileSlice] = None
+        for part_key, ids in task.parts:
+            piece = self._local_parts.get(part_key)
+            if piece is None:
+                piece = store.load_users(_ids_array(ids))
+                while len(self._local_parts) >= self._part_cache_slots:
+                    self._local_parts.pop(next(iter(self._local_parts)))
+                self._local_parts[part_key] = piece
+            merged = piece if merged is None else merged.merge(piece)
+        return merged
+
+    # -- process backend supervision -----------------------------------------
+
+    def _build_executor(self) -> ProcessPoolExecutor:
+        _ensure_shared_resource_tracker()
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        return ProcessPoolExecutor(
+            max_workers=self._num_workers,
+            mp_context=context,
+            initializer=_init_scoring_worker,
+            initargs=(self._store_dir,),
+        )
+
+    def _execute_wave_process(self, tasks: Sequence[ShardStepTask]
+                              ) -> List[ShardDelta]:
+        for attempt in range(self._max_retries + 1):
+            fault = (self._fault_plan.take_worker_fault()
+                     if self._fault_plan is not None else None)
+            if self._executor is None:
+                self._executor = self._build_executor()
+            futures = []
+            for index, task in enumerate(tasks):
+                task_fault = None
+                if fault is not None and index == fault[1] % len(tasks):
+                    task_fault = (fault[0], fault[2])
+                futures.append(self._executor.submit(
+                    _execute_shard_step, task, task_fault))
+            try:
+                return [future.result(timeout=self._shard_timeout)
+                        for future in futures]
+            except (BrokenProcessPool, FutureTimeoutError) as exc:
+                for future in futures:
+                    future.cancel()
+                kind = ("shard timeout" if isinstance(exc, FutureTimeoutError)
+                        else "worker died")
+                if attempt >= self._max_retries:
+                    raise ScoringPoolBroken(
+                        f"shard coordinator failed {attempt + 1} consecutive "
+                        f"wave attempts (last: {kind})") from exc
+                delay = min(self.RETRY_BACKOFF_CAP,
+                            self.RETRY_BACKOFF_BASE * (2 ** attempt))
+                _logger.warning(
+                    "shard coordinator %s (attempt %d/%d); respawning workers "
+                    "and retrying the wave in %.2fs",
+                    kind, attempt + 1, self._max_retries + 1, delay)
+                time.sleep(delay)
+                executor, self._executor = self._executor, None
+                _terminate_executor(executor)
+                self._respawns += 1
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            if self._backend == "process":
+                _terminate_executor(executor)
+            else:
+                executor.shutdown(wait=True)
+        self._local_store = None
+        self._local_parts.clear()
+
+    def __enter__(self) -> "ShardCoordinator":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -51,6 +51,46 @@ def _descending_score_argsort(scores: np.ndarray) -> np.ndarray:
     return order
 
 
+def topk_candidate_rows(sources: np.ndarray, destinations: np.ndarray,
+                        scores: np.ndarray, k: int) -> np.ndarray:
+    """Row indices of each source's ``k`` best candidates, ascending.
+
+    Ranks by the same ``(-score, destination)`` total order the batch merge
+    uses, which is what makes this a *safe* per-shard pre-reduction: a row
+    ranked at position ``k`` or beyond within its own subset is dominated by
+    ``k`` better rows of that subset, so it can never enter its source's
+    top-K of any union the subset joins.  Merging only the selected rows via
+    :meth:`KNNGraph.add_candidates_batch` is therefore identical to merging
+    the full subset — the property that lets shard workers return bounded
+    deltas instead of every scored tuple.  Assumes destinations are unique
+    per source within the subset (true for tuples drawn from the dedup hash
+    table in one iteration), so the order is strict and the selection
+    deterministic.
+    """
+    check_positive_int(k, "k")
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    dst = np.asarray(destinations, dtype=np.int64).ravel()
+    sc = np.asarray(scores, dtype=np.float64).ravel()
+    if not (len(src) == len(dst) == len(sc)):
+        raise ValueError("sources, destinations and scores must have equal length")
+    if len(src) == 0:
+        return np.empty(0, dtype=np.int64)
+    # lexsort with the primary key last: source asc, then score desc
+    # (realised through the order-isomorphic descending key map so ties —
+    # including -0.0 vs +0.0 — resolve exactly as the merge resolves them),
+    # then destination asc
+    bits = (sc + 0.0).view(np.uint64)
+    sign = np.uint64(1) << np.uint64(63)
+    desc_key = ~np.where(bits & sign != 0, ~bits, bits | sign)
+    order = np.lexsort((dst, desc_key, src))
+    src_sorted = src[order]
+    group_breaks = np.flatnonzero(src_sorted[1:] != src_sorted[:-1]) + 1
+    group_starts = np.concatenate([[0], group_breaks])
+    group_sizes = np.diff(np.concatenate([group_starts, [len(src_sorted)]]))
+    rank = np.arange(len(src_sorted)) - np.repeat(group_starts, group_sizes)
+    return np.sort(order[rank < k])
+
+
 class KNNGraph:
     """Directed K-out-degree graph with per-edge similarity scores.
 

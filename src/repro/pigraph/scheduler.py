@@ -137,6 +137,87 @@ def plan_dirty_schedule(steps: Sequence[ResidencyStep],
                          assume_all_dirty=False)
 
 
+@dataclass
+class ShardSchedule:
+    """A step sequence colored into waves of partition-disjoint steps.
+
+    Within one wave no two steps share a partition, so every step of a wave
+    can execute concurrently with each executor holding exclusive ownership
+    of its step's partitions.  ``waves`` flattened in order is a permutation
+    of the input steps, and steps that share a partition keep their input
+    order across waves (each partition's step sequence is monotone in wave
+    index), so per-partition effects replay in the serial order.
+    """
+
+    waves: List[List[ResidencyStep]]
+    wave_of: Tuple[int, ...]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.wave_of)
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def max_wave_width(self) -> int:
+        """Steps in the widest wave — the useful parallelism bound."""
+        return max((len(wave) for wave in self.waves), default=0)
+
+    def wave_partitions(self, wave_index: int) -> List[int]:
+        """Distinct partitions resident during one wave, in step order."""
+        partitions: List[int] = []
+        seen = set()
+        for first, second, _ in self.waves[wave_index]:
+            for partition in (first, second):
+                if partition not in seen:
+                    seen.add(partition)
+                    partitions.append(partition)
+        return partitions
+
+    @property
+    def total_partition_residencies(self) -> int:
+        """Sum of distinct partitions across waves: the sharded load count.
+
+        Each wave loads each of its partitions exactly once (and drops them
+        at the wave barrier), so this is both the load and the unload count
+        of a sharded execution — the analogue of
+        :attr:`ScheduleResult.load_unload_operations` ``/ 2``.
+        """
+        return sum(len(self.wave_partitions(i)) for i in range(len(self.waves)))
+
+
+def plan_shard_schedule(steps: Sequence[ResidencyStep]) -> ShardSchedule:
+    """Color ``steps`` into waves of pairwise partition-disjoint steps.
+
+    A *pure*, deterministic function of the step sequence (no wall clock, no
+    ambient state), so every backend and every re-plan produces the same
+    waves.  Greedy earliest-wave placement: each step lands in the first
+    wave where neither of its partitions is taken yet, which both preserves
+    the per-partition step order of the input (a partition's ``wave_free``
+    watermark only moves forward) and keeps dirty-first sequences front
+    loaded — the dirty steps the input leads with fill the early waves.
+
+    Degenerate inputs behave sensibly: an empty sequence yields zero waves,
+    and a single-partition graph (every step ``(p, p)``) yields one
+    single-step wave per step in input order.
+    """
+    wave_free: Dict[int, int] = {}
+    waves: List[List[ResidencyStep]] = []
+    wave_of: List[int] = []
+    for step in steps:
+        first, second, _ = step
+        wave = max(wave_free.get(first, 0), wave_free.get(second, 0))
+        if wave == len(waves):
+            waves.append([])
+        waves[wave].append(step)
+        wave_of.append(wave)
+        wave_free[first] = wave + 1
+        wave_free[second] = wave + 1
+    return ShardSchedule(waves=waves, wave_of=tuple(wave_of))
+
+
 def simulate_schedule(steps: Sequence[ResidencyStep],
                       heuristic_name: str = "",
                       num_partitions: int = 0,
@@ -174,13 +255,25 @@ def simulate_schedule(steps: Sequence[ResidencyStep],
                 f"step needs {len(needed)} resident partitions but the cache has "
                 f"{cache_slots} slots"
             )
+        # Mirror ``PartitionCache.acquire_pair``: every partition of this step
+        # that is already resident is touched *before* any miss is loaded, so
+        # a load can never evict the step's own partner.  Without the
+        # pre-touch pass, a step whose partner sat at the LRU position would
+        # evict it while loading the other partition and immediately reload
+        # it — one spurious load+unload the executor never performs, breaking
+        # the "simulated and executed counts agree" contract exactly at the
+        # ``cache_slots`` boundary.
         step_hit = True
+        for partition in needed:
+            if partition in resident:
+                resident.move_to_end(partition)
+            else:
+                step_hit = False
         # Touch the pivot before the partner: the partner then becomes the
         # eviction candidate on the next step while the pivot stays resident,
         # and a pivot switch to the previous partner is a cache hit.
-        step_hit &= touch(first)
-        if first != second:
-            step_hit &= touch(second)
+        for partition in needed:
+            touch(partition)
         if step_hit:
             hits += 1
         tuples_scheduled += sum(edge.weight for edge in edges)

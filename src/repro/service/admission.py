@@ -43,7 +43,14 @@ class AdmissionResult:
     #: after the next refresh), ``"draining"`` (graceful shutdown in
     #: progress) or ``"closed"`` (service stopped).
     shed_reason: Optional[str] = None
-    #: Pending changes observed at decision time (the backpressure signal).
+    #: The backpressure signal.  For an *accepted* batch this is a queue
+    #: depth *observed after* the enqueue — a real point-in-time reading
+    #: that already reflects any refresh drain interleaved before it.
+    #: Drains only remove work, so this value never overstates the backlog
+    #: (the old ``pre-enqueue read + len(batch)`` extrapolation could,
+    #: whenever a drain slipped between the capacity check and the
+    #: enqueue).  For a shed batch it is the pre-decision depth that
+    #: triggered (or accompanied) the shed.
     pending: int = 0
     #: Number of changes in the submitted batch.
     batch_size: int = 0
@@ -56,8 +63,18 @@ class AdmissionController:
     ``enqueue`` callable that routes through its engine lock, because the
     underlying :class:`ProfileUpdateQueue` is replaced whenever the
     supervisor recovers the engine.  The capacity check and the enqueue
-    happen under one admission lock so the bound is exact even with many
-    concurrent writers.
+    happen under one admission lock, so with refresh drains only ever
+    *removing* work the capacity bound is exact even with many concurrent
+    writers: writers are serialised here, and a drain interleaving between
+    the check and the enqueue only makes the real depth smaller than the
+    checked one.  The ``enqueue`` callable must return a queue depth
+    *observed after* appending the batch — that post-enqueue reading is
+    what an accepted :attr:`AdmissionResult.pending` reports.  Drains may
+    interleave between the append and the reading, but they only shrink
+    the queue, so the reported depth never overstates reality — unlike a
+    depth extrapolated from the pre-enqueue read (the old
+    ``pending + len(batch)`` contract), which overstated it whenever a
+    drain slipped into that window.
     """
 
     def __init__(self, capacity: int,
@@ -101,11 +118,11 @@ class AdmissionController:
             # WAL append — the client never saw accepted=True, so after
             # recovery it must be safe to resubmit (exactly-once overall)
             fault_point(self._fault_plan, "service.admission")
-            self._enqueue(batch)
+            depth_after = self._enqueue(batch)
             self._accepted_batches += 1
             self._accepted_changes += len(batch)
             return AdmissionResult(accepted=True,
-                                   pending=pending + len(batch),
+                                   pending=int(depth_after),
                                    batch_size=len(batch))
 
     def _shed(self, reason: str, batch: list,

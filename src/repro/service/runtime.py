@@ -229,9 +229,18 @@ class ServingRuntime:
             engine = self._engine
             if engine is None:
                 raise ServiceUnavailable("service is closed")
-            count = engine.enqueue_profile_changes(batch)
+            engine.enqueue_profile_changes(batch)
+            # the admission contract wants the queue depth *after* this
+            # append.  Refresh drains do NOT take the engine lock (the
+            # queue serialises enqueue/drain/len on its own lock), so a
+            # drain may slip between the append and this read — but a
+            # drain only *removes* work, so the value below is a real
+            # observed post-enqueue depth that never overstates the
+            # backlog, unlike the old pre-enqueue ``pending + len(batch)``
+            # extrapolation
+            depth_after = len(engine.update_queue)
         self._supervisor.kick()
-        return count
+        return depth_after
 
     # -- query path ----------------------------------------------------------
 

@@ -34,6 +34,23 @@ from repro.storage.profile_store import OnDiskProfileStore
 
 PathLike = Union[str, os.PathLike]
 
+#: Monotonic suffix for clone directories.  Two live views must never share
+#: a directory path: a retired view's disposal deletes its directory, and a
+#: ``from_commit`` of the same epoch used to clone into the *same*
+#: ``epoch_NNNNN`` path — so the old view's rmtree (or ``from_commit``'s own
+#: remnant cleanup) could delete the files a fresh view was serving.  A
+#: per-process counter makes every clone directory unique; stale clones from
+#: a crashed previous process are swept by the runtime's ``start()``.
+_CLONE_COUNTER = 0
+_CLONE_COUNTER_LOCK = threading.Lock()
+
+
+def _next_clone_suffix() -> int:
+    global _CLONE_COUNTER
+    with _CLONE_COUNTER_LOCK:
+        _CLONE_COUNTER += 1
+        return _CLONE_COUNTER
+
 
 def _clone_tree_hardlink(source: Path, dest: Path) -> None:
     """Clone a sealed epoch directory file-by-file via hard links.
@@ -85,12 +102,21 @@ class SnapshotView:
     @classmethod
     def from_commit(cls, epoch_dir: PathLike, serving_dir: PathLike,
                     epoch: int) -> "SnapshotView":
-        """Clone a sealed epoch into ``serving_dir/epoch_NNNNN`` and open it."""
+        """Clone a sealed epoch into a fresh ``serving_dir`` subdirectory.
+
+        The clone directory name carries a per-process monotonic suffix
+        (``epoch_NNNNN_cMMMM``) so every view instance owns a *unique*
+        directory: re-cloning an epoch that another live view still serves
+        (recovery re-publish, a reader pinning a view across a supervisor
+        restart) can then never delete or overwrite bytes under that
+        reader.  Remnants of clones from a crashed previous process are
+        removed wholesale by the runtime's ``start()`` sweep of
+        ``serving_dir``.
+        """
         source = Path(epoch_dir)
-        dest = Path(serving_dir) / f"epoch_{epoch:05d}"
-        if dest.exists():
-            # a crashed previous clone attempt; the epoch is immutable so
-            # re-cloning over the remnants is safe
+        dest = (Path(serving_dir)
+                / f"epoch_{epoch:05d}_c{_next_clone_suffix():04d}")
+        if dest.exists():  # pragma: no cover - the suffix makes this unreachable
             shutil.rmtree(dest)
         _clone_tree_hardlink(source, dest)
         graph, _iteration, _metadata = load_checkpoint(dest)

@@ -7,13 +7,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
 from check_perf_regression import (MIN_SKIP_RATE, PHASE4_KEY,
                                    RESUME_RSS_SLACK_KB, RESUME_RSS_TOLERANCE,
+                                   SHARDED_MIN_SPEEDUP,
+                                   SHARDED_SPEEDUP_MIN_CPUS,
                                    compare_backend_sweep,
                                    compare_dirty_scheduling,
                                    compare_fingerprints,
                                    compare_incremental_parity, compare_phase4,
                                    compare_phase24, compare_phase45,
                                    compare_recovery, compare_resume,
-                                   compare_resume_rss, compare_serving)
+                                   compare_resume_rss, compare_serving,
+                                   compare_sharded)
 
 
 def _report(phase4_seconds, fingerprint="abc", phase45_seconds=None,
@@ -403,6 +406,109 @@ class TestCompareDirtyScheduling:
     def test_missing_skip_rate_fails(self):
         ok, _ = compare_dirty_scheduling(self._section(skip_rate=None))
         assert not ok
+
+
+class TestCompareSharded:
+    """The shard-parallel gate: parity and budget hard-fail everywhere;
+    the speedup clause is cpu-aware like the backend sweep."""
+
+    @staticmethod
+    def _fresh(fingerprints=True, profiles=True, within_budget=True,
+               speedup=2.4, cpu_count=8, million=None):
+        report = {"cpu_count": cpu_count,
+                  "sharded": {
+                      "fingerprints_match": fingerprints,
+                      "profiles_match": profiles,
+                      "within_budget": within_budget,
+                      "process_speedup_over_thread": speedup,
+                      "phase4_seconds_thread": 1.0,
+                      "phase4_seconds_process": 1.0 / speedup if speedup
+                      else None,
+                  }}
+        if million is not None:
+            report["sharded_million"] = million
+        return report
+
+    def test_healthy_section_passes(self):
+        ok, message = compare_sharded(self._fresh())
+        assert ok
+        assert "bit-identical" in message
+
+    def test_missing_section_fails(self):
+        ok, message = compare_sharded({})
+        assert not ok
+        assert "FRESH" in message
+
+    def test_fingerprint_divergence_fails(self):
+        ok, message = compare_sharded(self._fresh(fingerprints=False))
+        assert not ok
+        assert "DIVERGE" in message
+
+    def test_profile_byte_divergence_fails(self):
+        ok, message = compare_sharded(self._fresh(profiles=False))
+        assert not ok
+        assert "profile bytes" in message
+
+    def test_budget_breach_fails(self):
+        ok, message = compare_sharded(self._fresh(within_budget=False))
+        assert not ok
+        assert "budget" in message
+
+    def test_slow_process_on_multicore_fails(self):
+        ok, message = compare_sharded(
+            self._fresh(speedup=SHARDED_MIN_SPEEDUP - 0.1,
+                        cpu_count=SHARDED_SPEEDUP_MIN_CPUS))
+        assert not ok
+        assert "speedup" in message
+
+    def test_exactly_at_the_speedup_floor_passes(self):
+        ok, _ = compare_sharded(
+            self._fresh(speedup=SHARDED_MIN_SPEEDUP,
+                        cpu_count=SHARDED_SPEEDUP_MIN_CPUS))
+        assert ok
+
+    def test_slow_process_on_one_core_skips_honestly(self):
+        """A 1-core container measures pool overhead, not parallelism —
+        the speedup clause must skip with an explicit message, never fake
+        a multicore verdict (pass or fail)."""
+        ok, message = compare_sharded(self._fresh(speedup=0.74, cpu_count=1))
+        assert ok
+        assert "skipped" in message
+        assert "cpu_count=1" in message
+
+    def test_missing_speedup_on_multicore_fails(self):
+        """The bench dropping the measurement must not read as a pass
+        when the machine could have measured it."""
+        ok, _ = compare_sharded(
+            self._fresh(speedup=None, cpu_count=SHARDED_SPEEDUP_MIN_CPUS))
+        assert not ok
+
+    def test_parity_still_gated_on_one_core(self):
+        """Honest speedup skipping must not weaken the parity clauses."""
+        ok, message = compare_sharded(
+            self._fresh(fingerprints=False, cpu_count=1))
+        assert not ok
+        assert "DIVERGE" in message
+
+    def test_million_tier_within_budget_passes(self):
+        million = {"within_budget": True, "peak_worker_bytes": 2000000,
+                   "worker_budget_bytes": 8000000, "phase4_seconds": 68.7}
+        ok, message = compare_sharded(self._fresh(million=million))
+        assert ok
+        assert "1M-user tier ok" in message
+
+    def test_million_tier_budget_breach_fails(self):
+        million = {"within_budget": False, "peak_worker_bytes": 9000000,
+                   "worker_budget_bytes": 8000000}
+        ok, message = compare_sharded(self._fresh(million=million))
+        assert not ok
+        assert "1M-user" in message
+
+    def test_absent_million_tier_is_not_required(self):
+        """--quick runs do not carry the tier; its absence must not fail."""
+        ok, message = compare_sharded(self._fresh(million=None))
+        assert ok
+        assert "1M-user" not in message
 
 
 class TestCompareFingerprints:

@@ -1,20 +1,26 @@
 """Tests for repro.pigraph.scheduler."""
 
+import tempfile
+
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.graph.datasets import small_dataset
+from repro.partition.model import Partition
 from repro.pigraph.pi_graph import PIGraph
 from repro.pigraph.scheduler import (
     compare_heuristics,
     count_load_unload_operations,
     plan_dirty_schedule,
     plan_schedule,
+    plan_shard_schedule,
     simulate_schedule,
 )
 from repro.pigraph.traversal import PAPER_HEURISTICS, get_heuristic
+from repro.storage.memory_manager import PartitionCache
+from repro.storage.partition_store import PartitionStore
 
 
 @pytest.fixture
@@ -201,3 +207,197 @@ class TestPlanDirtySchedule:
             steps, [0], {(2, 3): 7, (2, 2): 5}, cache_generation=7)
         assert plan.executed == [steps[0], steps[3], steps[2]]
         assert plan.cached == [steps[1]]
+
+
+def _sentinel_steps(pairs):
+    # empty edge payloads keep simulate_schedule's weight sum happy; each
+    # step is still a distinct tuple object, so the permutation checks can
+    # track identity through id()
+    return [(first, second, ()) for first, second in pairs]
+
+
+class TestSimulateVersusPartitionCache:
+    """``simulate_schedule`` against the executor it claims to predict.
+
+    The module docstring promises "the simulated and executed counts
+    agree"; the executor is :class:`PartitionCache` driven through
+    ``acquire_pair`` over the same step sequence.  These tests make that a
+    first-principles oracle — every divergence is a bug in the simulator —
+    with the exact-``cache_slots``-boundary regression pinned explicitly:
+    the pre-fix simulator let a step's load evict the step's *own* resident
+    partner (which ``acquire_pair`` pre-touches), inventing one spurious
+    load+unload per occurrence.
+    """
+
+    @staticmethod
+    def _drive_real_cache(pairs, cache_slots, unload_at_end):
+        """Load/unload counts of a real PartitionCache over ``pairs``."""
+        partitions = sorted({p for pair in pairs for p in pair})
+        with tempfile.TemporaryDirectory() as tmp:
+            store = PartitionStore(tmp, disk_model="instant")
+            empty = np.empty((0, 2), dtype=np.int64)
+            store.write_partitions([
+                Partition(pid=pid, vertices=np.asarray([pid]),
+                          in_edges=empty, out_edges=empty)
+                for pid in partitions])
+            cache = PartitionCache(store, max_resident=cache_slots)
+            for first, second in pairs:
+                cache.acquire_pair(first, second)
+            if unload_at_end:
+                cache.flush()
+            return cache.io_stats.partition_loads, cache.io_stats.partition_unloads
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        num_partitions=st.integers(min_value=1, max_value=6),
+        cache_slots=st.integers(min_value=2, max_value=4),
+        num_steps=st.integers(min_value=0, max_value=20),
+        pair_seed=st.integers(min_value=0, max_value=2**16),
+        unload_at_end=st.booleans(),
+    )
+    def test_simulated_counts_match_executed_counts(self, num_partitions,
+                                                    cache_slots, num_steps,
+                                                    pair_seed, unload_at_end):
+        rng = np.random.default_rng(pair_seed)
+        pairs = [tuple(int(p) for p in rng.integers(0, num_partitions, size=2))
+                 for _ in range(num_steps)]
+        result = simulate_schedule(_sentinel_steps(pairs),
+                                   cache_slots=cache_slots,
+                                   unload_at_end=unload_at_end)
+        loads, unloads = self._drive_real_cache(pairs, cache_slots,
+                                                unload_at_end)
+        assert result.loads == loads
+        assert result.unloads == unloads
+
+    def test_partner_eviction_regression_pinned(self):
+        """(0,1),(0,2),(3,0) at exactly two slots: after (0,2) leaves
+        [0, 2] resident with 0 at the LRU position, step (3, 0)'s load of
+        3 must evict 2 — not the step's own partner 0."""
+        steps = _sentinel_steps([(0, 1), (0, 2), (3, 0)])
+        result = simulate_schedule(steps, cache_slots=2, unload_at_end=False)
+        assert result.loads == 4       # 0, 1, 2, 3 — each loaded once
+        assert result.unloads == 2     # 1 then 2 evicted; never partner 0
+        assert set(result.final_resident) == {0, 3}
+        loads, unloads = self._drive_real_cache([(0, 1), (0, 2), (3, 0)],
+                                                cache_slots=2,
+                                                unload_at_end=False)
+        assert (loads, unloads) == (4, 2)
+
+    def test_boundary_final_flush_accounting(self):
+        """With the final flush every load is eventually unloaded."""
+        steps = _sentinel_steps([(0, 1), (0, 2), (3, 0)])
+        result = simulate_schedule(steps, cache_slots=2, unload_at_end=True)
+        assert result.loads == result.unloads == 4
+        # snapshot before the flush, LRU-first (0 was touched last)
+        assert result.final_resident == (3, 0)
+
+    def test_repeated_pair_is_all_hits_at_boundary(self):
+        steps = _sentinel_steps([(0, 1)] * 5)
+        result = simulate_schedule(steps, cache_slots=2, unload_at_end=False)
+        assert result.loads == 2
+        assert result.unloads == 0
+        assert result.cache_hits == 4
+
+
+class TestPlanShardSchedule:
+    """``plan_shard_schedule`` is a pure function with four load-bearing
+    properties: flattened waves are a permutation of the input, no two
+    steps of one wave share a partition, each partition's steps keep their
+    input order across waves, and replanning reproduces the coloring
+    verbatim — the properties the shard coordinator's exclusive-ownership
+    story and the serial-parity wall both lean on.
+    """
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        num_partitions=st.integers(min_value=1, max_value=8),
+        num_steps=st.integers(min_value=0, max_value=30),
+        pair_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_coloring_properties(self, num_partitions, num_steps, pair_seed):
+        rng = np.random.default_rng(pair_seed)
+        pairs = [tuple(int(p) for p in rng.integers(0, num_partitions, size=2))
+                 for _ in range(num_steps)]
+        steps = _sentinel_steps(pairs)
+        schedule = plan_shard_schedule(steps)
+
+        # flattened waves are a permutation of the input, by identity
+        flattened = [step for wave in schedule.waves for step in wave]
+        assert sorted(map(id, flattened)) == sorted(map(id, steps))
+        assert schedule.num_steps == len(steps)
+        assert schedule.num_waves == len(schedule.waves)
+        assert all(wave for wave in schedule.waves)  # no empty waves
+
+        # wave-disjointness: no partition appears in two steps of one wave
+        for wave in schedule.waves:
+            owned = [p for first, second, _ in wave
+                     for p in ({first} | {second})]
+            assert len(owned) == len(set(owned))
+
+        # per-partition step order is the input order (monotone wave index)
+        position = {id(step): index for index, step in enumerate(steps)}
+        for partition in range(num_partitions):
+            mine = [step for step in flattened
+                    if partition in (step[0], step[1])]
+            assert ([position[id(step)] for step in mine]
+                    == sorted(position[id(step)] for step in mine))
+
+        # wave_of mirrors the wave structure
+        for index, step in enumerate(steps):
+            assert step in schedule.waves[schedule.wave_of[index]]
+
+        # greedy tightness: every step past wave 0 is blocked by a step
+        # sharing one of its partitions in the immediately preceding wave
+        for wave_index in range(1, schedule.num_waves):
+            previous = {p for first, second, _ in schedule.waves[wave_index - 1]
+                        for p in (first, second)}
+            for first, second, _ in schedule.waves[wave_index]:
+                assert first in previous or second in previous
+
+        # derived accounting is self-consistent
+        assert schedule.max_wave_width == max(
+            (len(wave) for wave in schedule.waves), default=0)
+        residencies = sum(len(schedule.wave_partitions(i))
+                          for i in range(schedule.num_waves))
+        assert schedule.total_partition_residencies == residencies
+        assert residencies <= 2 * len(steps)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_steps=st.integers(min_value=0, max_value=20),
+        pair_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_replanning_is_deterministic(self, num_steps, pair_seed):
+        rng = np.random.default_rng(pair_seed)
+        pairs = [tuple(int(p) for p in rng.integers(0, 6, size=2))
+                 for _ in range(num_steps)]
+        steps = _sentinel_steps(pairs)
+        first = plan_shard_schedule(steps)
+        second = plan_shard_schedule(steps)
+        assert first.wave_of == second.wave_of
+        assert first.waves == second.waves
+
+    def test_degenerate_single_partition_serialises(self):
+        """Every step (p, p): no two can share a wave — one step per wave,
+        in input order."""
+        steps = _sentinel_steps([(0, 0)] * 5)
+        schedule = plan_shard_schedule(steps)
+        assert schedule.num_waves == 5
+        assert schedule.waves == [[step] for step in steps]
+        assert schedule.wave_of == (0, 1, 2, 3, 4)
+        assert schedule.max_wave_width == 1
+        assert schedule.total_partition_residencies == 5
+
+    def test_empty_input_yields_zero_waves(self):
+        schedule = plan_shard_schedule([])
+        assert schedule.num_waves == 0
+        assert schedule.num_steps == 0
+        assert schedule.max_wave_width == 0
+        assert schedule.total_partition_residencies == 0
+
+    def test_disjoint_pairs_share_the_first_wave(self):
+        steps = _sentinel_steps([(0, 1), (2, 3), (0, 2), (1, 3)])
+        schedule = plan_shard_schedule(steps)
+        assert schedule.wave_of == (0, 0, 1, 1)
+        assert schedule.wave_partitions(0) == [0, 1, 2, 3]

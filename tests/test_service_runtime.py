@@ -10,6 +10,7 @@ budget.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -18,6 +19,7 @@ import pytest
 from repro.core.config import EngineConfig
 from repro.service import (DeadlineExceeded, ServiceUnavailable,
                            ServingRuntime, SnapshotView)
+from repro.service.admission import AdmissionController
 from repro.similarity.workloads import (ProfileChange, generate_dense_profiles,
                                         generate_sparse_profiles)
 from repro.testing import FaultPlan
@@ -145,6 +147,74 @@ class TestAdmissionControl:
             assert result.shed_reason == "capacity"
 
 
+class TestAdmissionDepthContract:
+    """``AdmissionResult.pending`` is an observed post-enqueue depth.
+
+    The old contract reported ``pre-enqueue read + len(batch)`` — an
+    extrapolation that overstated the backlog whenever a refresh drain
+    slipped between the capacity check and the enqueue.  The deterministic
+    test pins the fixed contract at the unit level with a scripted drain
+    interleave; the stress test runs concurrent writers against the live
+    refresh loop and holds every accepted report to the capacity bound.
+    """
+
+    def test_pending_is_not_an_extrapolation_across_a_drain(self):
+        queue = []
+
+        def enqueue(batch):
+            # a refresh drain interleaves exactly here — after the
+            # capacity check, before the append
+            queue.clear()
+            queue.extend(batch)
+            return len(queue)
+
+        controller = AdmissionController(capacity=8, enqueue=enqueue,
+                                         pending=lambda: len(queue))
+        queue.extend(range(4))  # backlog the capacity check will observe
+        batch = _batch(0, size=2)
+        result = controller.submit(batch)
+        assert result.accepted
+        # the drain emptied the queue: the batch left depth 2 behind,
+        # not the pre-read extrapolation 4 + 2 = 6
+        assert result.pending == 2
+        assert result.batch_size == 2
+
+    def test_concurrent_writers_versus_drain_hold_the_bound(self, tmp_path):
+        capacity = 16
+        with _runtime(tmp_path / "svc",
+                      admission_capacity=capacity) as service:
+            results = []
+            results_lock = threading.Lock()
+
+            def writer(slot):
+                for index in range(25):
+                    outcome = service.submit_updates(
+                        _batch(slot * 100 + index, size=2))
+                    with results_lock:
+                        results.append(outcome)
+
+            threads = [threading.Thread(target=writer, args=(slot,))
+                       for slot in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not any(thread.is_alive() for thread in threads)
+            accepted = [r for r in results if r.accepted]
+            shed = [r for r in results if not r.accepted]
+            assert accepted, "the drain kept up with nothing accepted?"
+            for outcome in accepted:
+                # observed depth: within capacity, never negative — a
+                # drain between append and read may even have consumed
+                # the batch itself (pending < batch_size is legal)
+                assert 0 <= outcome.pending <= capacity
+            for outcome in shed:
+                assert outcome.shed_reason == "capacity"
+                assert outcome.pending + outcome.batch_size > capacity
+            _await(lambda: service.pending_updates == 0,
+                   message="final drain")
+
+
 class TestDeadlines:
     def test_deadline_exceeded_when_no_snapshot_can_be_acquired(self, tmp_path):
         service = _runtime(tmp_path / "svc").start()
@@ -215,6 +285,100 @@ class TestSnapshotViews:
                 view = service._view
         # close() retired the final view with no readers: it is disposed
         assert not view.acquire()
+
+
+class TestSnapshotDirectoryLifetimes:
+    """The disposal-vs-clone seam: every live view owns a unique directory.
+
+    The refcount state machine itself is sound (every transition happens
+    under the view lock and ``_disposed`` latches before the rmtree), but
+    two views cloned from the same epoch used to share one
+    ``epoch_NNNNN`` path — so a retired view's disposal deleted the files
+    a fresh view of the same epoch was serving.  The regression test pins
+    the unique-suffix fix deterministically; the stress test hammers the
+    acquire/read/release path against a swap-and-retire loop.
+    """
+
+    def test_recloning_a_served_epoch_never_shares_its_directory(
+            self, tmp_path):
+        with _runtime(tmp_path / "svc") as service:
+            epoch, commit_dir = service.engine.sealed_epochs()[0]
+            serving = tmp_path / "standalone_serving"
+            first = SnapshotView.from_commit(commit_dir, serving, epoch)
+            second = SnapshotView.from_commit(commit_dir, serving, epoch)
+            try:
+                assert first.directory != second.directory
+                first.retire()  # no readers: disposes (rmtree) immediately
+                assert not first.directory.exists()
+                # pre-fix both views served epoch_00000: the rmtree above
+                # deleted the second view's files out from under it
+                assert second.directory.is_dir()
+                assert second.acquire()
+                try:
+                    assert second.neighbors(0) is not None
+                finally:
+                    second.release()
+            finally:
+                second.retire()
+
+    def test_readers_versus_swap_and_retire_stress(self, tmp_path):
+        """Reader threads pin/read/release while a swapper re-clones the
+        same epoch and retires the previous view.  A failed acquire is the
+        only acceptable race outcome; a read crashing (its files deleted
+        mid-flight) is the seam this pins shut."""
+        profiles = generate_sparse_profiles(NUM_USERS, num_items=200,
+                                            items_per_user=12, seed=3)
+        with ServingRuntime(profiles, _config(durable=True),
+                            workdir=tmp_path / "svc",
+                            refresh_poll_interval=0.005) as service:
+            epoch, commit_dir = service.engine.sealed_epochs()[0]
+        serving = tmp_path / "stress_serving"
+        holder = {"view": SnapshotView.from_commit(commit_dir, serving, epoch)}
+        swap_lock = threading.Lock()
+        stop = threading.Event()
+        errors = []
+        reads = [0] * 4
+
+        def reader(slot):
+            while not stop.is_set():
+                with swap_lock:
+                    view = holder["view"]
+                if not view.acquire():
+                    continue  # the swapper already disposed it: fine
+                try:
+                    view.recommend(3, top_n=3)  # touches the cloned store
+                    reads[slot] += 1
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+                finally:
+                    view.release()
+
+        def swapper():
+            try:
+                for _ in range(25):
+                    fresh = SnapshotView.from_commit(commit_dir, serving,
+                                                     epoch)
+                    with swap_lock:
+                        old, holder["view"] = holder["view"], fresh
+                    old.retire()
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = ([threading.Thread(target=reader, args=(slot,))
+                    for slot in range(4)]
+                   + [threading.Thread(target=swapper)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+        assert sum(reads) > 0
+        holder["view"].retire()
+        # every clone was retired and read-free: the directory is empty
+        assert list(serving.iterdir()) == []
 
 
 class TestDegradation:
