@@ -923,8 +923,25 @@ def main() -> None:
                         help="also run the 1M-user shard-parallel tier "
                              "(minutes of wall-clock; gated only when "
                              "present in the report)")
+    parser.add_argument("--skip-invariant-lint", action="store_true",
+                        help="skip the static-analysis preflight (escape "
+                             "hatch for benching a deliberately-dirty tree)")
     args = parser.parse_args()
     quick = args.quick or args.skip_threads
+
+    if not args.skip_invariant_lint:
+        # Preflight: refuse to record a perf trajectory point for a tree
+        # that violates the repo's invariants (scheduler purity, lock
+        # discipline, crash-point coverage, durable-write protocol, memmap
+        # hygiene — see docs/static-analysis.md).  A benched-but-broken
+        # tree poisons the committed baseline.
+        from repro.analysis import analyze
+        lint = analyze(Path(__file__).resolve().parent.parent)
+        print(lint.summary())
+        if not lint.is_clean:
+            print(lint.render())
+            raise SystemExit("invariant lint failed; fix the findings or "
+                             "rerun with --skip-invariant-lint")
 
     report = {
         "python": platform.python_version(),

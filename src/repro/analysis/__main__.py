@@ -1,0 +1,65 @@
+"""CLI for the invariant lint: ``python -m repro.analysis --strict``.
+
+Exit status 0 means every rule passed (or each violation carries an inline
+``# repro: allow[rule-id] reason``); with ``--strict``, unsuppressed
+findings exit 1.  ``--dead-imports`` adds the advisory unused-import
+report (never affects the exit status — it is a sweep aid, not a gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.runner import AnalysisConfig, analyze
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant lint for the repro tree")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: auto-detected from the "
+                             "package location)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when unsuppressed findings remain")
+    parser.add_argument("--dead-imports", action="store_true",
+                        help="also report unused imports (advisory only)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    config = AnalysisConfig.for_repo(args.root, dead_imports=args.dead_imports)
+    report = analyze(config=config)
+
+    if args.json:
+        payload = {
+            "summary": report.summary(),
+            "clean": report.is_clean,
+            "suppressed": report.suppressed_count,
+            "files": report.file_count,
+            "findings": [
+                {"rule": finding.rule_id,
+                 "path": str(finding.path),
+                 "line": finding.line,
+                 "severity": finding.severity.value,
+                 "message": finding.message}
+                for finding in report.findings],
+            "dead_imports": [
+                {"path": str(finding.path), "line": finding.line,
+                 "message": finding.message}
+                for finding in report.dead_import_findings],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+
+    if args.strict and not report.is_clean:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Rule ``crash-point``: the crash-point registry and reality must agree.
+
+The crash matrix (PR 6) and the service chaos wall (PR 8) only prove what
+they exercise.  Three drifts silently erode that proof:
+
+* a hook site with a literal the registry does not know — the new crash
+  point exists in production but no wall will ever crash there;
+* a registered point with no production call site left — the wall still
+  "passes" for a hook that no longer exists (the coverage is dead);
+* a registered point no test references — the point is live in production
+  but nothing ever crashes it.
+
+This rule collects every ``fault_point(plan, "…")`` and
+``<fault-ish>.point("…")`` string literal from the production tree,
+reads the registry (``ITERATION_CRASH_POINTS`` ∪ ``SERVICE_CRASH_POINTS``
+in :mod:`repro.testing.faults`) and every string literal in ``tests/``,
+and fails on all three drifts.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.sources import CodeIndex, SourceFile
+
+RULE_ID = "crash-point"
+
+#: An attribute call ``X.point("…")`` only counts as a crash-point hook
+#: when the receiver looks like a fault plan; ``graph.point(…)`` on some
+#: future geometry type must not be conscripted into the registry.
+_RECEIVER_TOKENS = ("fault", "plan")
+
+
+def _point_literal(call: ast.Call) -> str:
+    if call.args and isinstance(call.args[-1], ast.Constant) \
+            and isinstance(call.args[-1].value, str):
+        return call.args[-1].value
+    return ""
+
+
+def production_call_sites(index: CodeIndex) -> List[Tuple[str, Path, int]]:
+    """Every ``(point, file, line)`` hook site in the production tree."""
+    sites: List[Tuple[str, Path, int]] = []
+    for source in index.sources:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "fault_point":
+                literal = _point_literal(node)
+                if literal:
+                    sites.append((literal, source.path, node.lineno))
+            elif isinstance(func, ast.Attribute) and func.attr == "point":
+                receiver = func.value
+                text = ""
+                if isinstance(receiver, ast.Attribute):
+                    text = receiver.attr
+                elif isinstance(receiver, ast.Name):
+                    text = receiver.id
+                if any(token in text.lower() for token in _RECEIVER_TOKENS):
+                    literal = _point_literal(node)
+                    if literal:
+                        sites.append((literal, source.path, node.lineno))
+    return sites
+
+
+def test_string_literals(test_sources: Iterable[SourceFile]) -> Set[str]:
+    """Every string constant appearing anywhere under ``tests/``."""
+    literals: Set[str] = set()
+    for source in test_sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                literals.add(node.value)
+    return literals
+
+
+def check(index: CodeIndex,
+          registry: Dict[str, Tuple[Path, int]],
+          test_sources: Iterable[SourceFile]) -> List[Finding]:
+    """Run the crash-point rule.
+
+    ``registry`` maps each registered point to the ``(file, line)`` of its
+    registry entry, so dead-registration findings anchor to the registry
+    line the fix must touch.
+    """
+    findings: List[Finding] = []
+    sites = production_call_sites(index)
+    referenced = test_string_literals(test_sources)
+    seen_points: Set[str] = set()
+    for point, path, line in sites:
+        seen_points.add(point)
+        if point not in registry:
+            findings.append(Finding(
+                rule_id=RULE_ID, path=path, line=line,
+                severity=Severity.ERROR,
+                message=(f"crash point '{point}' is not registered in "
+                         "ITERATION_CRASH_POINTS or SERVICE_CRASH_POINTS "
+                         "(repro/testing/faults.py) — unregistered points "
+                         "are invisible to the crash matrix")))
+    for point, (reg_path, reg_line) in sorted(registry.items()):
+        if point not in seen_points:
+            findings.append(Finding(
+                rule_id=RULE_ID, path=reg_path, line=reg_line,
+                severity=Severity.ERROR,
+                message=(f"registered crash point '{point}' has no "
+                         "production call site — remove the dead "
+                         "registration or restore the hook")))
+        if point not in referenced:
+            findings.append(Finding(
+                rule_id=RULE_ID, path=reg_path, line=reg_line,
+                severity=Severity.ERROR,
+                message=(f"registered crash point '{point}' is referenced "
+                         "by no test — every registered point must be "
+                         "exercised by the crash matrix or chaos wall")))
+    return findings

@@ -1,0 +1,77 @@
+"""Dead-import detection: the mechanical edge of the AST pass.
+
+Not one of the five strict invariants — an unused import cannot corrupt a
+store — but the same source index makes it nearly free, and the PR-10
+dead-code sweep used it to clear the tree.  Exposed behind
+``python -m repro.analysis --dead-imports`` as an advisory report
+(``WARNING`` findings) so future sweeps stay one command.
+
+``__init__.py`` files are skipped entirely: their imports *are* their API
+(re-exports).  A name is counted as used when it appears as any ``Name``
+load, as the root of an attribute chain, or in the module's ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.sources import CodeIndex
+
+RULE_ID = "dead-import"
+
+
+def _imported_bindings(tree: ast.Module) -> List[tuple]:
+    bindings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                bindings.append((name, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                bindings.append((name, node.lineno,
+                                 f"{node.module}.{alias.name}" if node.module
+                                 else alias.name))
+    return bindings
+
+
+def _used_names(tree: ast.Module) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            pass  # docstring mentions are not uses
+    # __all__ entries are uses (re-export modules keep their imports)
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)
+                and isinstance(node.value, (ast.List, ast.Tuple))):
+            used.update(elt.value for elt in node.value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str))
+    return used
+
+
+def check(index: CodeIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in index.sources:
+        if source.path.name == "__init__.py":
+            continue
+        used = _used_names(source.tree)
+        for name, line, target in _imported_bindings(source.tree):
+            if name not in used:
+                findings.append(Finding(
+                    rule_id=RULE_ID, path=source.path, line=line,
+                    severity=Severity.WARNING,
+                    message=f"'{name}' (from {target}) is imported but "
+                            "never used"))
+    return findings

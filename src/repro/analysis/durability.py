@@ -1,0 +1,136 @@
+"""Rule ``durability``: durable writes go temp → flush+fsync → rename.
+
+PR 6's recovery proof rests on a write protocol: bytes that recovery will
+trust are written to a temporary file, flushed and fsynced, then published
+with one atomic ``os.replace``.  A rename without the fsync can publish a
+file whose pages never reached disk — the crash matrix cannot catch that
+(injected crashes are process-level, not power-level), so the protocol is
+enforced here instead:
+
+* **fsyncless rename** — an ``os.replace`` whose source was written in the
+  same function (``open(..., "w")``, ``.write_text``/``.write_bytes``,
+  ``.tofile``) with no ``os.fsync`` call before it;
+* **bare write** — a write-mode ``open`` / ``.write_text`` /
+  ``.write_bytes`` in a durable module (storage, checkpoint, WAL, engine,
+  service) inside a function that neither fsyncs nor renames, and is not a
+  sanctioned writer.  Sanctioned writers are helpers whose durability is
+  provided by an enclosing protocol — e.g. epoch content files sealed by
+  ``checksums.json`` before the directory rename, or the append-only
+  CRC-framed WAL whose torn tail is dropped on scan.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.effects import _chain_of  # shared canonicalisation
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.sources import CodeIndex, FunctionInfo, root_name
+
+RULE_ID = "durability"
+
+_WRITE_MODES = ("w", "wb", "ab", "a", "w+", "wb+", "r+", "rb+", "a+", "ab+",
+                "x", "xb")
+_WRITE_METHODS = ("write_text", "write_bytes")
+
+
+def _write_mode_of_open(call: ast.Call) -> Optional[str]:
+    """The mode constant of an ``open``/``path.open`` call, if write-ish."""
+    mode = None
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        mode = call.args[1].value
+    elif (call.args and isinstance(call.func, ast.Attribute)
+          and isinstance(call.args[0], ast.Constant)):
+        # ``path.open("wb")`` — the path is the receiver, mode is arg 0
+        mode = call.args[0].value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            mode = kw.value.value
+    if isinstance(mode, str) and mode in _WRITE_MODES:
+        return mode
+    return None
+
+
+def _function_write_sites(info: FunctionInfo, index: CodeIndex
+                          ) -> Tuple[Dict[str, int], List[int],
+                                     List[Tuple[int, Optional[str]]]]:
+    """``(written-name → first line, fsync lines, replace (line, src))``."""
+    writes: Dict[str, int] = {}
+    fsyncs: List[int] = []
+    replaces: List[Tuple[int, Optional[str]]] = []
+
+    def record_write(name: Optional[str], line: int) -> None:
+        if name is not None and name not in writes:
+            writes[name] = line
+
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _chain_of(node, index, info.module)
+        func = node.func
+        if chain == "open" and _write_mode_of_open(node) and node.args:
+            record_write(root_name(node.args[0]), node.lineno)
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open" and _write_mode_of_open(node):
+                record_write(root_name(func.value), node.lineno)
+            elif func.attr in _WRITE_METHODS:
+                record_write(root_name(func.value), node.lineno)
+            elif func.attr == "tofile" and node.args:
+                record_write(root_name(node.args[0]), node.lineno)
+        if chain == "os.fsync":
+            fsyncs.append(node.lineno)
+        elif chain == "os.replace" and node.args:
+            replaces.append((node.lineno, root_name(node.args[0])))
+    return writes, fsyncs, replaces
+
+
+def check(index: CodeIndex,
+          durable_modules: Iterable[str] = (),
+          sanctioned_writers: Iterable[str] = ()) -> List[Finding]:
+    """Run the durability rule.
+
+    ``durable_modules`` are fnmatch patterns over dotted module names
+    (``repro.storage.*``); ``sanctioned_writers`` are function qualnames
+    (or unique suffixes) whose bare writes are covered by an enclosing
+    durability protocol.
+    """
+    durable = tuple(durable_modules)
+    sanctioned = set(sanctioned_writers)
+    findings: List[Finding] = []
+
+    def is_durable(module: str) -> bool:
+        return any(fnmatch.fnmatch(module, pattern) for pattern in durable)
+
+    def is_sanctioned(qualname: str) -> bool:
+        return (qualname in sanctioned
+                or any(qualname.endswith("." + name) for name in sanctioned))
+
+    for qualname, info in index.functions.items():
+        writes, fsyncs, replaces = _function_write_sites(info, index)
+        for line, source_name in replaces:
+            if source_name is None or source_name not in writes:
+                continue
+            if not any(fsync_line < line for fsync_line in fsyncs):
+                findings.append(Finding(
+                    rule_id=RULE_ID, path=info.source.path, line=line,
+                    severity=Severity.ERROR,
+                    message=(f"os.replace publishes '{source_name}' which "
+                             f"{qualname.rsplit('.', 1)[-1]} wrote without "
+                             "a preceding flush+fsync — a crash can "
+                             "publish pages that never reached disk "
+                             "(durable writes go temp -> fsync -> rename)")))
+        if not is_durable(info.module) or is_sanctioned(qualname):
+            continue
+        if fsyncs or replaces:
+            continue  # the function handles durability explicitly
+        for name, line in writes.items():
+            findings.append(Finding(
+                rule_id=RULE_ID, path=info.source.path, line=line,
+                severity=Severity.ERROR,
+                message=(f"bare write to '{name}' in durable module "
+                         f"{info.module} outside the sanctioned helpers — "
+                         "route it through an atomic-replace helper or "
+                         "sanction it with a documented reason")))
+    return findings

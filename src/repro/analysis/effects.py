@@ -1,0 +1,162 @@
+"""Primitive side-effect detection for one function body.
+
+The purity and lock rules both need to know what a function *does* before
+they can reason about what its callers inherit: the purity rule propagates
+the impurity categories below through the call graph, the lock rule
+propagates ``blocking``.  Detection is syntactic — a canonicalised dotted
+call chain (import aliases rewritten, so ``np.random`` and
+``numpy.random`` are one thing) matched against the contract lists.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.analysis.sources import (CodeIndex, FunctionInfo, dotted_chain,
+                                    root_name)
+
+#: Impurity categories the purity rule rejects.
+IMPURE_CATEGORIES = ("time", "random", "env", "io", "global-write")
+
+_TIME_CALLS = ("time.time", "time.monotonic", "time.perf_counter",
+               "time.process_time", "time.sleep", "time.monotonic_ns",
+               "time.time_ns", "time.perf_counter_ns")
+_RANDOM_PREFIXES = ("random.", "numpy.random.", "secrets.")
+_RANDOM_CALLS = ("os.urandom", "uuid.uuid4", "uuid.uuid1")
+_ENV_CALLS = ("os.getenv", "os.environ.get", "os.getcwd", "platform.node")
+_IO_CALLS = ("open", "os.replace", "os.rename", "os.link", "os.remove",
+             "os.unlink", "os.fsync", "os.makedirs", "os.mkdir", "os.rmdir",
+             "os.stat", "os.listdir", "os.scandir", "print")
+_IO_PREFIXES = ("shutil.", "tempfile.", "pathlib.", "mmap.")
+_IO_NUMPY = ("numpy.memmap", "numpy.fromfile", "numpy.save", "numpy.load",
+             "numpy.savetxt", "numpy.loadtxt")
+#: Path/file methods that mean I/O regardless of the (unresolvable) receiver.
+_IO_METHODS = frozenset({
+    "read_text", "read_bytes", "write_text", "write_bytes", "tofile",
+    "mkdir", "unlink", "rmdir", "touch", "rename", "replace", "fsync",
+    "flush", "readline", "readlines", "writelines",
+})
+
+#: Calls that park the calling thread — forbidden under a hot lock.
+_BLOCKING_CALLS = ("os.fsync", "time.sleep", "os.wait", "os.waitpid",
+                   "select.select")
+_BLOCKING_PREFIXES = ("subprocess.",)
+#: ``x.join()`` / ``x.wait()`` block when the receiver looks like a thread,
+#: process, pool or event; a bare ``", ".join(...)`` does not.
+_BLOCKING_METHODS = frozenset({"join", "wait", "acquire", "get"})
+_BLOCKING_RECEIVER_HINTS = ("thread", "proc", "pool", "worker", "event",
+                            "future", "barrier", "supervisor")
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One primitive side effect found in a function body."""
+
+    category: str        # one of IMPURE_CATEGORIES or "blocking"
+    line: int
+    description: str
+
+
+def _chain_of(call: ast.Call, index: CodeIndex, module: str) -> Optional[str]:
+    chain = dotted_chain(call.func)
+    if chain is None:
+        return None
+    return index.canonical_chain(module, chain)
+
+
+def _receiver_hint(call: ast.Call) -> str:
+    """Lower-cased name of the attribute-call receiver's last segment."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr.lower()
+    if isinstance(value, ast.Name):
+        return value.id.lower()
+    return ""
+
+
+def _call_effects(call: ast.Call, index: CodeIndex, module: str,
+                  resolved: Optional[FunctionInfo]) -> List[Effect]:
+    effects: List[Effect] = []
+    chain = _chain_of(call, index, module)
+    line = call.lineno
+    if chain is not None:
+        if chain in _TIME_CALLS or (chain.startswith("time.")
+                                    and resolved is None):
+            effects.append(Effect("time", line, f"wall-clock call {chain}()"))
+        if (chain in _RANDOM_CALLS
+                or any(chain.startswith(p) for p in _RANDOM_PREFIXES)
+                or chain == "random.Random"):
+            effects.append(Effect("random", line,
+                                  f"randomness source {chain}()"))
+        if chain in _ENV_CALLS:
+            effects.append(Effect("env", line,
+                                  f"environment read {chain}()"))
+        if (chain in _IO_CALLS or chain in _IO_NUMPY
+                or any(chain.startswith(p) for p in _IO_PREFIXES)):
+            effects.append(Effect("io", line, f"file/OS call {chain}()"))
+        if (chain in _BLOCKING_CALLS
+                or any(chain.startswith(p) for p in _BLOCKING_PREFIXES)):
+            effects.append(Effect("blocking", line,
+                                  f"blocking call {chain}()"))
+    if resolved is None and isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in _IO_METHODS:
+            effects.append(Effect("io", line, f"file method .{attr}()"))
+        if attr in _BLOCKING_METHODS:
+            hint = _receiver_hint(call)
+            if any(token in hint for token in _BLOCKING_RECEIVER_HINTS):
+                effects.append(Effect(
+                    "blocking", line,
+                    f"blocking call .{attr}() on '{hint}'"))
+    return effects
+
+
+def _global_write_effects(info: FunctionInfo, index: CodeIndex) -> List[Effect]:
+    effects: List[Effect] = []
+    declared_global: Set[str] = set()
+    local_names: Set[str] = set()
+    node = info.node
+    for arg_list in (node.args.args, node.args.posonlyargs,
+                     node.args.kwonlyargs):
+        local_names.update(arg.arg for arg in arg_list)
+    if node.args.vararg:
+        local_names.add(node.args.vararg.arg)
+    if node.args.kwarg:
+        local_names.add(node.args.kwarg.arg)
+    module_bound = index.module_globals.get(info.module, set())
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Global):
+            declared_global.update(sub.names)
+        elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            if sub.id not in declared_global:
+                local_names.add(sub.id)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            if sub.id in declared_global:
+                effects.append(Effect(
+                    "global-write", sub.lineno,
+                    f"write to module global '{sub.id}'"))
+        elif isinstance(sub, (ast.Subscript, ast.Attribute)) \
+                and isinstance(sub.ctx, ast.Store):
+            root = root_name(sub.value)
+            if (root is not None and root in module_bound
+                    and root not in local_names and root != "self"):
+                effects.append(Effect(
+                    "global-write", sub.lineno,
+                    f"mutation of module-level object '{root}'"))
+    return effects
+
+
+def function_effects(info: FunctionInfo, index: CodeIndex,
+                     unique_fallback: bool = False) -> List[Effect]:
+    """All primitive effects of one function body (nested defs included)."""
+    effects: List[Effect] = []
+    for call, resolved in index.calls_of(info, unique_fallback=unique_fallback):
+        effects.extend(_call_effects(call, index, info.module, resolved))
+    effects.extend(_global_write_effects(info, index))
+    return effects

@@ -1,0 +1,50 @@
+"""The findings model shared by every invariant-lint rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple
+
+
+class Severity(enum.Enum):
+    """How a finding is treated by ``--strict``.
+
+    Both levels fail a strict run — the split exists so reports can rank
+    definite contract violations (``ERROR``) above heuristic ones
+    (``WARNING``, e.g. a blocking call resolved through a unique-name
+    fallback rather than a direct reference).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to an exact source location.
+
+    ``rule_id`` is the identifier the inline suppression protocol matches
+    (``# repro: allow[rule-id] reason``), so it must stay stable across
+    releases of a rule's internals.
+    """
+
+    rule_id: str
+    path: Path
+    line: int
+    severity: Severity
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (str(self.path), self.line, self.rule_id)
+
+    def render(self, root: Path = None) -> str:
+        path = self.path
+        if root is not None:
+            try:
+                path = path.relative_to(root)
+            except ValueError:
+                pass
+        return (f"{path}:{self.line}: [{self.rule_id}] "
+                f"{self.severity.value}: {self.message}")

@@ -1,0 +1,342 @@
+"""Source indexing and call resolution for the invariant-lint rules.
+
+The analyzer never imports the code it checks — everything is derived from
+the AST of the source tree.  This module builds the shared index the rules
+query: every module's functions, classes, methods and import aliases, plus
+a best-effort call resolver.
+
+Resolution is deliberately layered by confidence:
+
+* **strict** — a plain name call resolved in its own module or through an
+  explicit import, a ``self.method()`` call resolved on the enclosing
+  class, or a ``ClassName.method()`` call resolved through an imported
+  class.  Used by the purity rule, where a wrong edge would reject a
+  genuinely pure function.
+* **unique-name fallback** — an attribute call on an unresolvable receiver
+  (``engine.enqueue_profile_changes(...)``) resolves when exactly one
+  function in the whole index bears that name.  Used by the lock and
+  blocking analyses, where a missed edge hides a real deadlock; the small
+  false-edge risk there surfaces as a suppressible finding, not a silent
+  pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Attribute names too generic for the unique-name fallback: resolving
+#: ``mapping.get(...)`` to some class's ``get`` method would invent call
+#: edges out of thin air.
+_AMBIGUOUS_METHOD_NAMES = frozenset({
+    "get", "set", "add", "pop", "update", "items", "keys", "values",
+    "append", "extend", "insert", "remove", "clear", "copy", "sort",
+    "join", "split", "strip", "read", "write", "open", "close", "run",
+    "start", "stop", "wait", "send", "put", "next", "format", "encode",
+    "decode", "count", "index",
+})
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus the bookkeeping rules need."""
+
+    path: Path
+    module: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, module: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(path=path, module=module, text=text, tree=tree,
+                   lines=text.splitlines())
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method, addressable by dotted qualname."""
+
+    qualname: str                 # e.g. repro.core.engine.KNNEngine.recover
+    module: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST                 # FunctionDef | AsyncFunctionDef
+    source: SourceFile
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def module_name_for(path: Path, src_root: Path) -> str:
+    """``src_root/repro/core/engine.py`` → ``repro.core.engine``."""
+    relative = path.relative_to(src_root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def discover_sources(src_root: Path,
+                     package: str = "") -> List[SourceFile]:
+    """Parse every ``.py`` file under ``src_root`` into a SourceFile list."""
+    src_root = Path(src_root)
+    sources = []
+    for path in sorted(src_root.rglob("*.py")):
+        module = module_name_for(path, src_root)
+        if package and not (module == package
+                            or module.startswith(package + ".")):
+            continue
+        sources.append(SourceFile.parse(path, module))
+    return sources
+
+
+def dotted_chain(node: ast.AST) -> Optional[str]:
+    """``np.random.default_rng`` as a dotted string, or None if not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CodeIndex:
+    """Cross-module view of every function, class and import alias."""
+
+    def __init__(self) -> None:
+        self.sources: List[SourceFile] = []
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: simple name → every function/method bearing it
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        #: module → alias → dotted target ("np" → "numpy",
+        #: "KNNEngine" → "repro.core.engine.KNNEngine")
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: module → names bound at module level (for global-write detection)
+        self.module_globals: Dict[str, set] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, sources: Iterable[SourceFile]) -> "CodeIndex":
+        index = cls()
+        for source in sources:
+            index._add_source(source)
+        return index
+
+    def _add_source(self, source: SourceFile) -> None:
+        self.sources.append(source)
+        module = source.module
+        imports = self.imports.setdefault(module, {})
+        bound = self.module_globals.setdefault(module, set())
+        for node in source.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._record_import(node, imports, bound)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._record_function(source, node, class_name=None)
+                bound.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                self._record_class(source, node)
+                bound.add(node.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for target in _assign_targets(node):
+                    bound.add(target)
+
+    @staticmethod
+    def _record_import(node: ast.AST, imports: Dict[str, str],
+                       bound: set) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[name] = target
+                bound.add(name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                return  # relative imports do not occur in this tree
+            for alias in node.names:
+                name = alias.asname or alias.name
+                imports[name] = f"{node.module}.{alias.name}"
+                bound.add(name)
+
+    def _record_function(self, source: SourceFile, node: ast.AST,
+                         class_name: Optional[str]) -> FunctionInfo:
+        if class_name:
+            qualname = f"{source.module}.{class_name}.{node.name}"
+        else:
+            qualname = f"{source.module}.{node.name}"
+        info = FunctionInfo(qualname=qualname, module=source.module,
+                            name=node.name, class_name=class_name,
+                            node=node, source=source)
+        self.functions[qualname] = info
+        self.by_name.setdefault(node.name, []).append(info)
+        return info
+
+    def _record_class(self, source: SourceFile, node: ast.ClassDef) -> None:
+        qualname = f"{source.module}.{node.name}"
+        info = ClassInfo(qualname=qualname, module=source.module,
+                         name=node.name, node=node)
+        self.classes[qualname] = info
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[item.name] = self._record_function(
+                    source, item, class_name=node.name)
+
+    # -- lookup --------------------------------------------------------------
+
+    def find(self, qualname: str) -> Optional[FunctionInfo]:
+        """Resolve an exact qualname, or a unique ``suffix`` match."""
+        hit = self.functions.get(qualname)
+        if hit is not None:
+            return hit
+        suffix_hits = [info for name, info in self.functions.items()
+                       if name.endswith("." + qualname)]
+        return suffix_hits[0] if len(suffix_hits) == 1 else None
+
+    def canonical_chain(self, module: str, chain: str) -> str:
+        """Rewrite a dotted chain's leading alias through the import map.
+
+        ``np.random.default_rng`` → ``numpy.random.default_rng`` when the
+        module did ``import numpy as np``.  Chains whose root is not an
+        import alias come back unchanged.
+        """
+        head, sep, rest = chain.partition(".")
+        target = self.imports.get(module, {}).get(head)
+        if target is None:
+            return chain
+        return target + (("." + rest) if sep else "")
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(self, call: ast.Call, caller: FunctionInfo,
+                     unique_fallback: bool = False) -> Optional[FunctionInfo]:
+        """Resolve a call expression to a function in the index, or None."""
+        func = call.func
+        module = caller.module
+        if isinstance(func, ast.Name):
+            local = self.functions.get(f"{module}.{func.id}")
+            if local is not None:
+                return local
+            target = self.imports.get(module, {}).get(func.id)
+            if target is not None:
+                hit = self.functions.get(target)
+                if hit is not None:
+                    return hit
+                # ``from x import Cls`` then ``Cls(...)``: constructor
+                klass = self.classes.get(target)
+                if klass is not None:
+                    return klass.methods.get("__init__")
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and caller.class_name:
+                klass = self.classes.get(f"{module}.{caller.class_name}")
+                if klass is not None and attr in klass.methods:
+                    return klass.methods[attr]
+            elif receiver.id == "cls" and caller.class_name:
+                klass = self.classes.get(f"{module}.{caller.class_name}")
+                if klass is not None and attr in klass.methods:
+                    return klass.methods[attr]
+            else:
+                target = self.imports.get(module, {}).get(receiver.id)
+                if target is not None:
+                    # imported module (``checkpoint.save_checkpoint``) or
+                    # imported class (``KNNEngine.recover``)
+                    hit = self.functions.get(f"{target}.{attr}")
+                    if hit is not None:
+                        return hit
+                    klass = self.classes.get(target)
+                    if klass is not None:
+                        return klass.methods.get(attr)
+                local_class = self.classes.get(f"{module}.{receiver.id}")
+                if local_class is not None:
+                    return local_class.methods.get(attr)
+        if unique_fallback and attr not in _AMBIGUOUS_METHOD_NAMES:
+            candidates = self.by_name.get(attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def calls_of(self, info: FunctionInfo,
+                 unique_fallback: bool = False
+                 ) -> List[Tuple[ast.Call, Optional[FunctionInfo]]]:
+        """Every call in ``info``'s body with its resolution (or None)."""
+        out = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                out.append((node,
+                            self.resolve_call(node, info,
+                                              unique_fallback=unique_fallback)))
+        return out
+
+
+def _assign_targets(node: ast.AST) -> Sequence[str]:
+    targets: List[str] = []
+    if isinstance(node, ast.Assign):
+        candidates = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        candidates = [node.target]
+    else:
+        candidates = []
+    for target in candidates:
+        if isinstance(target, ast.Name):
+            targets.append(target.id)
+        elif isinstance(target, ast.Tuple):
+            targets.extend(elt.id for elt in target.elts
+                           if isinstance(elt, ast.Name))
+    return targets
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost Name of an attribute/subscript chain (``a.b[c].d`` → a)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def literal_tuple_entries(source: SourceFile,
+                          constant_name: str) -> Dict[str, int]:
+    """``NAME = ("a", "b", ...)`` at module level → ``{"a": line, ...}``.
+
+    Used to read the crash-point and pure-function registries from source
+    without importing the package under analysis.  Raises ``KeyError`` when
+    the constant is missing, ``ValueError`` when it is not a tuple/list of
+    string literals — both mean the manifest contract itself regressed.
+    """
+    for node in source.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if constant_name not in names:
+            continue
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            raise ValueError(
+                f"{constant_name} in {source.path} must be a literal tuple")
+        entries: Dict[str, int] = {}
+        for elt in node.value.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                raise ValueError(
+                    f"{constant_name} in {source.path} must contain only "
+                    f"string literals (line {elt.lineno})")
+            entries[elt.value] = elt.lineno
+        return entries
+    raise KeyError(f"{constant_name} not found in {source.path}")

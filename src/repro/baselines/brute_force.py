@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.graph.knn_graph import KNNGraph
 from repro.similarity.profiles import DenseProfileStore, ProfileStoreBase
-from repro.similarity import measures as _measures
 from repro.utils.validation import check_positive_int
 
 

@@ -11,7 +11,7 @@ counts between the in-memory baseline and the out-of-core engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 import numpy as np
 

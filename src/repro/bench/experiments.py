@@ -19,21 +19,18 @@ Experiment index (see DESIGN.md §5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.baselines.brute_force import brute_force_knn
 from repro.baselines.nn_descent import NNDescent
 from repro.core.config import EngineConfig
 from repro.core.engine import KNNEngine
 from repro.graph.datasets import DATASETS, TABLE1_ORDER, DatasetSpec
-from repro.graph.digraph import CSRDiGraph
 from repro.pigraph.pi_graph import PIGraph
 from repro.pigraph.scheduler import ScheduleResult, compare_heuristics
 from repro.pigraph.traversal import PAPER_HEURISTICS
-from repro.similarity.profiles import ProfileStoreBase
 from repro.similarity.workloads import generate_dense_profiles
 from repro.utils.rng import SeedLike
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.bench import experiments as exp
 from repro.graph.datasets import TABLE1_ORDER, dataset_summary

@@ -409,7 +409,10 @@ def write_checkpoint_checksums(directory: PathLike) -> Path:
     }
     target = directory / _CHECKSUMS_NAME
     tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text(json.dumps(checksums, indent=2, sort_keys=True))
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(checksums, indent=2, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, target)
     return target
 

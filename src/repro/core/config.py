@@ -9,7 +9,7 @@ the candidate set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from repro.core.parallel import BACKENDS

@@ -17,13 +17,10 @@ seed is fixed so that benchmark tables are stable across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict
 
 from repro.graph.digraph import CSRDiGraph
-from repro.graph.generators import (
-    powerlaw_cluster_graph,
-    powerlaw_fixed_size_graph,
-)
+from repro.graph.generators import powerlaw_fixed_size_graph
 from repro.utils.rng import SeedLike, derive_seed
 
 

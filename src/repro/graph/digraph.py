@@ -14,11 +14,11 @@ relies on this to address partitions and profile rows by simple arithmetic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.utils.validation import check_non_negative, check_positive_int
+from repro.utils.validation import check_non_negative
 
 Edge = Tuple[int, int]
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Iterable, Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -26,7 +26,7 @@ into :class:`~repro.partition.model.Partition` objects.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
 import numpy as np
 

@@ -32,7 +32,7 @@ fourth is one of the "better heuristics" the paper's future work calls for.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 

@@ -23,9 +23,8 @@ from __future__ import annotations
 import threading
 import time
 import traceback
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.core.engine import KNNEngine
 from repro.service.snapshot import SnapshotView
 from repro.testing.faults import fault_point
 

@@ -8,7 +8,7 @@ the :class:`~repro.storage.disk_model.DiskModel`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

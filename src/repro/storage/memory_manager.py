@@ -16,7 +16,7 @@ explicit and reproducible in software.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.partition.model import Partition
 from repro.storage.io_stats import IOStats

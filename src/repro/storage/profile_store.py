@@ -91,7 +91,10 @@ def _atomic_tofile(array: np.ndarray, path: Path, fault_plan=None) -> None:
     tmp = path.with_name(path.name + ".tmp")
     if fault_plan is not None:
         fault_plan.file_op("write", path)
-    array.tofile(tmp)
+    with tmp.open("wb") as handle:
+        array.tofile(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
     if fault_plan is not None:
         fault_plan.file_op("rename", path)
     os.replace(tmp, path)
@@ -104,7 +107,10 @@ def _atomic_write_bytes(data: bytes, path: Path, fault_plan=None) -> None:
     tmp = path.with_name(path.name + ".tmp")
     if fault_plan is not None:
         fault_plan.file_op("write", path)
-    tmp.write_bytes(data)
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
     if fault_plan is not None:
         fault_plan.file_op("rename", path)
     os.replace(tmp, path)
@@ -608,7 +614,7 @@ class OnDiskProfileStore:
                 self._write_sparse_v2(store, generation)
         else:
             raise TypeError(f"unsupported profile store type: {type(store).__name__}")
-        (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
+        self._write_meta()
         # the rewrite replaced the files; open maps point at dead data
         self._invalidate_maps()
         # every row may have changed; restart the delta history here
@@ -1395,7 +1401,17 @@ class OnDiskProfileStore:
 
     def _bump_generation(self) -> None:
         self._meta["generation"] = int(self._meta.get("generation", 0)) + 1
-        (self._base_dir / self._META_NAME).write_text(json.dumps(self._meta))
+        self._write_meta()
+
+    def _write_meta(self) -> None:
+        """Publish ``profiles_meta.json`` atomically (fsync + rename).
+
+        Worker processes poll this file for the generation counter; a torn
+        or unsynced meta would desynchronise their cached maps from the
+        segment files it describes.
+        """
+        _atomic_write_bytes(json.dumps(self._meta).encode("utf-8"),
+                            self._base_dir / self._META_NAME)
 
     # -- checksums -------------------------------------------------------------
 

@@ -6,8 +6,9 @@ engine, the stores and the scoring pool can consult an injected
 without importing anything test-only.
 """
 
-from repro.testing.faults import (SERVICE_CRASH_POINTS, FaultPlan,
+from repro.testing.faults import (ITERATION_CRASH_POINTS,
+                                  SERVICE_CRASH_POINTS, FaultPlan,
                                   InjectedCrash, InjectedIOError)
 
 __all__ = ["FaultPlan", "InjectedCrash", "InjectedIOError",
-           "SERVICE_CRASH_POINTS"]
+           "ITERATION_CRASH_POINTS", "SERVICE_CRASH_POINTS"]

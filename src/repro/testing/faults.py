@@ -37,6 +37,33 @@ import threading
 from typing import List, Optional, Sequence, Tuple
 
 
+#: Engine-level crash points: every ``fault_point``/``plan.point`` literal
+#: on the iteration, WAL, store and commit paths.  This tuple is the
+#: registry the invariant lint (``python -m repro.analysis``) checks the
+#: production tree against — a hook whose literal is not listed here is a
+#: build error, as is a listed point with no production call site or no
+#: test reference.  Keep the names grouped by the path they live on; the
+#: crash matrix (``tests/test_crash_matrix.py``) crashes the engine at
+#: each of these and proves recovery.
+ITERATION_CRASH_POINTS = (
+    # iteration loop (engine.run_iterations)
+    "iteration.begin",
+    "phase4.step",
+    "phase4.done",
+    "phase5.before_apply",
+    # update queue / write-ahead log
+    "wal.appended",
+    # profile store writes
+    "store.dense_rows_written",
+    "store.journal_appended",
+    # epoch commit protocol (engine._commit_iteration)
+    "commit.begin",
+    "commit.before_rename",
+    "commit.committed",
+    "commit.before_wal_truncate",
+    "commit.done",
+)
+
 #: Service-level crash points consulted by the serving runtime
 #: (:mod:`repro.service`), alongside the engine-level points the crash
 #: matrix exercises.  ``service.admission`` fires on the ingestion path

@@ -13,7 +13,7 @@ dedup hash table ``H`` (:class:`~repro.tuples.hash_table.TupleHashTable`).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

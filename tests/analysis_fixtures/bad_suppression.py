@@ -1,0 +1,5 @@
+"""Fixture: a suppression comment with no reason is itself a finding."""
+
+
+def noop():
+    return None  # repro: allow[durability]

@@ -1,0 +1,14 @@
+"""Fixture: publishes a temp file without flushing it to disk first."""
+
+import json
+import os
+
+
+def publish(payload, path):
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def side_write(path, blob):
+    path.write_bytes(blob)

@@ -1,0 +1,11 @@
+"""Fixture: a declared-pure planner that sneaks in a wall-clock read."""
+
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def plan_with_clock(steps):
+    return [(_stamp(), step) for step in steps]

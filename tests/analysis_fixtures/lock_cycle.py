@@ -1,0 +1,24 @@
+"""Fixture: opposite-order lock acquisition plus a blocking hold."""
+
+import os
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return 2
+
+    def flush_under_lock(self, handle):
+        with self._a:
+            os.fsync(handle)

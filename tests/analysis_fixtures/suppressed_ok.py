@@ -1,0 +1,11 @@
+"""Fixture: the fsyncless rename again, suppressed with a written reason."""
+
+import json
+import os
+
+
+def publish(payload, path):
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    # repro: allow[durability] fixture: the harness fsyncs the directory afterwards
+    os.replace(tmp, path)

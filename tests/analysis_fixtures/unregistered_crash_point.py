@@ -1,0 +1,11 @@
+"""Fixture: a fault hook whose literal no registry knows."""
+
+
+def fault_point(plan, name):
+    if plan is not None:
+        plan.point(name)
+
+
+def run_phase(plan):
+    fault_point(plan, "phase9.bogus")
+    return 0

@@ -1,0 +1,7 @@
+"""Fixture: a writable memory map opened outside the storage layer."""
+
+import numpy as np
+
+
+def open_rows(path, rows, dim):
+    return np.memmap(path, dtype="float32", mode="r+", shape=(rows, dim))

@@ -35,9 +35,11 @@ CRASH_POINTS = [
     "wal.appended",
     "phase5.before_apply",
     "store.dense_rows_written",
+    "commit.begin",
     "commit.before_rename",
     "commit.committed",
     "commit.before_wal_truncate",
+    "commit.done",
 ]
 
 BACKENDS = ["serial", "thread", "process"]
@@ -124,6 +126,65 @@ def test_crash_recover_finish_matches_uninterrupted(point, backend, tmp_path,
         recovered.close()
     # no shared-memory row-index segments leaked across the crash
     assert active_shared_row_indexes() == []
+
+
+def test_sparse_journal_crash_recovers_to_uninterrupted_twin(tmp_path):
+    """Crash in the v3 journal window: rows appended, generation not bumped.
+
+    ``store.journal_appended`` only fires on the segmented sparse apply
+    path (the dense matrix mutates an mmap in place), so the dense matrix
+    above can never exercise it — this test is its sparse twin.
+    """
+    from repro.similarity.workloads import generate_sparse_profiles
+
+    def sparse_profiles():
+        return generate_sparse_profiles(40, 120, items_per_user=6,
+                                        num_communities=3, seed=3)
+
+    def sparse_feed():
+        fed = set()
+
+        def feed(iteration):
+            if iteration in fed or iteration not in (1, 2):
+                return []
+            fed.add(iteration)
+            rng = np.random.default_rng(200 + iteration)
+            return [ProfileChange(user=int(u), kind="add",
+                                  item=int(rng.integers(0, 120)))
+                    for u in rng.choice(40, size=3, replace=False)]
+
+        return feed
+
+    with KNNEngine(sparse_profiles(), _config("serial")) as clean:
+        clean.run(NUM_ITERATIONS, profile_change_feed=sparse_feed())
+        ref_fingerprint = clean.graph.edge_fingerprint()
+        clean_slice = clean.profile_store.load_users(range(40))
+        ref_rows = {u: set(clean_slice.get(u)) for u in range(40)}
+
+    workdir = tmp_path / "work"
+    plan = FaultPlan().crash_at("store.journal_appended", occurrence=1)
+    feed = sparse_feed()
+    engine = KNNEngine(sparse_profiles(),
+                       _config("serial", durable=True, fault_plan=plan),
+                       workdir=workdir)
+    try:
+        with pytest.raises(InjectedCrash):
+            engine.run(NUM_ITERATIONS, profile_change_feed=feed)
+    finally:
+        engine.close()
+    assert "crash" in plan.fired_kinds()
+
+    recovered = KNNEngine.recover(workdir)
+    try:
+        recovered.run(NUM_ITERATIONS - recovered.iterations_run,
+                      profile_change_feed=feed)
+        assert recovered.iterations_run == NUM_ITERATIONS
+        assert recovered.graph.edge_fingerprint() == ref_fingerprint
+        got_slice = recovered.profile_store.load_users(range(40))
+        assert {u: set(got_slice.get(u)) for u in range(40)} == ref_rows
+        assert recovered.profile_store.verify_checksums() == []
+    finally:
+        recovered.close()
 
 
 def test_random_crash_sweep_is_recoverable(tmp_path):
